@@ -1,0 +1,124 @@
+//! The decision context and the `Abr` trait.
+
+use mvqoe_kernel::TrimLevel;
+use mvqoe_video::{Fps, Manifest, Representation, Resolution};
+
+/// Everything an ABR algorithm may look at when picking the next segment's
+/// representation.
+#[derive(Debug, Clone)]
+pub struct AbrContext<'a> {
+    /// The manifest being streamed.
+    pub manifest: &'a Manifest,
+    /// Current buffer occupancy in seconds.
+    pub buffer_seconds: f64,
+    /// Buffer capacity in seconds.
+    pub buffer_capacity: f64,
+    /// Recent harmonic-mean delivered throughput, Mbit/s (None before the
+    /// first segment).
+    pub throughput_mbps: Option<f64>,
+    /// The current `onTrimMemory` level — the paper's proposed signal.
+    pub trim_level: TrimLevel,
+    /// Frame-drop percentage over the last observation window (client-side
+    /// feedback the paper suggests monitoring).
+    pub recent_drop_pct: f64,
+    /// The representation of the previous segment, if any.
+    pub last: Option<Representation>,
+    /// Device screen cap: streaming above the panel resolution is wasted
+    /// (the "coarse-grained device measure" the paper contrasts with).
+    pub screen_cap: Resolution,
+}
+
+impl AbrContext<'_> {
+    /// The ladder at a given frame rate, capped at the screen resolution.
+    pub fn ladder_at(&self, fps: Fps) -> Vec<Representation> {
+        self.manifest
+            .ladder_at_fps(fps)
+            .into_iter()
+            .filter(|r| r.resolution <= self.screen_cap)
+            .collect()
+    }
+
+    /// Highest-bitrate representation at `fps` not exceeding `mbps`.
+    pub fn best_under_rate(&self, fps: Fps, mbps: f64) -> Option<Representation> {
+        self.ladder_at(fps)
+            .into_iter()
+            .rev()
+            .find(|r| r.bitrate_kbps as f64 / 1000.0 <= mbps)
+    }
+
+    /// The lowest rung at `fps`.
+    pub fn lowest(&self, fps: Fps) -> Option<Representation> {
+        self.ladder_at(fps).into_iter().next()
+    }
+}
+
+/// An adaptive-bitrate policy.
+pub trait Abr {
+    /// Pick the representation for the next segment.
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> Representation;
+
+    /// Short human-readable name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use mvqoe_video::Genre;
+
+    pub fn manifest() -> Manifest {
+        Manifest::full_ladder(Genre::Travel, 180.0)
+    }
+
+    pub fn ctx<'a>(
+        manifest: &'a Manifest,
+        buffer: f64,
+        throughput: Option<f64>,
+        trim: TrimLevel,
+    ) -> AbrContext<'a> {
+        AbrContext {
+            manifest,
+            buffer_seconds: buffer,
+            buffer_capacity: 60.0,
+            throughput_mbps: throughput,
+            trim_level: trim,
+            recent_drop_pct: 0.0,
+            last: None,
+            screen_cap: Resolution::R1440p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn ladder_respects_screen_cap() {
+        let m = manifest();
+        let mut c = ctx(&m, 30.0, None, TrimLevel::Normal);
+        c.screen_cap = Resolution::R720p;
+        let ladder = c.ladder_at(Fps::F60);
+        assert!(ladder.iter().all(|r| r.resolution <= Resolution::R720p));
+        assert_eq!(ladder.len(), 4); // 240p..720p
+    }
+
+    #[test]
+    fn best_under_rate_picks_greatest_fit() {
+        let m = manifest();
+        let c = ctx(&m, 30.0, None, TrimLevel::Normal);
+        // 6 Mbit/s fits 720p30 (5 Mbit/s) but not 1080p30 (8 Mbit/s).
+        let r = c.best_under_rate(Fps::F30, 6.0).unwrap();
+        assert_eq!(r.resolution, Resolution::R720p);
+        // Nothing fits 0.1 Mbit/s.
+        assert!(c.best_under_rate(Fps::F30, 0.1).is_none());
+    }
+
+    #[test]
+    fn lowest_is_240p() {
+        let m = manifest();
+        let c = ctx(&m, 0.0, None, TrimLevel::Normal);
+        assert_eq!(c.lowest(Fps::F60).unwrap().resolution, Resolution::R240p);
+    }
+}

@@ -1,0 +1,48 @@
+//! Pin one representation — the paper's controlled-experiment "policy".
+
+use crate::context::{Abr, AbrContext};
+use mvqoe_video::Representation;
+
+/// Always stream the same representation, as the paper's §4 experiments do
+/// (e.g. "1080p at 60 FPS" for a whole session).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedAbr {
+    rep: Representation,
+}
+
+impl FixedAbr {
+    /// Pin `rep`.
+    pub fn new(rep: Representation) -> FixedAbr {
+        FixedAbr { rep }
+    }
+}
+
+impl Abr for FixedAbr {
+    fn choose(&mut self, _ctx: &AbrContext<'_>) -> Representation {
+        self.rep
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_support::*;
+    use mvqoe_kernel::TrimLevel;
+    use mvqoe_video::{Fps, Resolution};
+
+    #[test]
+    fn always_returns_the_pinned_rep() {
+        let m = manifest();
+        let rep = m.representation(Resolution::R1080p, Fps::F60).unwrap();
+        let mut abr = FixedAbr::new(rep);
+        for trim in [TrimLevel::Normal, TrimLevel::Critical] {
+            let c = ctx(&m, 10.0, Some(0.2), trim);
+            assert_eq!(abr.choose(&c), rep);
+        }
+        assert_eq!(abr.name(), "fixed");
+    }
+}

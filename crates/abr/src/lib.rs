@@ -1,0 +1,35 @@
+//! Adaptive-bitrate (ABR) algorithms.
+//!
+//! Classic ABR adapts to *network* bottlenecks; the paper's central
+//! implication (§6–§7) is that the *device* — memory pressure specifically —
+//! must become an input too. This crate provides:
+//!
+//! * [`FixedAbr`] — pin one representation (the paper's controlled
+//!   experiments stream a fixed encoding);
+//! * [`BufferBased`] — BBA-style occupancy→bitrate mapping \[27\];
+//! * [`ThroughputBased`] — harmonic-throughput rate picking, dash.js style;
+//! * [`Bola`] — Lyapunov utility maximization \[35\];
+//! * [`MemoryAware`] — the adaptation the paper demonstrates in Figs. 16–17:
+//!   react to `onTrimMemory` signals by *reducing the encoded frame rate
+//!   first* (60 → 48 → 24), then the resolution, and recover cautiously
+//!   once pressure clears. It wraps any network ABR, so network and memory
+//!   bottlenecks compose.
+//!
+//! All algorithms implement [`Abr`] over an [`AbrContext`] snapshot and
+//! return a `Representation` from the manifest's ladder.
+
+pub mod bola;
+pub mod buffer_based;
+pub mod context;
+pub mod fixed;
+pub mod memory_aware;
+pub mod schedule;
+pub mod throughput;
+
+pub use bola::Bola;
+pub use buffer_based::BufferBased;
+pub use context::{Abr, AbrContext};
+pub use fixed::FixedAbr;
+pub use memory_aware::{MemoryAware, MemoryAwareConfig};
+pub use schedule::ScheduledFps;
+pub use throughput::ThroughputBased;

@@ -1,0 +1,85 @@
+//! Throughput-based adaptation (dash.js default style).
+//!
+//! Picks the highest rung whose bitrate fits under a safety factor times
+//! the harmonic-mean delivered throughput. Blind to device state.
+
+use crate::context::{Abr, AbrContext};
+use mvqoe_video::{Fps, Representation};
+
+/// Rate-based ABR at a fixed frame rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputBased {
+    /// Frame rate whose ladder is used.
+    pub fps: Fps,
+    /// Fraction of the estimate considered safe to commit to.
+    pub safety: f64,
+}
+
+impl ThroughputBased {
+    /// dash.js-like defaults (90% of the harmonic mean).
+    pub fn new(fps: Fps) -> ThroughputBased {
+        ThroughputBased { fps, safety: 0.9 }
+    }
+}
+
+impl Abr for ThroughputBased {
+    fn choose(&mut self, ctx: &AbrContext<'_>) -> Representation {
+        let lowest = ctx
+            .lowest(self.fps)
+            .expect("manifest has no rungs at this fps");
+        match ctx.throughput_mbps {
+            None => lowest, // conservative first segment
+            Some(rate) => ctx
+                .best_under_rate(self.fps, rate * self.safety)
+                .unwrap_or(lowest),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "throughput"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_support::*;
+    use mvqoe_kernel::TrimLevel;
+    use mvqoe_video::Resolution;
+
+    #[test]
+    fn first_segment_is_conservative() {
+        let m = manifest();
+        let mut abr = ThroughputBased::new(Fps::F30);
+        let c = ctx(&m, 0.0, None, TrimLevel::Normal);
+        assert_eq!(abr.choose(&c).resolution, Resolution::R240p);
+    }
+
+    #[test]
+    fn rate_maps_to_rung() {
+        let m = manifest();
+        let mut abr = ThroughputBased::new(Fps::F30);
+        // 0.9 × 10 = 9 Mbit/s → 1080p30 (8 Mbit/s) fits, 1440p30 (16) not.
+        let c = ctx(&m, 30.0, Some(10.0), TrimLevel::Normal);
+        assert_eq!(abr.choose(&c).resolution, Resolution::R1080p);
+        // Plenty of rate → top rung.
+        let c = ctx(&m, 30.0, Some(100.0), TrimLevel::Normal);
+        assert_eq!(abr.choose(&c).resolution, Resolution::R1440p);
+        // Starved → lowest.
+        let c = ctx(&m, 30.0, Some(0.2), TrimLevel::Normal);
+        assert_eq!(abr.choose(&c).resolution, Resolution::R240p);
+    }
+
+    #[test]
+    fn choice_is_monotone_in_rate() {
+        let m = manifest();
+        let mut abr = ThroughputBased::new(Fps::F60);
+        let mut last = 0;
+        for rate in [0.5, 1.0, 3.0, 6.0, 10.0, 20.0, 50.0] {
+            let c = ctx(&m, 30.0, Some(rate), TrimLevel::Normal);
+            let b = abr.choose(&c).bitrate_kbps;
+            assert!(b >= last, "rate {rate}");
+            last = b;
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: every ABR decision stays inside the manifest's ladder
+//! and respects the screen cap, whatever the context.
+
+use mvqoe_abr::{Abr, AbrContext, Bola, BufferBased, FixedAbr, MemoryAware, ThroughputBased};
+use mvqoe_kernel::TrimLevel;
+use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+use proptest::prelude::*;
+
+fn any_trim() -> impl Strategy<Value = TrimLevel> {
+    prop::sample::select(TrimLevel::ALL.to_vec())
+}
+
+fn any_cap() -> impl Strategy<Value = Resolution> {
+    prop::sample::select(Resolution::ALL.to_vec())
+}
+
+fn check_decision(
+    abr: &mut dyn Abr,
+    manifest: &Manifest,
+    buffer: f64,
+    throughput: Option<f64>,
+    trim: TrimLevel,
+    drop_pct: f64,
+    cap: Resolution,
+) -> Result<(), TestCaseError> {
+    let ctx = AbrContext {
+        manifest,
+        buffer_seconds: buffer,
+        buffer_capacity: 60.0,
+        throughput_mbps: throughput,
+        trim_level: trim,
+        recent_drop_pct: drop_pct,
+        last: None,
+        screen_cap: cap,
+    };
+    let rep = abr.choose(&ctx);
+    prop_assert!(
+        manifest
+            .representation(rep.resolution, rep.fps)
+            .is_some(),
+        "{} returned a rep outside the manifest",
+        abr.name()
+    );
+    // The fixed policy is exempt from the cap (the experimenter pinned it);
+    // adaptive policies must respect the panel.
+    if abr.name() != "fixed" {
+        prop_assert!(
+            rep.resolution <= cap,
+            "{} exceeded the screen cap: {} > {}",
+            abr.name(),
+            rep.resolution,
+            cap
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn decisions_stay_in_ladder(
+        buffer in 0.0f64..60.0,
+        throughput in prop::option::of(0.05f64..200.0),
+        trim in any_trim(),
+        drop_pct in 0.0f64..100.0,
+        cap in any_cap(),
+        calls in 1usize..12,
+    ) {
+        let manifest = Manifest::full_ladder(Genre::Travel, 120.0);
+        let rep = manifest.representation(Resolution::R480p, Fps::F60).unwrap();
+        let mut policies: Vec<Box<dyn Abr>> = vec![
+            Box::new(FixedAbr::new(rep)),
+            Box::new(BufferBased::new(Fps::F60)),
+            Box::new(ThroughputBased::new(Fps::F30)),
+            Box::new(Bola::new(Fps::F60)),
+            Box::new(MemoryAware::new(BufferBased::new(Fps::F60), Fps::F60)),
+        ];
+        for abr in policies.iter_mut() {
+            // Repeated calls must also hold (stateful policies).
+            for _ in 0..calls {
+                check_decision(abr.as_mut(), &manifest, buffer, throughput, trim, drop_pct, cap)?;
+            }
+        }
+    }
+
+    /// The memory-aware controller never picks a higher frame rate under
+    /// pressure than it would at Normal with the same inner state.
+    #[test]
+    fn memory_aware_never_raises_fps_under_pressure(
+        buffer in 0.0f64..60.0,
+        drop_pct in 0.0f64..100.0,
+    ) {
+        let manifest = Manifest::full_ladder(Genre::Travel, 120.0);
+        let pick = |trim: TrimLevel| {
+            let mut abr = MemoryAware::new(BufferBased::new(Fps::F60), Fps::F60);
+            let ctx = AbrContext {
+                manifest: &manifest,
+                buffer_seconds: buffer,
+                buffer_capacity: 60.0,
+                throughput_mbps: Some(100.0),
+                trim_level: trim,
+                recent_drop_pct: drop_pct,
+                last: None,
+                screen_cap: Resolution::R1440p,
+            };
+            abr.choose(&ctx).fps.value()
+        };
+        let normal = pick(TrimLevel::Normal);
+        for trim in [TrimLevel::Moderate, TrimLevel::Low, TrimLevel::Critical] {
+            prop_assert!(pick(trim) <= normal, "{trim:?} raised fps");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! One benchmark per paper artifact family: the cost of regenerating each
+//! table/figure at reduced scale. These are end-to-end simulations, so
+//! sample counts are kept small.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvqoe_abr::FixedAbr;
+use mvqoe_core::{run_session, PressureMode, SessionConfig};
+use mvqoe_device::DeviceProfile;
+use mvqoe_kernel::TrimLevel;
+use mvqoe_sim::{SimRng, SimTime};
+use mvqoe_study::{run_survey, SurveyConfig};
+use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+use mvqoe_workload::FleetUser;
+
+fn short_session(
+    device: DeviceProfile,
+    pressure: PressureMode,
+    res: Resolution,
+    fps: Fps,
+    record_trace: bool,
+) -> f64 {
+    let mut cfg = SessionConfig::paper_default(device, pressure, 42);
+    cfg.video_secs = 12.0;
+    cfg.record_trace = record_trace;
+    let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+    let rep = manifest.representation(res, fps).unwrap();
+    let mut abr = FixedAbr::new(rep);
+    run_session(&cfg, &mut abr).stats.drop_pct()
+}
+
+/// Fig. 9 / Table 2 family: one Nokia 1 cell (Normal).
+fn bench_fig9_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig9_nokia1_cell_normal", |b| {
+        b.iter(|| {
+            short_session(
+                DeviceProfile::nokia1(),
+                PressureMode::None,
+                Resolution::R480p,
+                Fps::F60,
+                false,
+            )
+        })
+    });
+    // Fig. 11 / Table 3 family: one pressured Nexus 5 cell (includes the
+    // MP-Simulator ramp).
+    g.bench_function("fig11_nexus5_cell_moderate", |b| {
+        b.iter(|| {
+            short_session(
+                DeviceProfile::nexus5(),
+                PressureMode::Synthetic(TrimLevel::Moderate),
+                Resolution::R720p,
+                Fps::F60,
+                false,
+            )
+        })
+    });
+    // Fig. 8 family: PSS measurement run.
+    g.bench_function("fig8_pss_cell", |b| {
+        b.iter(|| {
+            short_session(
+                DeviceProfile::nexus5(),
+                PressureMode::None,
+                Resolution::R1080p,
+                Fps::F30,
+                false,
+            )
+        })
+    });
+    // Tables 4/5 + Fig. 13 family: a trace-recorded session.
+    g.bench_function("table4_traced_cell", |b| {
+        b.iter(|| {
+            short_session(
+                DeviceProfile::nokia1(),
+                PressureMode::None,
+                Resolution::R480p,
+                Fps::F60,
+                true,
+            )
+        })
+    });
+    // Fig. 15 family: organic pressure session.
+    g.bench_function("fig15_organic_cell", |b| {
+        b.iter(|| {
+            short_session(
+                DeviceProfile::nokia1(),
+                PressureMode::Organic(8),
+                Resolution::R480p,
+                Fps::F60,
+                false,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Figs. 1–6 family: one hour of one fleet user's life at 1 Hz.
+fn bench_fleet_hour(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2-6_fleet_user_hour", |b| {
+        let root = SimRng::new(7);
+        b.iter(|| {
+            let mut user = FleetUser::new(0, &root);
+            let mut acc = 0.0;
+            for s in 0..3600u64 {
+                acc += user.step_1s(SimTime::from_secs(s)).utilization_pct;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+/// Fig. 10 family: the 99-rater survey.
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("figures/fig10_survey", |b| {
+        b.iter(|| run_survey(&SurveyConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_fig9_cell, bench_fleet_hour, bench_fig10);
+criterion_main!(benches);

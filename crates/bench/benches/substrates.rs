@@ -1,0 +1,162 @@
+//! Microbenchmarks of each substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mvqoe_abr::{Abr, AbrContext, Bola, BufferBased, MemoryAware};
+use mvqoe_device::{DeviceProfile, Machine};
+use mvqoe_kernel::{MemConfig, MemoryManager, Pages, ProcKind, TrimLevel};
+use mvqoe_sched::{SchedClass, Scheduler};
+use mvqoe_sim::{SimDuration, SimRng, SimTime};
+use mvqoe_storage::{Disk, DiskParams};
+use mvqoe_study::{run_survey, SurveyConfig};
+use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+
+fn pressured_manager() -> MemoryManager {
+    let mut mm = MemoryManager::new(MemConfig::for_ram_mib(1024));
+    mm.spawn_sized(
+        SimTime::ZERO,
+        "system",
+        ProcKind::System,
+        Pages::from_mib(150),
+        Pages::from_mib(100),
+        Pages::from_mib(80),
+        0.3,
+    );
+    for i in 0..10 {
+        mm.spawn_sized(
+            SimTime::ZERO,
+            format!("bg{i}"),
+            ProcKind::Cached,
+            Pages::from_mib(35),
+            Pages::from_mib(25),
+            Pages::from_mib(18),
+            0.5,
+        );
+    }
+    let (hog, _) = mm.spawn_sized(
+        SimTime::ZERO,
+        "hog",
+        ProcKind::Foreground,
+        Pages::from_mib(250),
+        Pages::from_mib(60),
+        Pages::from_mib(40),
+        0.3,
+    );
+    mm.set_floor(hog, Pages::from_mib(120), Pages::from_mib(20));
+    mm
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel/kswapd_batch", |b| {
+        b.iter_batched(
+            pressured_manager,
+            |mut mm| {
+                // Force shortage, then run one batch.
+                let hog = mm.procs().last().unwrap().id;
+                mm.alloc_anon(SimTime::from_millis(1), hog, Pages::from_mib(200));
+                mm.kswapd_batch(SimTime::from_millis(2))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("kernel/alloc_free_cycle", |b| {
+        let mut mm = pressured_manager();
+        let pid = mm.procs().last().unwrap().id;
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let out = mm.alloc_anon(SimTime::from_millis(t), pid, Pages::from_mib(2));
+            mm.free_anon(SimTime::from_millis(t), pid, out.granted);
+        })
+    });
+
+    c.bench_function("kernel/lmkd_victim_selection", |b| {
+        let mut mm = pressured_manager();
+        // Drive pressure so a victim band is active.
+        let hog = mm.procs().last().unwrap().id;
+        for i in 0..50 {
+            mm.alloc_anon(SimTime::from_millis(i), hog, Pages::from_mib(8));
+            mm.kswapd_batch(SimTime::from_millis(i));
+        }
+        b.iter(|| mm.lmkd_victim_ungated(SimTime::from_millis(60)))
+    });
+}
+
+fn bench_sched(c: &mut Criterion) {
+    c.bench_function("sched/tick_8_threads_4_cores", |b| {
+        let mut s = Scheduler::new();
+        s.set_record_events(false);
+        for _ in 0..4 {
+            s.add_core(1.0);
+        }
+        let tids: Vec<_> = (0..8)
+            .map(|i| s.spawn(format!("t{i}"), SchedClass::NORMAL))
+            .collect();
+        for &t in &tids {
+            s.push_work(t, 1e12, 0);
+        }
+        b.iter(|| s.tick(SimDuration::from_millis(1)))
+    });
+}
+
+fn bench_storage(c: &mut Criterion) {
+    c.bench_function("storage/submit_dispatch_poll", |b| {
+        let mut disk = Disk::new(DiskParams::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            let now = SimTime::from_micros(t);
+            disk.submit_read(now, 16, Some(1));
+            disk.dispatch_next(now);
+            disk.poll(SimTime::from_micros(t + 900))
+        })
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    c.bench_function("device/machine_step_idle", |b| {
+        let mut rng = SimRng::new(1);
+        let mut m = Machine::new(DeviceProfile::nexus5(), &mut rng);
+        m.sched.set_record_events(false);
+        b.iter(|| m.step())
+    });
+}
+
+fn bench_abr(c: &mut Criterion) {
+    let manifest = Manifest::full_ladder(Genre::Travel, 120.0);
+    let ctx = AbrContext {
+        manifest: &manifest,
+        buffer_seconds: 32.0,
+        buffer_capacity: 60.0,
+        throughput_mbps: Some(40.0),
+        trim_level: TrimLevel::Moderate,
+        recent_drop_pct: 12.0,
+        last: None,
+        screen_cap: Resolution::R1080p,
+    };
+    c.bench_function("abr/bola_decision", |b| {
+        let mut abr = Bola::new(Fps::F60);
+        b.iter(|| abr.choose(&ctx))
+    });
+    c.bench_function("abr/memory_aware_decision", |b| {
+        let mut abr = MemoryAware::new(BufferBased::new(Fps::F60), Fps::F60);
+        b.iter(|| abr.choose(&ctx))
+    });
+}
+
+fn bench_survey(c: &mut Criterion) {
+    c.bench_function("study/dmos_survey_99_raters", |b| {
+        b.iter(|| run_survey(&SurveyConfig::default()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kernel,
+    bench_sched,
+    bench_storage,
+    bench_machine,
+    bench_abr,
+    bench_survey
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Benchmark-only crate; see `benches/`.
+//!
+//! * `substrates` — microbenchmarks of each subsystem (reclaim batches,
+//!   scheduler ticks, disk queueing, ABR decisions, DMOS survey).
+//! * `experiments` — the cost of regenerating each paper artifact: one
+//!   benchmark per table/figure family, so a slowdown in any reproduction
+//!   path is caught.

@@ -1,0 +1,29 @@
+//! The experiment core: streaming video on a simulated phone under memory
+//! pressure.
+//!
+//! This crate assembles every substrate in the workspace into the paper's
+//! experimental pipeline (§4.1, Fig. 7):
+//!
+//! 1. build a [`mvqoe_device::Machine`] for one of the paper's devices;
+//! 2. apply memory pressure — synthetically with the MP Simulator until a
+//!    target `onTrimMemory` level is reached, or organically by opening
+//!    background apps ([`pressure`]);
+//! 3. stream a DASH video through a simulated client (downloader →
+//!    60 s playback buffer → decoder → vsync-paced renderer), with every
+//!    CPU cost scheduled against the kernel daemons and every byte
+//!    allocated through the memory manager ([`session`]);
+//! 4. collect the paper's metrics — frame-drop rate, crash occurrence,
+//!    PSS, instantaneous FPS, daemon interference statistics ([`qoe`]).
+//!
+//! Frame drops are *emergent*: they happen when the decode/render pipeline
+//! misses vsync deadlines because of decode cost, zRAM swap-in CPU, major-
+//! fault stalls behind `mmcqd`, or preemption — the causal chain §5 of the
+//! paper establishes.
+
+pub mod pressure;
+pub mod qoe;
+pub mod session;
+
+pub use pressure::PressureMode;
+pub use qoe::{run_cell, CellResult};
+pub use session::{run_session, SessionConfig, SessionOutcome};

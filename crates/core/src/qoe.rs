@@ -1,0 +1,104 @@
+//! Multi-run QoE aggregation.
+//!
+//! The paper repeats each experiment cell five times and reports means with
+//! 95% confidence intervals. [`run_cell`] runs a session configuration
+//! across seeds and aggregates the paper's metrics. A crashed run counts as
+//! 100% frame drop, matching how the paper presents Critical-state cells
+//! ("the video was either unplayable or the video client crashed").
+
+use crate::session::{run_session, SessionConfig};
+use mvqoe_abr::Abr;
+use mvqoe_sim::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Digest of one run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunDigest {
+    /// Seed used.
+    pub seed: u64,
+    /// Frame-drop percentage (100 if crashed).
+    pub drop_pct: f64,
+    /// Whether the client crashed.
+    pub crashed: bool,
+    /// Mean client PSS in MiB while alive.
+    pub mean_pss_mib: f64,
+    /// Mean rendered FPS.
+    pub mean_fps: f64,
+    /// Frames presented + dropped.
+    pub frames_total: u64,
+}
+
+/// Aggregate over one experiment cell (device × rep × pressure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Drop percentage across runs (crashes = 100%).
+    pub drop_pct: Summary,
+    /// Fraction of runs that crashed, in percent (the paper's Tables 2/3).
+    pub crash_pct: f64,
+    /// Mean PSS across runs.
+    pub pss_mib: Summary,
+    /// Per-run digests.
+    pub runs: Vec<RunDigest>,
+}
+
+/// Run `n_runs` sessions of `cfg` (varying the seed) with a fresh ABR from
+/// `make_abr` per run.
+pub fn run_cell(
+    cfg: &SessionConfig,
+    n_runs: u64,
+    make_abr: &mut dyn FnMut() -> Box<dyn Abr>,
+) -> CellResult {
+    let mut runs = Vec::with_capacity(n_runs as usize);
+    for i in 0..n_runs {
+        let mut run_cfg = cfg.clone();
+        run_cfg.seed = cfg.seed.wrapping_add(i.wrapping_mul(7919));
+        let mut abr = make_abr();
+        let out = run_session(&run_cfg, abr.as_mut());
+        let crashed = out.stats.crashed();
+        runs.push(RunDigest {
+            seed: run_cfg.seed,
+            drop_pct: if crashed { 100.0 } else { out.stats.drop_pct() },
+            crashed,
+            mean_pss_mib: out.stats.mean_pss_mib(),
+            mean_fps: out.stats.mean_fps(),
+            frames_total: out.stats.frames_total(),
+        });
+    }
+    let drops: Vec<f64> = runs.iter().map(|r| r.drop_pct).collect();
+    let psses: Vec<f64> = runs.iter().map(|r| r.mean_pss_mib).collect();
+    let crash_pct =
+        runs.iter().filter(|r| r.crashed).count() as f64 / runs.len().max(1) as f64 * 100.0;
+    CellResult {
+        drop_pct: Summary::of(&drops),
+        crash_pct,
+        pss_mib: Summary::of(&psses),
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pressure::PressureMode;
+    use mvqoe_abr::FixedAbr;
+    use mvqoe_device::DeviceProfile;
+    use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+
+    #[test]
+    fn cell_aggregates_across_seeds() {
+        let mut cfg =
+            SessionConfig::paper_default(DeviceProfile::nexus5(), PressureMode::None, 100);
+        cfg.video_secs = 12.0;
+        let manifest = Manifest::full_ladder(Genre::Travel, 12.0);
+        let rep = manifest.representation(Resolution::R480p, Fps::F30).unwrap();
+        let cell = run_cell(&cfg, 3, &mut || Box::new(FixedAbr::new(rep)));
+        assert_eq!(cell.runs.len(), 3);
+        assert_eq!(cell.crash_pct, 0.0);
+        assert!(cell.drop_pct.mean < 3.0, "{:?}", cell.drop_pct);
+        assert!(cell.pss_mib.mean > 100.0, "{:?}", cell.pss_mib);
+        // Seeds differ → runs are distinct objects but all clean.
+        let seeds: std::collections::BTreeSet<u64> =
+            cell.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds.len(), 3);
+    }
+}

@@ -1,0 +1,735 @@
+//! An end-to-end DASH streaming session on a simulated phone.
+//!
+//! Reproduces the paper's client pipeline (§4.1): a downloader thread
+//! fetches 4 s chunks from the LAN server into a 60 s playback buffer
+//! (allocating real pages); a decoder thread (the `MediaCodec` analog)
+//! touches the buffered bytes — paying zRAM swap-ins and major-fault stalls
+//! when reclaim has been at them — and spends per-frame decode CPU; a
+//! renderer thread (the `SurfaceFlinger` analog) presents at vsync. A frame
+//! not decoded by its vsync is **dropped**, and the decoder skips it to
+//! hold 1× playback, exactly as the paper describes. The client crashes
+//! when lmkd (or the OOM path) kills its process.
+
+use crate::pressure::{PressureDriver, PressureMode};
+use mvqoe_abr::{Abr, AbrContext};
+use mvqoe_device::{DeviceProfile, Machine};
+use mvqoe_kernel::manager::KillSource;
+use mvqoe_kernel::{Pages, ProcKind, ProcessId, TrimLevel};
+use mvqoe_net::{Link, LinkParams, SegmentServer};
+use mvqoe_sched::{SchedClass, ThreadId};
+use mvqoe_sim::{EventQueue, SimDuration, SimRng, SimTime, TimeSeries};
+use mvqoe_video::memory_model as memmod;
+use mvqoe_video::{
+    DecodeCostModel, Fps, Genre, Manifest, PlaybackBuffer, PlayerKind, PlayerProfile,
+    Representation, SessionStats,
+};
+use std::collections::VecDeque;
+
+const TAG_DECODE: u64 = 1;
+const TAG_RENDER: u64 = 2;
+const TAG_NETPARSE: u64 = 3;
+const TAG_SKIP: u64 = 4;
+const TAG_UI: u64 = 5;
+
+/// Configuration of one streaming session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The phone.
+    pub device: DeviceProfile,
+    /// The client platform.
+    pub player: PlayerKind,
+    /// Which of the five test videos.
+    pub genre: Genre,
+    /// Playback length in seconds (the paper's sessions run ≈ 2 minutes).
+    pub video_secs: f64,
+    /// How pressure is induced before/throughout the session.
+    pub pressure: PressureMode,
+    /// Seed; distinct seeds are the paper's "5 runs".
+    pub seed: u64,
+    /// Network parameters (defaults to the paper's non-bottleneck LAN).
+    pub link: LinkParams,
+    /// Playback buffer capacity in seconds.
+    pub buffer_secs: f64,
+    /// Record full scheduler switch events (needed for §5 trace analysis;
+    /// off for bulk grids to save memory).
+    pub record_trace: bool,
+    /// §7 OS-developer ablation: demote `mmcqd` from real-time to the fair
+    /// class, removing its license to preempt foreground threads.
+    pub mmcqd_fair: bool,
+}
+
+impl SessionConfig {
+    /// The paper's default setup for a device: travel video, Firefox,
+    /// 120 s playback, full LAN, 60 s buffer.
+    pub fn paper_default(device: DeviceProfile, pressure: PressureMode, seed: u64) -> Self {
+        SessionConfig {
+            device,
+            player: PlayerKind::Firefox,
+            genre: Genre::Travel,
+            video_secs: 120.0,
+            pressure,
+            seed,
+            link: LinkParams::paper_lan(),
+            buffer_secs: 60.0,
+            record_trace: false,
+            mmcqd_fair: false,
+        }
+    }
+}
+
+/// Everything a session produced.
+pub struct SessionOutcome {
+    /// Client-level metrics.
+    pub stats: SessionStats,
+    /// The machine at session end (trace, thread times, vmstat, …).
+    pub machine: Machine,
+    /// Trim level when the video ended.
+    pub final_trim: TrimLevel,
+    /// Processes killed per second during playback.
+    pub kill_series: TimeSeries,
+    /// lmkd CPU utilization (%) per second during playback (Fig. 14).
+    pub lmkd_cpu_series: TimeSeries,
+    /// Trim level (severity 0–3) per second during playback.
+    pub trim_series: TimeSeries,
+    /// The representation history actually streamed (`(start_time, rep)`).
+    pub rep_history: Vec<(SimTime, Representation)>,
+    /// Video client thread ids (ui, net, decode, render) for trace queries.
+    pub client_threads: [ThreadId; 4],
+    /// The client pid.
+    pub client_pid: ProcessId,
+}
+
+enum Ev {
+    SegArrived { rep: Representation, bytes: u64 },
+    Vsync,
+}
+
+/// Run one streaming session.
+pub fn run_session(cfg: &SessionConfig, abr: &mut dyn Abr) -> SessionOutcome {
+    let rng = SimRng::new(cfg.seed);
+    let mut m = Machine::new(cfg.device.clone(), &mut rng.split("machine"));
+    m.sched.set_record_events(cfg.record_trace);
+    if cfg.mmcqd_fair {
+        let tid = m.mmcqd_thread();
+        m.sched.set_class(tid, SchedClass::NORMAL);
+    }
+
+    // Phase 1: pressure.
+    let mut pressure = PressureDriver::apply(cfg.pressure, &mut m, &rng);
+
+    // Phase 2: the client starts.
+    let profile = PlayerProfile::of(cfg.player);
+    let manifest = Manifest::full_ladder(cfg.genre, cfg.video_secs);
+    // Real apps fault their footprint in over the first seconds of life;
+    // spawning with the full heap in one allocation would hammer direct
+    // reclaim with a single giant request. Start with ~30% and ramp the
+    // rest from the UI thread (see `ui_housekeeping`).
+    let (pid, _) = m.add_process(
+        &format!("{}", cfg.player),
+        ProcKind::Foreground,
+        profile.base_anon.mul_f64(0.3),
+        profile.base_file_ws,
+        profile.base_file_resident.mul_f64(0.8),
+        profile.file_share,
+    );
+    let ui = m.add_thread(pid, &format!("{}", cfg.player), SchedClass::NORMAL);
+    let net = m.add_thread(pid, "Socket Thread", SchedClass::NORMAL);
+    let dec = m.add_thread(pid, "MediaCodec", SchedClass::NORMAL);
+    let rend = m.add_thread(pid, "SurfaceFlinger", SchedClass::NORMAL);
+
+    let mut server = SegmentServer::new(Link::new(cfg.link.clone()));
+    let mut runner = Runner {
+        cfg,
+        profile,
+        manifest,
+        abr,
+        rng: rng.split("session"),
+        pid,
+        ui,
+        net,
+        dec,
+        rend,
+        buffer: PlaybackBuffer::new(cfg.buffer_secs),
+        stats: SessionStats::default(),
+        events: EventQueue::new(),
+        cost: DecodeCostModel::default(),
+        surfaces: VecDeque::new(),
+        pending_surface: None,
+        pipeline_pages: Pages::ZERO,
+        decoding: false,
+        downloading: false,
+        frames_owed: 0,
+        next_seg: 0,
+        playback_started: false,
+        ended: false,
+        last_period: SimDuration::from_micros(Fps::F30.frame_period_us()),
+        last_rep: None,
+        drop_window: VecDeque::new(),
+        rendered_this_sec: 0,
+        kills_this_sec: 0,
+        next_sample: SimTime::ZERO,
+        last_lmkd_running: SimDuration::ZERO,
+        kill_series: TimeSeries::new("kills_per_s"),
+        lmkd_cpu_series: TimeSeries::new("lmkd_cpu_pct"),
+        trim_series: TimeSeries::new("trim_severity"),
+        rep_history: Vec::new(),
+        video_start: SimTime::ZERO,
+        next_floor_update: SimTime::ZERO,
+        next_ui_tick: SimTime::ZERO,
+        startup_remaining: profile.base_anon.mul_f64(0.7),
+        render_deadlines: VecDeque::new(),
+        oom_streak: 0,
+    };
+
+    runner.run(&mut m, &mut pressure, &mut server);
+
+    let stats = runner.stats;
+    let final_trim = m.mm.trim_level();
+    m.trace.finish(m.now());
+    SessionOutcome {
+        stats,
+        final_trim,
+        kill_series: runner.kill_series,
+        lmkd_cpu_series: runner.lmkd_cpu_series,
+        trim_series: runner.trim_series,
+        rep_history: runner.rep_history,
+        client_threads: [ui, net, dec, rend],
+        client_pid: pid,
+        machine: m,
+    }
+}
+
+struct Runner<'a> {
+    cfg: &'a SessionConfig,
+    profile: PlayerProfile,
+    manifest: Manifest,
+    abr: &'a mut dyn Abr,
+    rng: SimRng,
+    pid: ProcessId,
+    ui: ThreadId,
+    net: ThreadId,
+    dec: ThreadId,
+    rend: ThreadId,
+    buffer: PlaybackBuffer,
+    stats: SessionStats,
+    events: EventQueue<Ev>,
+    cost: DecodeCostModel,
+    /// Decoded frames awaiting presentation (their representations).
+    surfaces: VecDeque<Representation>,
+    /// The representation of the frame currently in the decoder.
+    pending_surface: Option<Representation>,
+    /// Pages currently held by the surface queue + codec state.
+    pipeline_pages: Pages,
+    decoding: bool,
+    downloading: bool,
+    /// Frames the renderer already counted dropped that the decoder must
+    /// skip to hold 1×.
+    frames_owed: u32,
+    next_seg: u32,
+    playback_started: bool,
+    ended: bool,
+    last_period: SimDuration,
+    last_rep: Option<Representation>,
+    /// (time, dropped?) for the ABR's recent-drop feedback.
+    drop_window: VecDeque<(SimTime, bool)>,
+    rendered_this_sec: u32,
+    kills_this_sec: u32,
+    next_sample: SimTime,
+    last_lmkd_running: SimDuration,
+    kill_series: TimeSeries,
+    lmkd_cpu_series: TimeSeries,
+    trim_series: TimeSeries,
+    rep_history: Vec<(SimTime, Representation)>,
+    video_start: SimTime,
+    next_floor_update: SimTime,
+    next_ui_tick: SimTime,
+    /// Startup heap still to fault in (ramped from the UI thread).
+    startup_remaining: Pages,
+    /// Presentation deadlines of frames currently being composited.
+    render_deadlines: VecDeque<SimTime>,
+    /// Consecutive allocation shortfalls (sustained ⇒ kernel OOM kill).
+    oom_streak: u32,
+}
+
+impl Runner<'_> {
+    fn run(&mut self, m: &mut Machine, pressure: &mut PressureDriver, server: &mut SegmentServer) {
+        self.video_start = m.now();
+        self.next_sample = m.now() + SimDuration::from_secs(1);
+        self.next_ui_tick = m.now();
+        self.last_lmkd_running = m.sched.thread(m.lmkd_thread()).times.running;
+        // Hard cap well beyond nominal playback, for pathological stalls.
+        let deadline = m.now() + SimDuration::from_secs_f64(self.cfg.video_secs * 2.5 + 40.0);
+
+        while !self.ended && m.now() < deadline {
+            let now = m.now();
+
+            while let Some((_, ev)) = self.events.pop_due(now) {
+                match ev {
+                    Ev::SegArrived { rep, bytes } => self.on_segment_arrived(m, rep, bytes),
+                    Ev::Vsync => self.on_vsync(m, now),
+                }
+            }
+
+            self.maybe_start_download(m, server, now);
+            self.maybe_start_decode(m);
+            self.ui_housekeeping(m, now);
+
+            pressure.drive(m);
+            let out = m.step();
+
+            for c in out.completions {
+                self.on_completion(m, c.thread, c.tag);
+            }
+            self.kills_this_sec += out.killed.len() as u32;
+            let mut crashed = out.killed.iter().any(|&(p, _)| p == self.pid);
+            // Allocation shortfalls stall-and-retry (the kernel blocks the
+            // allocator while reclaim and lmkd fight for pages); only a
+            // *sustained* failure — nothing granted for several seconds —
+            // takes the kernel OOM path.
+            if self.oom_streak > 60 && !m.mm.proc(self.pid).dead {
+                m.kill_process(self.pid, KillSource::OomKiller);
+                crashed = true;
+            }
+            if crashed {
+                self.stats.crashed_at = Some(m.now());
+                self.ended = true;
+            }
+
+            if m.now() >= self.next_sample {
+                self.sample(m);
+            }
+
+            self.check_end(m);
+        }
+        self.stats.ended_at = m.now();
+    }
+
+    // ---- download path -------------------------------------------------
+
+    fn maybe_start_download(&mut self, m: &Machine, server: &mut SegmentServer, now: SimTime) {
+        if self.downloading
+            || self.ended
+            || self.next_seg >= self.manifest.n_segments()
+            || !self.buffer.has_room_for(self.manifest.segment_seconds)
+        {
+            return;
+        }
+        let recent_drop_pct = self.recent_drop_pct(now);
+        let ctx = AbrContext {
+            manifest: &self.manifest,
+            buffer_seconds: self.buffer.buffered_seconds(),
+            buffer_capacity: self.cfg.buffer_secs,
+            throughput_mbps: server.harmonic_throughput_mbps(3),
+            trim_level: m.mm.trim_level(),
+            recent_drop_pct,
+            last: self.last_rep,
+            screen_cap: self.cfg.device.screen_cap,
+        };
+        let rep = self.abr.choose(&ctx);
+        let bytes = self.manifest.segment_bytes(rep, self.next_seg, &mut self.rng);
+        let done = server.request(now, bytes);
+        self.events.push(done, Ev::SegArrived { rep, bytes });
+        self.downloading = true;
+        self.next_seg += 1;
+    }
+
+    fn on_segment_arrived(&mut self, m: &mut Machine, rep: Representation, bytes: u64) {
+        // The transfer landed in socket buffers → JS heap pages.
+        let pages = Pages::from_bytes(bytes);
+        let out = m.alloc_for(self.net, self.pid, pages);
+        if out.oom {
+            // Couldn't hold the whole chunk: back off and retry — the
+            // allocator stalls while reclaim/lmkd hunt for memory.
+            m.free_for(self.pid, out.granted);
+            self.oom_streak += 1;
+            self.events.push(
+                m.now() + SimDuration::from_millis(100),
+                Ev::SegArrived { rep, bytes },
+            );
+            return;
+        }
+        self.oom_streak = 0;
+        // Parsing/appending the chunk costs the network thread CPU.
+        let parse_us = 250.0 + bytes as f64 / 1e6 * 400.0;
+        m.push_work(self.net, parse_us, TAG_NETPARSE);
+        self.buffer.push_segment(rep, bytes, self.manifest.segment_seconds);
+        self.stats.segments_downloaded += 1;
+        self.downloading = false;
+        if self
+            .rep_history
+            .last()
+            .map_or(true, |&(_, r)| r != rep)
+        {
+            self.rep_history.push((m.now(), rep));
+        }
+        if self.last_rep != Some(rep) {
+            self.realloc_pipeline(m, rep);
+        }
+        self.last_rep = Some(rep);
+        self.update_floors(m, rep);
+        // Per-segment UI work (MSE bookkeeping, JS callbacks).
+        m.push_work(self.ui, 2_000.0 * self.profile.render_cost_factor, TAG_UI);
+    }
+
+    // ---- decode path ----------------------------------------------------
+
+    fn maybe_start_decode(&mut self, m: &mut Machine) {
+        if self.decoding || self.ended || self.buffer.is_empty() {
+            return;
+        }
+        // The *memory* surface pool is deep (see `memory_model`), but the
+        // pipeline only decodes a few frames ahead of the playhead (triple-
+        // buffering plus codec lookahead): stalls longer than this window
+        // become visible as drops.
+        const DECODE_AHEAD: usize = 4;
+        if self.surfaces.len() >= DECODE_AHEAD {
+            return;
+        }
+        let consumed = self.buffer.pop_frame().expect("buffer not empty");
+        if consumed.freed_bytes > 0 {
+            m.free_for(self.pid, Pages::from_bytes(consumed.freed_bytes));
+        }
+
+        if self.frames_owed > 0 {
+            // Skip cheaply to hold 1× (already counted dropped at vsync).
+            self.frames_owed -= 1;
+            let mean = self.cost.mean_decode_us(
+                consumed.rep,
+                self.cfg.genre,
+                &self.profile,
+                self.cfg.device.video_accel,
+            );
+            m.push_work(self.dec, mean * 0.15, TAG_SKIP);
+            self.decoding = true;
+            return;
+        }
+
+        // Touch the encoded bytes for this frame (swap-ins cost us CPU).
+        let frame_bytes =
+            consumed.rep.bitrate_kbps as u64 * 1000 / 8 / consumed.rep.fps.value() as u64;
+        m.touch_anon_for(self.dec, self.pid, Pages::from_bytes(frame_bytes.max(4096)));
+        // Touch the decoder's code/JIT pages; evicted ones major-fault and
+        // block us behind mmcqd (§5's dominant stall).
+        let file_touch = if self.rng.chance(1.0 / 15.0) {
+            Pages::new(150) // I-frame boundary: wider code/data excursion
+        } else {
+            Pages::new(20)
+        };
+        m.touch_file_for(self.dec, self.pid, file_touch);
+
+        // Software decode writes each output frame into a heap buffer
+        // rotated through the frame pool — at 60 FPS that is tens to
+        // hundreds of MB/s transiting the allocator *on the decode thread*.
+        // With free memory at the min watermark this is exactly the
+        // direct-reclaim stall §2 warns about. Hardware decoders (the
+        // ExoPlayer path) render into pre-pinned gralloc buffers instead.
+        let scratch = if self.profile.decode_cost_factor < 0.4 {
+            Pages::new(8)
+        } else {
+            memmod::frame_pages(consumed.rep.resolution)
+        };
+        let alloc = m.alloc_for(self.dec, self.pid, scratch);
+        m.free_for(self.pid, alloc.granted);
+
+        let decode_us = self.cost.sample_decode_us(
+            consumed.rep,
+            self.cfg.genre,
+            &self.profile,
+            self.cfg.device.video_accel,
+            &mut self.rng,
+        );
+        m.push_work(self.dec, decode_us, TAG_DECODE);
+        self.decoding = true;
+        // Remember which rep this surface belongs to (pushed on completion).
+        self.pending_surface = Some(consumed.rep);
+    }
+
+    // ---- render path ----------------------------------------------------
+
+    fn on_vsync(&mut self, m: &mut Machine, now: SimTime) {
+        if self.ended {
+            return;
+        }
+        if let Some(rep) = self.surfaces.pop_front() {
+            let period = SimDuration::from_micros(rep.fps.frame_period_us());
+            // The composited frame must reach the display well inside the
+            // frame period or the user sees a skipped frame.
+            self.render_deadlines.push_back(now + period);
+            m.push_work(self.rend, self.cost.render_us(rep, &self.profile), TAG_RENDER);
+            self.last_period = period;
+        } else if self.more_frames_coming() {
+            self.stats.frames_dropped += 1;
+            self.frames_owed += 1;
+            self.drop_window.push_back((now, true));
+        }
+        self.events.push(now + self.last_period, Ev::Vsync);
+    }
+
+    fn on_completion(&mut self, m: &mut Machine, thread: ThreadId, tag: u64) {
+        match tag {
+            TAG_DECODE => {
+                debug_assert_eq!(thread, self.dec);
+                self.decoding = false;
+                if let Some(rep) = self.pending_surface.take() {
+                    self.surfaces.push_back(rep);
+                }
+                if !self.playback_started {
+                    self.playback_started = true;
+                    self.events.push(m.now(), Ev::Vsync);
+                }
+            }
+            TAG_SKIP => {
+                self.decoding = false;
+            }
+            TAG_RENDER => {
+                let deadline = self.render_deadlines.pop_front();
+                if deadline.is_some_and(|d| m.now() > d) {
+                    // Composited too late: the vsync slot was missed.
+                    self.stats.frames_dropped += 1;
+                    self.drop_window.push_back((m.now(), true));
+                } else {
+                    self.stats.frames_rendered += 1;
+                    self.rendered_this_sec += 1;
+                    self.drop_window.push_back((m.now(), false));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ---- bookkeeping ----------------------------------------------------
+
+    fn more_frames_coming(&self) -> bool {
+        !self.buffer.is_empty()
+            || self.decoding
+            || self.next_seg < self.manifest.n_segments()
+            || self.downloading
+    }
+
+    fn check_end(&mut self, m: &Machine) {
+        if self.ended {
+            return;
+        }
+        if self.playback_started
+            && self.surfaces.is_empty()
+            && !self.more_frames_coming()
+        {
+            self.ended = true;
+            self.stats.ended_at = m.now();
+        }
+    }
+
+    fn recent_drop_pct(&mut self, now: SimTime) -> f64 {
+        let horizon = SimTime(now.as_micros().saturating_sub(4_000_000));
+        while self
+            .drop_window
+            .front()
+            .is_some_and(|&(t, _)| t < horizon)
+        {
+            self.drop_window.pop_front();
+        }
+        if self.drop_window.is_empty() {
+            return 0.0;
+        }
+        let drops = self.drop_window.iter().filter(|&&(_, d)| d).count();
+        drops as f64 / self.drop_window.len() as f64 * 100.0
+    }
+
+    /// (Re)allocate the decoded-surface queue and codec state when the
+    /// streamed representation changes — the resolution/frame-rate-
+    /// dependent components of the paper's Fig. 8 PSS growth.
+    fn realloc_pipeline(&mut self, m: &mut Machine, rep: Representation) {
+        if !self.pipeline_pages.is_zero() {
+            m.free_for(self.pid, self.pipeline_pages);
+        }
+        let depth = memmod::surface_depth(&self.profile, rep.fps);
+        let pages = memmod::surface_queue_pages(rep.resolution, depth)
+            + memmod::codec_state_pages(rep.resolution);
+        let out = m.alloc_for(self.dec, self.pid, pages);
+        self.pipeline_pages = out.granted;
+    }
+
+    fn update_floors(&mut self, m: &mut Machine, rep: Representation) {
+        let hot =
+            memmod::hot_anon_pages(&self.profile, rep, self.buffer.buffered_seconds());
+        m.mm.set_floor(
+            self.pid,
+            hot,
+            self.profile.base_file_resident.mul_f64(0.30),
+        );
+    }
+
+    fn ui_housekeeping(&mut self, m: &mut Machine, now: SimTime) {
+        if now >= self.next_ui_tick && !self.ended {
+            self.next_ui_tick = now + SimDuration::from_millis(100);
+            m.push_work(self.ui, 700.0 * self.profile.render_cost_factor, TAG_UI);
+            // Startup heap ramp (~2.5 s to full footprint); shortfalls are
+            // re-queued — the app blocks in the allocator under pressure.
+            if !self.startup_remaining.is_zero() {
+                let chunk = self
+                    .profile
+                    .base_anon
+                    .mul_f64(0.04)
+                    .min(self.startup_remaining);
+                let out = m.alloc_for(self.ui, self.pid, chunk);
+                self.startup_remaining -= out.granted.min(chunk);
+                if out.oom {
+                    self.oom_streak += 1;
+                } else {
+                    self.oom_streak = 0;
+                }
+            }
+            // JS allocation churn: browsers allocate and collect tens of
+            // MB/s while a page is live. With free memory to spare this is
+            // invisible; under pressure every burst re-triggers reclaim —
+            // the sustained kswapd activity §5 measures.
+            let churn = self.profile.base_anon.mul_f64(0.018); // ≈ 3 MiB/100 ms
+            let churned = m.alloc_for(self.ui, self.pid, churn);
+            m.free_for(self.pid, churned.granted);
+            // Periodic JS GC pause work.
+            if self.rng.chance(0.012) {
+                m.push_work(self.ui, 18_000.0 * self.profile.render_cost_factor, TAG_UI);
+            }
+        }
+        if now >= self.next_floor_update {
+            self.next_floor_update = now + SimDuration::from_millis(500);
+            if let Some(rep) = self.last_rep {
+                if !m.mm.proc(self.pid).dead {
+                    self.update_floors(m, rep);
+                }
+            }
+        }
+    }
+
+    fn sample(&mut self, m: &mut Machine) {
+        let now = m.now();
+        self.next_sample = now + SimDuration::from_secs(1);
+        if !m.mm.proc(self.pid).dead {
+            self.stats.pss_series.push(now, m.pss_mib(self.pid));
+        }
+        self.stats
+            .fps_series
+            .push(now, self.rendered_this_sec as f64);
+        m.trace
+            .counter("rendered_fps", now, self.rendered_this_sec as f64);
+        self.rendered_this_sec = 0;
+
+        self.kill_series.push(now, self.kills_this_sec as f64);
+        self.kills_this_sec = 0;
+
+        let lmkd_running = m.sched.thread(m.lmkd_thread()).times.running;
+        let delta = lmkd_running.saturating_sub(self.last_lmkd_running);
+        self.last_lmkd_running = lmkd_running;
+        let pct = delta.as_micros() as f64 / 1_000_000.0 * 100.0;
+        self.lmkd_cpu_series.push(now, pct);
+        m.trace.counter("lmkd_cpu_pct", now, pct);
+
+        self.trim_series
+            .push(now, m.mm.trim_level().severity() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvqoe_abr::FixedAbr;
+    use mvqoe_video::Resolution;
+
+    fn fixed(manifest_genre: Genre, res: Resolution, fps: Fps) -> FixedAbr {
+        let m = Manifest::full_ladder(manifest_genre, 30.0);
+        FixedAbr::new(m.representation(res, fps).unwrap())
+    }
+
+    fn short_cfg(
+        device: DeviceProfile,
+        pressure: PressureMode,
+        secs: f64,
+        seed: u64,
+    ) -> SessionConfig {
+        let mut cfg = SessionConfig::paper_default(device, pressure, seed);
+        cfg.video_secs = secs;
+        cfg
+    }
+
+    #[test]
+    fn clean_playback_on_nexus5_480p30_normal() {
+        let cfg = short_cfg(DeviceProfile::nexus5(), PressureMode::None, 24.0, 1);
+        let mut abr = fixed(Genre::Travel, Resolution::R480p, Fps::F30);
+        let out = run_session(&cfg, &mut abr);
+        assert!(!out.stats.crashed(), "no crash at Normal");
+        assert!(
+            out.stats.drop_pct() < 2.0,
+            "480p30 at Normal must be clean, got {:.1}% of {} frames",
+            out.stats.drop_pct(),
+            out.stats.frames_total()
+        );
+        // ≈ 24 s × 30 FPS frames presented.
+        assert!(out.stats.frames_total() >= 700, "{}", out.stats.frames_total());
+    }
+
+    #[test]
+    fn nokia1_1080p30_drops_even_at_normal() {
+        let cfg = short_cfg(DeviceProfile::nokia1(), PressureMode::None, 24.0, 2);
+        let mut abr = fixed(Genre::Travel, Resolution::R1080p, Fps::F30);
+        let out = run_session(&cfg, &mut abr);
+        assert!(
+            out.stats.drop_pct() > 8.0 && out.stats.drop_pct() < 45.0,
+            "paper anchors ≈19% at Normal; got {:.1}%",
+            out.stats.drop_pct()
+        );
+    }
+
+    #[test]
+    fn moderate_pressure_hurts_nokia1_480p60() {
+        let normal = {
+            let cfg = short_cfg(DeviceProfile::nokia1(), PressureMode::None, 24.0, 3);
+            let mut abr = fixed(Genre::Travel, Resolution::R480p, Fps::F60);
+            run_session(&cfg, &mut abr).stats.drop_pct()
+        };
+        let moderate = {
+            let cfg = short_cfg(
+                DeviceProfile::nokia1(),
+                PressureMode::Synthetic(TrimLevel::Moderate),
+                24.0,
+                3,
+            );
+            let mut abr = fixed(Genre::Travel, Resolution::R480p, Fps::F60);
+            let out = run_session(&cfg, &mut abr);
+            if out.stats.crashed() {
+                100.0
+            } else {
+                out.stats.drop_pct()
+            }
+        };
+        assert!(
+            moderate > normal + 5.0,
+            "moderate ({moderate:.1}%) must clearly exceed normal ({normal:.1}%)"
+        );
+    }
+
+    #[test]
+    fn pss_grows_with_resolution() {
+        let pss_of = |res| {
+            let cfg = short_cfg(DeviceProfile::nexus5(), PressureMode::None, 20.0, 4);
+            let mut abr = fixed(Genre::Travel, res, Fps::F30);
+            run_session(&cfg, &mut abr).stats.mean_pss_mib()
+        };
+        let low = pss_of(Resolution::R240p);
+        let high = pss_of(Resolution::R1080p);
+        assert!(
+            high > low + 30.0,
+            "PSS must grow with resolution: {low:.0} → {high:.0} MiB"
+        );
+    }
+
+    #[test]
+    fn session_is_deterministic_per_seed() {
+        let run = || {
+            let cfg = short_cfg(DeviceProfile::nexus5(), PressureMode::None, 16.0, 9);
+            let mut abr = fixed(Genre::Travel, Resolution::R720p, Fps::F60);
+            let out = run_session(&cfg, &mut abr);
+            (out.stats.frames_rendered, out.stats.frames_dropped)
+        };
+        assert_eq!(run(), run());
+    }
+}

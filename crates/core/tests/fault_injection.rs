@@ -1,0 +1,162 @@
+//! Failure-injection and edge-case tests for the session runner.
+
+use mvqoe_abr::{Abr, FixedAbr, ThroughputBased};
+use mvqoe_core::{run_session, PressureMode, SessionConfig};
+use mvqoe_device::DeviceProfile;
+use mvqoe_net::link::LinkParams;
+use mvqoe_sim::SimDuration;
+use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+
+fn base_cfg(secs: f64, seed: u64) -> SessionConfig {
+    let mut cfg = SessionConfig::paper_default(DeviceProfile::nexus5(), PressureMode::None, seed);
+    cfg.video_secs = secs;
+    cfg
+}
+
+fn fixed(res: Resolution, fps: Fps, secs: f64) -> FixedAbr {
+    let m = Manifest::full_ladder(Genre::Travel, secs);
+    FixedAbr::new(m.representation(res, fps).unwrap())
+}
+
+/// A degraded disk (worn eMMC / thermal throttling) raises drops even
+/// without memory pressure, through the same mmcqd/fault path.
+#[test]
+fn degraded_disk_hurts_under_pressure() {
+    let run = |degrade| {
+        let mut cfg = SessionConfig::paper_default(
+            DeviceProfile::nokia1(),
+            PressureMode::Synthetic(mvqoe_kernel::TrimLevel::Moderate),
+            31,
+        );
+        cfg.video_secs = 30.0;
+        cfg.device.disk.degrade_factor = degrade;
+        let mut abr = fixed(Resolution::R480p, Fps::F60, 30.0);
+        let out = run_session(&cfg, &mut abr);
+        if out.stats.crashed() {
+            100.0
+        } else {
+            out.stats.drop_pct()
+        }
+    };
+    let nominal = run(1.0);
+    let degraded = run(6.0);
+    assert!(
+        degraded > nominal * 1.3,
+        "6× slower flash must hurt: {nominal:.1}% → {degraded:.1}%"
+    );
+}
+
+/// A constrained link forces rebuffering-free operation through ABR: the
+/// throughput policy settles on a sustainable rung and playback completes.
+#[test]
+fn constrained_link_with_throughput_abr() {
+    let mut cfg = base_cfg(40.0, 32);
+    cfg.link = LinkParams::constrained(3.0); // 3 Mbit/s
+    let mut abr = ThroughputBased::new(Fps::F30);
+    let out = run_session(&cfg, &mut abr);
+    assert!(!out.stats.crashed());
+    assert!(
+        out.stats.frames_total() > 900,
+        "playback must progress on a 3 Mbit/s link ({} frames)",
+        out.stats.frames_total()
+    );
+    // The policy must have settled below the top rung (16 Mbit/s 1440p30
+    // cannot fit in 3 Mbit/s).
+    let max_bitrate = out
+        .rep_history
+        .iter()
+        .map(|(_, r)| r.bitrate_kbps)
+        .max()
+        .unwrap();
+    assert!(
+        max_bitrate <= 2_500,
+        "ABR must stay under the link rate (max picked {max_bitrate} kbit/s)"
+    );
+}
+
+/// A lossy, high-latency link slows downloads but the 60 s buffer absorbs
+/// it at a sustainable bitrate.
+#[test]
+fn lossy_link_still_plays() {
+    let mut cfg = base_cfg(30.0, 33);
+    cfg.link = LinkParams {
+        rate_mbps: 20.0,
+        latency: SimDuration::from_millis(80),
+        loss_prob: 0.15,
+        schedule: Vec::new(),
+    };
+    let mut abr = fixed(Resolution::R480p, Fps::F30, 30.0);
+    let out = run_session(&cfg, &mut abr);
+    assert!(!out.stats.crashed());
+    assert!(out.stats.drop_pct() < 5.0, "{:.1}%", out.stats.drop_pct());
+}
+
+/// A very short video (single segment) plays cleanly end to end.
+#[test]
+fn single_segment_video() {
+    let cfg = base_cfg(4.0, 34);
+    let mut abr = fixed(Resolution::R480p, Fps::F30, 4.0);
+    let out = run_session(&cfg, &mut abr);
+    assert!(!out.stats.crashed());
+    assert_eq!(out.stats.segments_downloaded, 1);
+    assert!(out.stats.frames_total() >= 100, "{}", out.stats.frames_total());
+    assert!(out.stats.drop_pct() < 5.0);
+}
+
+/// A tiny playback buffer still works (more downloads, same frames).
+#[test]
+fn tiny_buffer_capacity() {
+    let mut cfg = base_cfg(24.0, 35);
+    cfg.buffer_secs = 8.0;
+    let mut abr = fixed(Resolution::R480p, Fps::F30, 24.0);
+    let out = run_session(&cfg, &mut abr);
+    assert!(!out.stats.crashed());
+    assert!(out.stats.drop_pct() < 3.0, "{:.1}%", out.stats.drop_pct());
+    assert_eq!(out.stats.segments_downloaded, 6);
+}
+
+/// A rate-schedule drop mid-session forces a downward switch with
+/// throughput ABR, and playback survives.
+#[test]
+fn mid_session_bandwidth_drop() {
+    let mut cfg = base_cfg(60.0, 36);
+    cfg.link = LinkParams {
+        rate_mbps: 40.0,
+        latency: SimDuration::from_millis(20),
+        loss_prob: 0.0,
+        // Collapse to 1.5 Mbit/s at t = 100 s (pressure phase is ~0 s at
+        // Normal, so this lands mid-playback).
+        schedule: vec![(mvqoe_sim::SimTime::from_secs(20), 1.5)],
+    };
+    let mut abr = ThroughputBased::new(Fps::F30);
+    let out = run_session(&cfg, &mut abr);
+    assert!(!out.stats.crashed());
+    let bitrates: Vec<u32> = out.rep_history.iter().map(|(_, r)| r.bitrate_kbps).collect();
+    assert!(
+        bitrates.iter().any(|&b| b <= 1_000),
+        "ABR must downshift after the bandwidth drop: {bitrates:?}"
+    );
+}
+
+/// The Abr trait object works through dynamic dispatch with a user-defined
+/// policy (public-API extensibility check).
+#[test]
+fn custom_abr_policy_via_trait() {
+    struct AlwaysLowest;
+    impl Abr for AlwaysLowest {
+        fn choose(&mut self, ctx: &mvqoe_abr::AbrContext<'_>) -> mvqoe_video::Representation {
+            ctx.lowest(Fps::F24).unwrap()
+        }
+        fn name(&self) -> &'static str {
+            "always-lowest"
+        }
+    }
+    let cfg = base_cfg(16.0, 37);
+    let mut abr = AlwaysLowest;
+    let out = run_session(&cfg, &mut abr);
+    assert!(!out.stats.crashed());
+    assert!(out
+        .rep_history
+        .iter()
+        .all(|(_, r)| r.resolution == Resolution::R240p && r.fps == Fps::F24));
+}

@@ -1,0 +1,29 @@
+//! Device profiles and the full-device machine.
+//!
+//! [`DeviceProfile`] captures what distinguishes the paper's three test
+//! phones — RAM size, core count and speeds, video-decode acceleration,
+//! storage speed, vendor trim thresholds — plus generator support for the
+//! §3 fleet's heterogeneity.
+//!
+//! [`Machine`] is the assembled phone: an `mvqoe-sched` scheduler over the
+//! profile's cores, an `mvqoe-kernel` memory manager, an `mvqoe-storage`
+//! eMMC, and the three kernel daemons wired with the paper's priority
+//! relationships:
+//!
+//! * **kswapd** — a fair-class thread that runs reclaim batches whenever
+//!   free memory sits below the low watermark;
+//! * **mmcqd** — a real-time thread that pays CPU for every disk request it
+//!   dispatches, preempting foreground threads exactly as §5 observes;
+//! * **lmkd** — polls the pressure estimate every 25 ms and kills the
+//!   victim the kernel crate's published rule selects.
+//!
+//! The machine also hosts a standing process population (system server,
+//! launcher, a cached-app LRU) so `onTrimMemory` levels behave as on a real
+//! phone. Video sessions and workloads drive the machine from
+//! `mvqoe-core` / `mvqoe-workload` through the process/thread/memory API.
+
+pub mod machine;
+pub mod profile;
+
+pub use machine::{Machine, StepOutputs, TAG_USER_MAX};
+pub use profile::DeviceProfile;

@@ -1,0 +1,8 @@
+//! §6/§7: memory-aware ABR vs network-only baselines.
+use mvqoe_experiments::{abr_ablation, report, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let a = abr_ablation::run(&scale);
+    a.print();
+    report::write_json("abr_ablation", &a);
+}

@@ -1,0 +1,8 @@
+//! Figure 10: the DMOS survey.
+use mvqoe_experiments::{fig10, report, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig10::run(&scale);
+    f.print();
+    report::write_json("fig10", &f);
+}

@@ -1,0 +1,8 @@
+//! Figure 14: FPS + lmkd CPU in a crashing session.
+use mvqoe_experiments::{report, session_figs, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let f = session_figs::fig14(&scale);
+    f.print();
+    report::write_json("fig14", &f);
+}

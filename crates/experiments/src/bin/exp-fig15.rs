@@ -1,0 +1,8 @@
+//! Figure 15: FPS + processes killed under organic pressure.
+use mvqoe_experiments::{report, session_figs, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let f = session_figs::fig15(&scale);
+    f.print();
+    report::write_json("fig15", &f);
+}

@@ -1,0 +1,8 @@
+//! Figure 16: encoded frame-rate sweep across resolutions.
+use mvqoe_experiments::{report, session_figs, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let f = session_figs::fig16(&scale);
+    f.print();
+    report::write_json("fig16", &f);
+}

@@ -1,0 +1,8 @@
+//! Figure 17: mid-session frame-rate switching under pressure.
+use mvqoe_experiments::{report, session_figs, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let f = session_figs::fig17(&scale);
+    f.print();
+    report::write_json("fig17", &f);
+}

@@ -1,0 +1,8 @@
+//! Figure 8: client PSS vs resolution × frame rate.
+use mvqoe_experiments::{fig8, report, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let f = fig8::run(&scale);
+    f.print();
+    report::write_json("fig8", &f);
+}

@@ -1,0 +1,8 @@
+//! Figures 1–6: the §3 user study (one fleet run).
+use mvqoe_experiments::{fleet_figs, report, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let figs = fleet_figs::run(&scale);
+    figs.print();
+    report::write_json("fleet_figs1-6", &figs);
+}

@@ -1,0 +1,8 @@
+//! §4.3's organic-pressure spot check.
+use mvqoe_experiments::{organic_check, report, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let c = organic_check::run(&scale);
+    c.print();
+    report::write_json("organic_check", &c);
+}

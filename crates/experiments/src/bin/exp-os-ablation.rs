@@ -1,0 +1,8 @@
+//! §7 ablations: CPU resources and mmcqd scheduling class.
+use mvqoe_experiments::{os_ablation, report, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let a = os_ablation::run(&scale);
+    a.print();
+    report::write_json("os_ablation", &a);
+}

@@ -1,0 +1,8 @@
+//! Table 1: the key-insight digest.
+use mvqoe_experiments::{report, table1, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let t = table1::run(&scale);
+    t.print();
+    report::write_json("table1", &t);
+}

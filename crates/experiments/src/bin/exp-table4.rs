@@ -1,0 +1,8 @@
+//! Tables 4/5 + Figure 13: the §5 trace analysis.
+use mvqoe_experiments::{report, trace_exp, Scale};
+fn main() {
+    let scale = Scale::from_args();
+    let t = trace_exp::run(&scale);
+    t.print();
+    report::write_json("table4_table5_fig13", &t);
+}

@@ -1,0 +1,114 @@
+//! Fig. 10: the differential mean opinion score survey.
+//!
+//! Two modes of reproduction:
+//!
+//! * **as published** — feed the paper's measured clip drop rates (3% vs
+//!   35%) to the rater model;
+//! * **end-to-end** — actually stream the two clips (240p @ 60 FPS on the
+//!   Nokia 1, Normal vs Moderate), measure the drop rates our simulator
+//!   produces, and survey those.
+
+use crate::framedrops::run_one_cell;
+use crate::report;
+use crate::scale::Scale;
+use mvqoe_core::PressureMode;
+use mvqoe_device::DeviceProfile;
+use mvqoe_kernel::TrimLevel;
+use mvqoe_study::{run_survey, SurveyConfig};
+use mvqoe_video::{Fps, Genre, PlayerKind, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// One survey outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurveyRow {
+    /// Which mode produced it.
+    pub mode: String,
+    /// Reference clip drop rate (%).
+    pub reference_drop_pct: f64,
+    /// Test clip drop rate (%).
+    pub test_drop_pct: f64,
+    /// Histogram of scores 1–5.
+    pub histogram: [usize; 5],
+    /// Mean DMOS.
+    pub mean: f64,
+    /// Raters scoring 1 or 2 (paper: 60 of 99).
+    pub n_annoyed: usize,
+}
+
+/// Fig. 10 results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10 {
+    /// Both reproduction modes.
+    pub rows: Vec<SurveyRow>,
+}
+
+fn survey_row(mode: &str, reference: f64, test: f64, seed: u64) -> SurveyRow {
+    let r = run_survey(&SurveyConfig {
+        n_raters: 99,
+        reference_drop_pct: reference,
+        test_drop_pct: test,
+        seed,
+    });
+    SurveyRow {
+        mode: mode.into(),
+        reference_drop_pct: reference,
+        test_drop_pct: test,
+        histogram: r.histogram(),
+        mean: r.mean(),
+        n_annoyed: r.n_annoyed(),
+    }
+}
+
+/// Run Fig. 10.
+pub fn run(scale: &Scale) -> Fig10 {
+    let mut rows = vec![survey_row("as-published (3% vs 35%)", 3.0, 35.0, scale.seed)];
+
+    // End-to-end: measure the two clips ourselves.
+    let device = DeviceProfile::nokia1();
+    let normal = run_one_cell(
+        &device,
+        PlayerKind::Firefox,
+        Genre::Travel,
+        Resolution::R240p,
+        Fps::F60,
+        PressureMode::None,
+        scale,
+    );
+    let moderate = run_one_cell(
+        &device,
+        PlayerKind::Firefox,
+        Genre::Travel,
+        Resolution::R240p,
+        Fps::F60,
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        scale,
+    );
+    rows.push(survey_row(
+        "end-to-end (measured clips)",
+        normal.drop_mean,
+        moderate.drop_mean,
+        scale.seed,
+    ));
+    Fig10 { rows }
+}
+
+impl Fig10 {
+    /// Print the figure data.
+    pub fn print(&self) {
+        report::banner("Fig 10", "differential mean opinion scores (99 raters)");
+        for row in &self.rows {
+            println!(
+                "{} — clips {:.1}% vs {:.1}% drops:",
+                row.mode, row.reference_drop_pct, row.test_drop_pct
+            );
+            let rows: Vec<Vec<String>> = (1..=5)
+                .map(|s| vec![s.to_string(), row.histogram[s - 1].to_string()])
+                .collect();
+            report::print_table(&["score", "raters"], &rows);
+            println!(
+                "mean DMOS {:.2}; {} of 99 rated ≤ 2 (paper: 60 of 99)\n",
+                row.mean, row.n_annoyed
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 8: client PSS vs resolution × frame rate (Nexus 5, no pressure).
+
+use crate::framedrops::run_one_cell;
+use crate::report;
+use crate::scale::Scale;
+use mvqoe_core::PressureMode;
+use mvqoe_device::DeviceProfile;
+use mvqoe_video::{Fps, Genre, PlayerKind, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// One bar of Fig. 8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PssPoint {
+    /// Resolution label.
+    pub resolution: String,
+    /// Encoded FPS.
+    pub fps: u32,
+    /// Mean PSS in MiB over the session.
+    pub pss_mib: f64,
+}
+
+/// The full Fig. 8 dataset plus the paper's headline deltas.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8 {
+    /// All measured points.
+    pub points: Vec<PssPoint>,
+    /// PSS growth from 240p to 1080p at 30 FPS (paper: ≈ 125 MB).
+    pub delta_240_to_1080_mib: f64,
+    /// Mean PSS growth from 30 to 60 FPS across 240p–1080p (paper: ≈ 20 MB).
+    pub delta_30_to_60_mib: f64,
+}
+
+/// Run Fig. 8.
+pub fn run(scale: &Scale) -> Fig8 {
+    let device = DeviceProfile::nexus5();
+    // Longer sessions let the 60 s buffer matter; use at least 100 s.
+    let mut scale = *scale;
+    scale.video_secs = scale.video_secs.max(100.0);
+    let resolutions = [
+        Resolution::R240p,
+        Resolution::R360p,
+        Resolution::R480p,
+        Resolution::R720p,
+        Resolution::R1080p,
+    ];
+    let mut points = Vec::new();
+    for fps in [Fps::F30, Fps::F60] {
+        for res in resolutions {
+            let cell = run_one_cell(
+                &device,
+                PlayerKind::Firefox,
+                Genre::Travel,
+                res,
+                fps,
+                PressureMode::None,
+                &scale,
+            );
+            points.push(PssPoint {
+                resolution: res.to_string(),
+                fps: fps.value(),
+                pss_mib: cell.pss_mean,
+            });
+        }
+    }
+    let get = |res: &str, fps: u32| {
+        points
+            .iter()
+            .find(|p| p.resolution == res && p.fps == fps)
+            .map(|p| p.pss_mib)
+            .unwrap_or(0.0)
+    };
+    let delta_240_to_1080_mib = get("1080p", 30) - get("240p", 30);
+    let delta_30_to_60_mib = ["240p", "360p", "480p", "720p", "1080p"]
+        .iter()
+        .map(|r| get(r, 60) - get(r, 30))
+        .sum::<f64>()
+        / 5.0;
+    Fig8 {
+        points,
+        delta_240_to_1080_mib,
+        delta_30_to_60_mib,
+    }
+}
+
+impl Fig8 {
+    /// Print the figure data.
+    pub fn print(&self) {
+        report::banner("Fig 8", "client PSS vs resolution × frame rate (Nexus 5, Normal)");
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.resolution.clone(),
+                    p.fps.to_string(),
+                    format!("{:.0}", p.pss_mib),
+                ]
+            })
+            .collect();
+        report::print_table(&["res", "fps", "PSS (MiB)"], &rows);
+        println!(
+            "240p→1080p @30FPS: +{:.0} MiB   (paper: ≈ +125 MB)",
+            self.delta_240_to_1080_mib
+        );
+        println!(
+            "30→60 FPS mean:    +{:.0} MiB   (paper: ≈ +20 MB)",
+            self.delta_30_to_60_mib
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! The §3 user-study figures (Figs. 1–6), from one fleet run.
+
+use crate::report;
+use crate::scale::Scale;
+use mvqoe_kernel::TrimLevel;
+use mvqoe_sim::stats;
+use mvqoe_study::{run_fleet, FleetConfig, FleetResults};
+use serde::{Deserialize, Serialize};
+
+/// Everything the §3 figures need, extracted from a fleet run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetFigures {
+    /// Users recruited / kept after cleaning.
+    pub recruited: u32,
+    /// Devices kept.
+    pub kept: usize,
+    /// Total logged hours.
+    pub total_hours: f64,
+    /// Fig. 1: rating histograms (1–5) for games/music/videos and
+    /// multitask >1 / >2.
+    pub fig1: Fig1,
+    /// Fig. 2: CDF of median utilization + headline fractions.
+    pub fig2: Fig2,
+    /// Fig. 3: per-device signal rates.
+    pub fig3: Fig3,
+    /// Fig. 4: per-device time-in-state fractions.
+    pub fig4: Fig4,
+    /// Fig. 5: available-memory spread per state for the top-5 devices.
+    pub fig5: Fig5,
+    /// Fig. 6: pooled transitions + dwells.
+    pub fig6: Fig6,
+}
+
+/// Fig. 1 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// Histograms (ratings 1–5 per activity).
+    pub activities: Vec<(String, [u32; 5])>,
+}
+
+/// Fig. 2 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Median utilization per device.
+    pub medians: Vec<f64>,
+    /// Fraction of devices with median ≥ 60% (paper: 80%).
+    pub frac_ge_60: f64,
+    /// Fraction with median > 75% (paper: 20%).
+    pub frac_gt_75: f64,
+}
+
+/// Fig. 3 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// `(ram_mib, moderate/h, low/h, critical/h)` per device.
+    pub rates: Vec<(u64, f64, f64, f64)>,
+    /// Fraction of devices with ≥ 1 signal/hour (paper: 63%).
+    pub frac_any_per_hour: f64,
+    /// Fraction with > 10 Critical signals/hour (paper: 19%).
+    pub frac_crit_gt10: f64,
+    /// Fraction with > 70 signals/hour (paper: 6.3%).
+    pub frac_total_gt70: f64,
+}
+
+/// Fig. 4 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// `(ram_mib, moderate%, low%, critical%)` time fractions per device.
+    pub fractions: Vec<(u64, f64, f64, f64)>,
+    /// Devices spending ≥ 2% of time in Moderate (paper: 27%).
+    pub frac_moderate_ge2pct: f64,
+    /// Devices spending > 4% in Critical (paper: 10%).
+    pub frac_critical_gt4pct: f64,
+    /// Devices spending ≥ 2% out of Normal (paper Table 1: 35%).
+    pub frac_pressure_ge2pct: f64,
+}
+
+/// Fig. 5 data: per state, per top-device, (mean, p25, p50, p75) MiB.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// `(device, ram_mib, state, mean, p25, p50, p75)`.
+    pub spreads: Vec<(String, u64, String, f64, f64, f64, f64)>,
+}
+
+/// Fig. 6 data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// Devices pooled (out of Normal > threshold).
+    pub pooled_devices: usize,
+    /// Pressure-time threshold used for pooling.
+    pub pool_threshold: f64,
+    /// `P(to | leaving from)` rows: from, [to Normal, Moderate, Low, Critical].
+    pub transition_probs: Vec<(String, [f64; 4])>,
+    /// 75th-percentile dwell (s) per state before a transition.
+    pub dwell_p75: [f64; 4],
+}
+
+/// Run the fleet and extract every figure.
+pub fn run(scale: &Scale) -> FleetFigures {
+    let fleet = run_fleet(&FleetConfig {
+        n_users: scale.fleet_users,
+        seed: scale.seed.wrapping_add(2022),
+        median_hours: scale.fleet_hours,
+        min_interactive_hours: (scale.fleet_hours * 0.1).min(10.0),
+    });
+    extract(&fleet)
+}
+
+fn extract(fleet: &FleetResults) -> FleetFigures {
+    // Fig. 1.
+    let hist =
+        |f: &dyn Fn(&mvqoe_workload::UsagePattern) -> f64| -> [u32; 5] {
+            let mut h = [0u32; 5];
+            for d in &fleet.devices {
+                let v = f(&d.pattern).round().clamp(1.0, 5.0) as usize;
+                h[v - 1] += 1;
+            }
+            h
+        };
+    let fig1 = Fig1 {
+        activities: vec![
+            ("playing games".into(), hist(&|p| p.games)),
+            ("listening to music".into(), hist(&|p| p.music)),
+            ("streaming videos".into(), hist(&|p| p.videos)),
+            ("multitask >1 app".into(), hist(&|p| p.multitask_1)),
+            ("multitask >2 apps".into(), hist(&|p| p.multitask_2)),
+        ],
+    };
+
+    // Fig. 2.
+    let medians = fleet.median_utilizations();
+    let fig2 = Fig2 {
+        frac_ge_60: fleet.fraction_util_at_least(60.0),
+        frac_gt_75: fleet.fraction_util_at_least(75.0),
+        medians,
+    };
+
+    // Fig. 3.
+    let rates: Vec<(u64, f64, f64, f64)> = fleet
+        .devices
+        .iter()
+        .map(|d| {
+            (
+                d.ram_mib,
+                d.signals_per_hour(TrimLevel::Moderate),
+                d.signals_per_hour(TrimLevel::Low),
+                d.signals_per_hour(TrimLevel::Critical),
+            )
+        })
+        .collect();
+    let crit_rates: Vec<f64> = rates.iter().map(|r| r.3).collect();
+    let total_rates: Vec<f64> = rates.iter().map(|r| r.1 + r.2 + r.3).collect();
+    let fig3 = Fig3 {
+        frac_any_per_hour: stats::fraction_where(&total_rates, |r| r >= 1.0),
+        frac_crit_gt10: stats::fraction_where(&crit_rates, |r| r > 10.0),
+        frac_total_gt70: stats::fraction_where(&total_rates, |r| r > 70.0),
+        rates,
+    };
+
+    // Fig. 4.
+    let fractions: Vec<(u64, f64, f64, f64)> = fleet
+        .devices
+        .iter()
+        .map(|d| {
+            (
+                d.ram_mib,
+                d.time_fraction(TrimLevel::Moderate) * 100.0,
+                d.time_fraction(TrimLevel::Low) * 100.0,
+                d.time_fraction(TrimLevel::Critical) * 100.0,
+            )
+        })
+        .collect();
+    let moderate: Vec<f64> = fractions.iter().map(|f| f.1).collect();
+    let critical: Vec<f64> = fractions.iter().map(|f| f.3).collect();
+    let pressure: Vec<f64> = fleet
+        .devices
+        .iter()
+        .map(|d| d.pressure_time_fraction() * 100.0)
+        .collect();
+    let fig4 = Fig4 {
+        frac_moderate_ge2pct: stats::fraction_where(&moderate, |f| f >= 2.0),
+        frac_critical_gt4pct: stats::fraction_where(&critical, |f| f > 4.0),
+        frac_pressure_ge2pct: stats::fraction_where(&pressure, |f| f >= 2.0),
+        fractions,
+    };
+
+    // Fig. 5.
+    let mut spreads = Vec::new();
+    for d in fleet.top_pressure_devices(5) {
+        for level in TrimLevel::ALL {
+            let h = &d.avail_by_state[level.severity()];
+            if h.n() == 0 {
+                continue;
+            }
+            spreads.push((
+                d.name.clone(),
+                d.ram_mib,
+                level.to_string(),
+                h.mean(),
+                h.quantile(0.25),
+                h.quantile(0.5),
+                h.quantile(0.75),
+            ));
+        }
+    }
+    let fig5 = Fig5 { spreads };
+
+    // Fig. 6: pool devices spending > 30% out of Normal; relax the
+    // threshold if the fleet is too healthy for any to qualify.
+    let mut threshold = 0.30;
+    let mut pooled = fleet.devices_above_pressure_fraction(threshold);
+    while pooled.len() < 2 && threshold > 0.001 {
+        threshold /= 2.0;
+        pooled = fleet.devices_above_pressure_fraction(threshold);
+    }
+    let mut transition_probs = Vec::new();
+    for from in TrimLevel::ALL {
+        let mut row = [0.0f64; 4];
+        for to in TrimLevel::ALL {
+            row[to.severity()] =
+                FleetResults::pooled_transition_prob(&pooled, from, to) * 100.0;
+        }
+        transition_probs.push((from.to_string(), row));
+    }
+    let dwell_p75 = [
+        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Normal, 75.0),
+        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Moderate, 75.0),
+        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Low, 75.0),
+        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Critical, 75.0),
+    ];
+    let fig6 = Fig6 {
+        pooled_devices: pooled.len(),
+        pool_threshold: threshold,
+        transition_probs,
+        dwell_p75,
+    };
+
+    FleetFigures {
+        recruited: fleet.recruited,
+        kept: fleet.devices.len(),
+        total_hours: fleet.total_hours,
+        fig1,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+    }
+}
+
+impl FleetFigures {
+    /// Print all §3 figures.
+    pub fn print(&self) {
+        println!(
+            "fleet: {} recruited, {} kept after the ≥10 h-interactive rule, {:.0} h logged \
+             (paper: 80 recruited, 48 kept, ≈9950 h)",
+            self.recruited, self.kept, self.total_hours
+        );
+
+        report::banner("Fig 1", "usage-frequency heatmaps (ratings 1–5)");
+        let rows: Vec<Vec<String>> = self
+            .fig1
+            .activities
+            .iter()
+            .map(|(name, h)| {
+                let mut row = vec![name.clone()];
+                row.extend(h.iter().map(|c| c.to_string()));
+                row
+            })
+            .collect();
+        report::print_table(&["activity", "1", "2", "3", "4", "5"], &rows);
+
+        report::banner("Fig 2", "CDF of median RAM utilization");
+        let cdf = stats::cdf_points(&self.fig2.medians);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let v = stats::percentile(&self.fig2.medians, q * 100.0);
+            println!("  p{:>2.0}: {v:.1}%", q * 100.0);
+        }
+        let _ = cdf;
+        println!(
+            "devices with median ≥ 60%: {:.0}% (paper 80%); > 75%: {:.0}% (paper 20%)",
+            self.fig2.frac_ge_60 * 100.0,
+            self.fig2.frac_gt_75 * 100.0
+        );
+
+        report::banner("Fig 3", "memory-pressure signal frequency");
+        println!(
+            "≥1 signal/hour: {:.0}% (paper 63%); >10 Critical/hour: {:.0}% (paper 19%); \
+             >70 signals/hour: {:.1}% (paper 6.3%)",
+            self.fig3.frac_any_per_hour * 100.0,
+            self.fig3.frac_crit_gt10 * 100.0,
+            self.fig3.frac_total_gt70 * 100.0
+        );
+
+        report::banner("Fig 4", "time spent in pressure states");
+        println!(
+            "≥2% of time in Moderate: {:.0}% (paper 27%); >4% in Critical: {:.0}% (paper 10%); \
+             ≥2% out of Normal: {:.0}% (paper 35%)",
+            self.fig4.frac_moderate_ge2pct * 100.0,
+            self.fig4.frac_critical_gt4pct * 100.0,
+            self.fig4.frac_pressure_ge2pct * 100.0
+        );
+
+        report::banner("Fig 5", "available memory by state (top-5 pressure devices)");
+        let rows: Vec<Vec<String>> = self
+            .fig5
+            .spreads
+            .iter()
+            .map(|(name, ram, state, mean, p25, p50, p75)| {
+                vec![
+                    name.clone(),
+                    format!("{} MiB", ram),
+                    state.clone(),
+                    format!("{mean:.0}"),
+                    format!("{p25:.0}"),
+                    format!("{p50:.0}"),
+                    format!("{p75:.0}"),
+                ]
+            })
+            .collect();
+        report::print_table(
+            &["device", "RAM", "state", "mean", "p25", "p50", "p75"],
+            &rows,
+        );
+
+        report::banner("Fig 6", "state transitions and dwell times");
+        println!(
+            "pooled {} devices (> {:.1}% of time out of Normal)",
+            self.fig6.pooled_devices,
+            self.fig6.pool_threshold * 100.0
+        );
+        let rows: Vec<Vec<String>> = self
+            .fig6
+            .transition_probs
+            .iter()
+            .map(|(from, row)| {
+                let mut r = vec![from.clone()];
+                r.extend(row.iter().map(|p| format!("{p:.1}")));
+                r
+            })
+            .collect();
+        report::print_table(
+            &["from \\ to (%)", "Normal", "Moderate", "Low", "Critical"],
+            &rows,
+        );
+        println!(
+            "p75 dwell (s): Normal {:.1}, Moderate {:.1}, Low {:.1}, Critical {:.1} \
+             (paper: Critical→Low 67.2% with 12.8 s p75 dwell; Critical→Normal only 13.6%)",
+            self.fig6.dwell_p75[0],
+            self.fig6.dwell_p75[1],
+            self.fig6.dwell_p75[2],
+            self.fig6.dwell_p75[3]
+        );
+    }
+}

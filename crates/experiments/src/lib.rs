@@ -1,0 +1,36 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each module reproduces one experiment family; each binary under
+//! `src/bin/` prints the corresponding table/series in a form directly
+//! comparable to the paper and writes machine-readable JSON next to it
+//! (`results/<experiment>.json`). Run `exp-all` to regenerate everything,
+//! or individual binaries (`exp-fig9`, `exp-table4`, …); every binary
+//! accepts `--quick` for a reduced-scale pass.
+//!
+//! | Module | Paper artifacts |
+//! |---|---|
+//! | [`fleet_figs`] | Figs. 1–6 (user study) |
+//! | [`fig8`] | Fig. 8 (client PSS) |
+//! | [`framedrops`] | Figs. 9/11/12, Tables 2/3, Nexus 6P summary, Figs. 18/19 |
+//! | [`fig10`] | Fig. 10 (DMOS survey) |
+//! | [`trace_exp`] | Tables 4/5, Fig. 13 (Perfetto analysis) |
+//! | [`session_figs`] | Figs. 14–17 (instantaneous sessions) |
+//! | [`organic_check`] | §4.3 organic spot values |
+//! | [`abr_ablation`] | §6/§7 memory-aware ABR vs network-only baselines |
+//! | [`os_ablation`] | §7 CPU-resource and daemon-scheduling ablations |
+//! | [`table1`] | Table 1 digest |
+
+pub mod abr_ablation;
+pub mod fig10;
+pub mod fig8;
+pub mod fleet_figs;
+pub mod framedrops;
+pub mod organic_check;
+pub mod os_ablation;
+pub mod report;
+pub mod scale;
+pub mod session_figs;
+pub mod table1;
+pub mod trace_exp;
+
+pub use scale::Scale;

@@ -1,0 +1,60 @@
+//! §4.3's organic-pressure spot check: 480p @ 60 FPS on the Nokia 1,
+//! Normal vs 8 background apps (paper: 11.7% → 30.6% drops).
+
+use crate::report;
+use crate::scale::Scale;
+use mvqoe_abr::FixedAbr;
+use mvqoe_core::{run_cell, PressureMode, SessionConfig};
+use mvqoe_device::DeviceProfile;
+use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// The organic spot-check result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrganicCheck {
+    /// Mean drop % with no background apps.
+    pub normal_drop: f64,
+    /// Mean drop % with 8 organic background apps.
+    pub organic_drop: f64,
+    /// Crash rate under organic pressure (%).
+    pub organic_crash_pct: f64,
+}
+
+/// Run the spot check.
+pub fn run(scale: &Scale) -> OrganicCheck {
+    let manifest = Manifest::full_ladder(Genre::Travel, scale.video_secs);
+    let rep = manifest
+        .representation(Resolution::R480p, Fps::F60)
+        .unwrap();
+    let run_mode = |pressure| {
+        let mut cfg =
+            SessionConfig::paper_default(DeviceProfile::nokia1(), pressure, scale.seed);
+        cfg.video_secs = scale.video_secs;
+        run_cell(&cfg, scale.runs, &mut || Box::new(FixedAbr::new(rep)))
+    };
+    let normal = run_mode(PressureMode::None);
+    let organic = run_mode(PressureMode::Organic(8));
+    OrganicCheck {
+        normal_drop: normal.drop_pct.mean,
+        organic_drop: organic.drop_pct.mean,
+        organic_crash_pct: organic.crash_pct,
+    }
+}
+
+impl OrganicCheck {
+    /// Print the result.
+    pub fn print(&self) {
+        report::banner("§4.3", "organic memory pressure (Nokia 1, 480p60)");
+        report::print_table(
+            &["state", "drop %"],
+            &[
+                vec!["Normal".into(), format!("{:.1}", self.normal_drop)],
+                vec!["8 background apps".into(), format!("{:.1}", self.organic_drop)],
+            ],
+        );
+        println!(
+            "paper: 11.7% → 30.6%; organic crash rate here: {:.0}%",
+            self.organic_crash_pct
+        );
+    }
+}

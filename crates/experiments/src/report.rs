@@ -1,0 +1,109 @@
+//! Output helpers: aligned tables on stdout, JSON in `results/`.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Print a header banner for an experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Render rows as an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(line.trim_end().len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(line, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Print an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", table(headers, rows));
+}
+
+/// Location of the JSON results directory (workspace `results/`).
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up to the workspace root (where Cargo.toml with [workspace] is).
+    for _ in 0..4 {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            break;
+        }
+        if let Some(parent) = dir.parent() {
+            dir = parent.to_path_buf();
+        }
+    }
+    dir.join("results")
+}
+
+/// Write an experiment's machine-readable result.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                println!("[json] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[json] failed to serialize {name}: {e}"),
+    }
+}
+
+/// Format a mean ± CI pair.
+pub fn pm(mean: f64, ci: f64) -> String {
+    format!("{mean:.1} ± {ci:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[3].contains("longer"));
+        // Right-aligned: the short name is padded.
+        assert!(lines[2].starts_with("     a"));
+    }
+
+    #[test]
+    fn pm_formats() {
+        assert_eq!(pm(12.345, 0.67), "12.3 ± 0.7");
+    }
+}

@@ -1,0 +1,72 @@
+//! Experiment scale: full (paper protocol) vs quick (smoke pass).
+
+use serde::{Deserialize, Serialize};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scale {
+    /// Repetitions per cell (the paper uses 5).
+    pub runs: u64,
+    /// Video length in seconds.
+    pub video_secs: f64,
+    /// Fleet size for the §3 study.
+    pub fleet_users: u32,
+    /// Median fleet observation hours.
+    pub fleet_hours: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's protocol.
+    pub fn full() -> Scale {
+        Scale {
+            runs: 5,
+            video_secs: 120.0,
+            fleet_users: 80,
+            fleet_hours: 100.0,
+            seed: 42,
+        }
+    }
+
+    /// A reduced pass for CI / smoke testing.
+    pub fn quick() -> Scale {
+        Scale {
+            runs: 2,
+            video_secs: 48.0,
+            fleet_users: 14,
+            fleet_hours: 16.0,
+            seed: 42,
+        }
+    }
+
+    /// Parse from CLI args: `--quick` selects the reduced pass.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick" || a == "-q") {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_protocol() {
+        let s = Scale::full();
+        assert_eq!(s.runs, 5);
+        assert_eq!(s.fleet_users, 80);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let f = Scale::full();
+        let q = Scale::quick();
+        assert!(q.runs < f.runs);
+        assert!(q.fleet_users < f.fleet_users);
+        assert!(q.video_secs < f.video_secs);
+    }
+}

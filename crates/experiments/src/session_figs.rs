@@ -1,0 +1,382 @@
+//! Instantaneous session figures: Figs. 14–17.
+
+use crate::report;
+use crate::scale::Scale;
+use mvqoe_abr::{FixedAbr, ScheduledFps};
+use mvqoe_core::{run_session, PressureMode, SessionConfig, SessionOutcome};
+use mvqoe_device::DeviceProfile;
+use mvqoe_kernel::TrimLevel;
+use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// A per-second series, ready to plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Label.
+    pub name: String,
+    /// `(second, value)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+fn series_of(name: &str, samples: &[(mvqoe_sim::SimTime, f64)]) -> Series {
+    Series {
+        name: name.into(),
+        points: samples
+            .iter()
+            .map(|&(t, v)| (t.as_secs_f64(), v))
+            .collect(),
+    }
+}
+
+fn sparkline(points: &[(f64, f64)], max_hint: f64) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = points
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(max_hint, f64::max)
+        .max(1e-9);
+    points
+        .iter()
+        .map(|&(_, v)| {
+            let idx = ((v / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Fig. 14 — a crashing session: FPS + lmkd CPU
+// ---------------------------------------------------------------------
+
+/// Fig. 14 data: the crashing session's series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig14 {
+    /// Rendered FPS per second.
+    pub fps: Series,
+    /// lmkd CPU utilization (%) per second.
+    pub lmkd_cpu: Series,
+    /// When the client crashed (s into the session), if it did.
+    pub crashed_at_s: Option<f64>,
+}
+
+/// Run Fig. 14: search seeds for a session that crashes mid-playback under
+/// Moderate pressure (Nokia 1, 1080p @ 30 FPS — a configuration the paper's
+/// Table 2 shows crashing).
+pub fn fig14(scale: &Scale) -> Fig14 {
+    let mut best: Option<SessionOutcome> = None;
+    // Search seeds × configurations for a crash landing well into
+    // playback (the paper's example dies at t ≈ 85 s).
+    let candidates = [
+        (Resolution::R720p, Fps::F60),
+        (Resolution::R1080p, Fps::F30),
+        (Resolution::R720p, Fps::F30),
+    ];
+    'search: for i in 0..12 {
+        for (res, fps) in candidates {
+            let mut cfg = SessionConfig::paper_default(
+                DeviceProfile::nokia1(),
+                PressureMode::Synthetic(TrimLevel::Moderate),
+                scale.seed + i * 977,
+            );
+            cfg.video_secs = scale.video_secs;
+            let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+            let rep = manifest.representation(res, fps).unwrap();
+            let mut abr = FixedAbr::new(rep);
+            let out = run_session(&cfg, &mut abr);
+            let frames = out.stats.frames_total();
+            let crashed = out.stats.crashed();
+            let keep = match &best {
+                None => true,
+                Some(b) => {
+                    (crashed && !b.stats.crashed())
+                        || (crashed == b.stats.crashed() && frames > b.stats.frames_total())
+                }
+            };
+            if keep {
+                let good_enough = crashed && frames > 900;
+                best = Some(out);
+                if good_enough {
+                    break 'search;
+                }
+            }
+        }
+    }
+    let out = best.expect("at least one session ran");
+    let start = out
+        .stats
+        .fps_series
+        .samples()
+        .first()
+        .map(|&(t, _)| t.as_secs_f64())
+        .unwrap_or(0.0);
+    let rebase = |s: &Series| Series {
+        name: s.name.clone(),
+        points: s.points.iter().map(|&(t, v)| (t - start, v)).collect(),
+    };
+    Fig14 {
+        fps: rebase(&series_of("rendered_fps", out.stats.fps_series.samples())),
+        lmkd_cpu: rebase(&series_of("lmkd_cpu_pct", out.lmkd_cpu_series.samples())),
+        crashed_at_s: out.stats.crashed_at.map(|t| t.as_secs_f64() - start),
+    }
+}
+
+impl Fig14 {
+    /// Print the figure.
+    pub fn print(&self) {
+        report::banner("Fig 14", "frame rate and lmkd CPU in a crashing session");
+        println!("fps      {}", sparkline(&self.fps.points, 30.0));
+        println!("lmkd cpu {}", sparkline(&self.lmkd_cpu.points, 5.0));
+        match self.crashed_at_s {
+            Some(t) => println!(
+                "client killed at t ≈ {t:.0} s; lmkd CPU peak {:.2}% (paper: crash at 85 s with an lmkd spike)",
+                self.lmkd_cpu.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+            ),
+            None => println!("no crash in the sampled seeds (rerun with more seeds)"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 15 — organic pressure: FPS + processes killed
+// ---------------------------------------------------------------------
+
+/// Fig. 15 data: one Normal and one organic-Moderate session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig15 {
+    /// Rendered FPS per second under Normal.
+    pub normal_fps: Series,
+    /// Kills per second under Normal.
+    pub normal_kills: Series,
+    /// Rendered FPS per second under organic pressure.
+    pub organic_fps: Series,
+    /// Kills per second under organic pressure.
+    pub organic_kills: Series,
+    /// Total kills in each state.
+    pub kills_normal: f64,
+    /// Total kills under organic pressure.
+    pub kills_organic: f64,
+}
+
+/// Run Fig. 15 (Nokia 1, 480p @ 60 FPS, organic background apps).
+pub fn fig15(scale: &Scale) -> Fig15 {
+    let run = |pressure: PressureMode| {
+        let mut cfg =
+            SessionConfig::paper_default(DeviceProfile::nokia1(), pressure, scale.seed);
+        cfg.video_secs = scale.video_secs;
+        let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+        let rep = manifest
+            .representation(Resolution::R480p, Fps::F60)
+            .unwrap();
+        let mut abr = FixedAbr::new(rep);
+        run_session(&cfg, &mut abr)
+    };
+    let normal = run(PressureMode::None);
+    let organic = run(PressureMode::Organic(8));
+    let sum = |s: &Series| s.points.iter().map(|&(_, v)| v).sum::<f64>();
+    let normal_kills = series_of("kills", normal.kill_series.samples());
+    let organic_kills = series_of("kills", organic.kill_series.samples());
+    Fig15 {
+        kills_normal: sum(&normal_kills),
+        kills_organic: sum(&organic_kills),
+        normal_fps: series_of("fps", normal.stats.fps_series.samples()),
+        normal_kills,
+        organic_fps: series_of("fps", organic.stats.fps_series.samples()),
+        organic_kills,
+    }
+}
+
+impl Fig15 {
+    /// Print the figure.
+    pub fn print(&self) {
+        report::banner(
+            "Fig 15",
+            "rendered FPS + processes killed, Normal vs organic pressure (Nokia 1, 480p60)",
+        );
+        println!("Normal   fps   {}", sparkline(&self.normal_fps.points, 60.0));
+        println!("Normal   kills {}", sparkline(&self.normal_kills.points, 3.0));
+        println!("Organic  fps   {}", sparkline(&self.organic_fps.points, 60.0));
+        println!("Organic  kills {}", sparkline(&self.organic_kills.points, 3.0));
+        println!(
+            "total kills: {:.0} (Normal) vs {:.0} (organic) — paper observes many more kills under Moderate",
+            self.kills_normal, self.kills_organic
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 16 — encoded frame-rate sweep across resolutions
+// ---------------------------------------------------------------------
+
+/// One Fig. 16 cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16Cell {
+    /// Resolution label.
+    pub resolution: String,
+    /// Encoded FPS.
+    pub fps: u32,
+    /// Mean rendered FPS.
+    pub rendered_fps: f64,
+    /// Drop percentage.
+    pub drop_pct: f64,
+}
+
+/// Fig. 16 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16 {
+    /// All cells (under Moderate pressure, as in §6).
+    pub cells: Vec<Fig16Cell>,
+}
+
+/// Run Fig. 16: on the organically pressured Nokia 1 (the §6 setting),
+/// sweep encoded FPS ∈ {24, 48, 60} at 480p/720p/1080p.
+pub fn fig16(scale: &Scale) -> Fig16 {
+    let mut cells = Vec::new();
+    for res in [Resolution::R480p, Resolution::R720p, Resolution::R1080p] {
+        for fps in [Fps::F24, Fps::F48, Fps::F60] {
+            let mut cfg = SessionConfig::paper_default(
+                DeviceProfile::nokia1(),
+                PressureMode::Organic(8),
+                scale.seed,
+            );
+            cfg.video_secs = scale.video_secs;
+            let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+            let rep = manifest.representation(res, fps).unwrap();
+            let mut abr = FixedAbr::new(rep);
+            let out = run_session(&cfg, &mut abr);
+            cells.push(Fig16Cell {
+                resolution: res.to_string(),
+                fps: fps.value(),
+                rendered_fps: if out.stats.crashed() {
+                    0.0
+                } else {
+                    out.stats.mean_fps()
+                },
+                drop_pct: if out.stats.crashed() {
+                    100.0
+                } else {
+                    out.stats.drop_pct()
+                },
+            });
+        }
+    }
+    Fig16 { cells }
+}
+
+impl Fig16 {
+    /// Print the figure.
+    pub fn print(&self) {
+        report::banner(
+            "Fig 16",
+            "encoded frame-rate sweep under organic pressure (Nokia 1)",
+        );
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.resolution.clone(),
+                    c.fps.to_string(),
+                    format!("{:.1}", c.rendered_fps),
+                    format!("{:.1}", c.drop_pct),
+                ]
+            })
+            .collect();
+        report::print_table(&["res", "encoded fps", "rendered fps", "drop %"], &rows);
+        println!("paper: at 1080p, rendered FPS ≈ 0 at 60 FPS encoding but losses ≈ 0 at 24 FPS");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 17 — mid-session frame-rate switching under pressure
+// ---------------------------------------------------------------------
+
+/// Fig. 17 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig17 {
+    /// Rendered FPS per second across the 60 → 24 → 48 schedule.
+    pub fps: Series,
+    /// Mean rendered FPS per phase (60 / 24 / 48).
+    pub phase_means: [f64; 3],
+    /// Drop percentage per phase.
+    pub phase_drops: [f64; 3],
+    /// The encoded FPS per phase.
+    pub phase_fps: [u32; 3],
+}
+
+/// Run Fig. 17: 480p under organic Moderate pressure on the Nokia 1; the
+/// encoded frame rate switches 60 → 24 → 48 in equal thirds.
+pub fn fig17(scale: &Scale) -> Fig17 {
+    let mut cfg = SessionConfig::paper_default(
+        DeviceProfile::nokia1(),
+        PressureMode::Organic(8),
+        scale.seed,
+    );
+    cfg.video_secs = scale.video_secs.max(90.0);
+    let total_segments = (cfg.video_secs / 4.0).ceil() as u32;
+    let third = total_segments / 3;
+    let mut abr = ScheduledFps::new(
+        Resolution::R480p,
+        vec![(third, Fps::F60), (third, Fps::F24), (third + 2, Fps::F48)],
+    );
+    let out = run_session(&cfg, &mut abr);
+    let fps = series_of("fps", out.stats.fps_series.samples());
+
+    // Phase boundaries in wall time from the representation history.
+    let phases: Vec<(f64, u32)> = out
+        .rep_history
+        .iter()
+        .map(|&(t, rep)| (t.as_secs_f64(), rep.fps.value()))
+        .collect();
+    let mut phase_means = [0.0f64; 3];
+    let mut phase_drops = [0.0f64; 3];
+    let mut phase_fps = [60u32, 24, 48];
+    for (i, window) in phases.windows(2).chain(std::iter::once(
+        &[
+            *phases.last().unwrap_or(&(0.0, 60)),
+            (f64::INFINITY, 0),
+        ][..],
+    )).take(3).enumerate()
+    {
+        let (start, fps_v) = window[0];
+        let end = window[1].0;
+        phase_fps[i] = fps_v;
+        let vals: Vec<f64> = fps
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= start && t < end)
+            .map(|&(_, v)| v)
+            .collect();
+        if !vals.is_empty() {
+            phase_means[i] = vals.iter().sum::<f64>() / vals.len() as f64;
+            phase_drops[i] = (1.0 - phase_means[i] / fps_v as f64).max(0.0) * 100.0;
+        }
+    }
+    Fig17 {
+        fps,
+        phase_means,
+        phase_drops,
+        phase_fps,
+    }
+}
+
+impl Fig17 {
+    /// Print the figure.
+    pub fn print(&self) {
+        report::banner(
+            "Fig 17",
+            "mid-session frame-rate switching under organic pressure (Nokia 1, 480p)",
+        );
+        println!("fps {}", sparkline(&self.fps.points, 60.0));
+        let rows: Vec<Vec<String>> = (0..3)
+            .map(|i| {
+                vec![
+                    format!("{} FPS", self.phase_fps[i]),
+                    format!("{:.1}", self.phase_means[i]),
+                    format!("{:.1}", self.phase_drops[i]),
+                ]
+            })
+            .collect();
+        report::print_table(&["phase", "rendered fps", "loss %"], &rows);
+        println!("paper: heavy losses at 60 FPS vanish after switching to 24 FPS");
+    }
+}

@@ -1,0 +1,146 @@
+//! Table 1: the paper's key-insight digest, recomputed from our artifacts.
+
+use crate::scale::Scale;
+use crate::{fleet_figs, framedrops, organic_check, trace_exp};
+use mvqoe_core::PressureMode;
+use mvqoe_device::DeviceProfile;
+use mvqoe_kernel::TrimLevel;
+use mvqoe_video::{Fps, Genre, PlayerKind, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// One Table 1 row: our measured statement next to the paper's.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Insight {
+    /// Topic.
+    pub topic: String,
+    /// Our measured statement.
+    pub measured: String,
+    /// The paper's statement.
+    pub paper: String,
+}
+
+/// The digest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1 {
+    /// All rows.
+    pub insights: Vec<Insight>,
+}
+
+/// Recompute the digest (runs a reduced version of each contributing
+/// experiment; pass a quick scale for a fast pass).
+pub fn run(scale: &Scale) -> Table1 {
+    let mut insights = Vec::new();
+
+    // Fleet-side insights.
+    let fleet = fleet_figs::run(scale);
+    insights.push(Insight {
+        topic: "Pressure-signal frequency".into(),
+        measured: format!(
+            "{:.0}% of devices saw ≥1 signal/hour; {:.0}% saw >10 Critical/hour",
+            fleet.fig3.frac_any_per_hour * 100.0,
+            fleet.fig3.frac_crit_gt10 * 100.0
+        ),
+        paper: "63% experienced pressure; 19% received >10 Critical signals/hour".into(),
+    });
+    insights.push(Insight {
+        topic: "Time in pressure states".into(),
+        measured: format!(
+            "{:.0}% of devices spent ≥2% of time out of Normal",
+            fleet.fig4.frac_pressure_ge2pct * 100.0
+        ),
+        paper: "35% spent ≥2% of time in high-pressure states; 10% spent >50%".into(),
+    });
+
+    // Entry-level device.
+    let hi_res_cells = [
+        framedrops::run_one_cell(
+            &DeviceProfile::nokia1(),
+            PlayerKind::Firefox,
+            Genre::Travel,
+            Resolution::R720p,
+            Fps::F30,
+            PressureMode::Synthetic(TrimLevel::Moderate),
+            scale,
+        ),
+        framedrops::run_one_cell(
+            &DeviceProfile::nokia1(),
+            PlayerKind::Firefox,
+            Genre::Travel,
+            Resolution::R1080p,
+            Fps::F30,
+            PressureMode::Synthetic(TrimLevel::Moderate),
+            scale,
+        ),
+    ];
+    let hi_mean =
+        (hi_res_cells[0].drop_mean + hi_res_cells[1].drop_mean) / 2.0;
+    insights.push(Insight {
+        topic: "Entry-level phone (1 GB)".into(),
+        measured: format!(
+            "{hi_mean:.0}% mean drops at 720p/1080p under Moderate; crashes at {:.0}%/{:.0}%",
+            hi_res_cells[0].crash_pct, hi_res_cells[1].crash_pct
+        ),
+        paper: ">75% average frame drops at 720p/1080p and frequent crashes".into(),
+    });
+
+    // Mid-range device.
+    let n5 = framedrops::run_one_cell(
+        &DeviceProfile::nexus5(),
+        PlayerKind::Firefox,
+        Genre::Travel,
+        Resolution::R1080p,
+        Fps::F60,
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        scale,
+    );
+    insights.push(Insight {
+        topic: "Nexus 5 (2 GB)".into(),
+        measured: format!("{:.0}% drops at 1080p60 under Moderate", n5.drop_mean),
+        paper: "average frame drops up to 25% (and crashes at high pressure)".into(),
+    });
+
+    // Organic check.
+    let org = organic_check::run(scale);
+    insights.push(Insight {
+        topic: "Organic pressure".into(),
+        measured: format!(
+            "480p60 drops {:.1}% → {:.1}% with 8 background apps",
+            org.normal_drop, org.organic_drop
+        ),
+        paper: "11.7% → 30.6% with 8 background apps".into(),
+    });
+
+    // Daemon interference.
+    let tr = trace_exp::run(scale);
+    let preempt_increase = if tr.normal.preempted_s > 0.0 {
+        (tr.moderate.preempted_s - tr.normal.preempted_s) / tr.normal.preempted_s * 100.0
+    } else {
+        0.0
+    };
+    insights.push(Insight {
+        topic: "Daemon interference".into(),
+        measured: format!(
+            "Runnable (Preempted) time {:+.0}% under Moderate; kswapd {:.1}→{:.1} s; mmcqd {:.1}→{:.1} s",
+            preempt_increase,
+            tr.normal.kswapd_running_s,
+            tr.moderate.kswapd_running_s,
+            tr.normal.mmcqd_running_s,
+            tr.moderate.mmcqd_running_s
+        ),
+        paper: "Preempted time +97.8%; kswapd 2.3→22 s (top thread); mmcqd 0.4→4.6 s".into(),
+    });
+
+    Table1 { insights }
+}
+
+impl Table1 {
+    /// Print the digest.
+    pub fn print(&self) {
+        crate::report::banner("Table 1", "key insights, measured vs paper");
+        for i in &self.insights {
+            println!("• {}", i.topic);
+            println!("    measured: {}", i.measured);
+            println!("    paper:    {}", i.paper);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Memory-manager configuration.
+//!
+//! Watermarks, zRAM sizing, trim-signal thresholds and lmkd's kill
+//! thresholds all vary by device and vendor (the paper's Fig. 5 shows the
+//! available-memory level at which each signal fires differs widely across
+//! its fleet). [`MemConfig`] gathers every knob; `mvqoe-device` provides
+//! per-device presets and the fleet study perturbs them per "vendor".
+
+use crate::costs::CostModel;
+use crate::pages::Pages;
+use serde::{Deserialize, Serialize};
+
+/// Cached/empty-process-count thresholds that generate `onTrimMemory`
+/// levels (paper §2 fn. 6: 6 / 5 / 3 on the 1 GB Nokia 1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrimThresholds {
+    /// At or below this many cached processes → Moderate.
+    pub moderate: u32,
+    /// At or below this many → Low.
+    pub low: u32,
+    /// At or below this many → Critical.
+    pub critical: u32,
+}
+
+impl TrimThresholds {
+    /// The Nokia 1 (Android 10 Go) values reported in the paper.
+    pub const NOKIA1: TrimThresholds = TrimThresholds {
+        moderate: 6,
+        low: 5,
+        critical: 3,
+    };
+}
+
+/// lmkd kill thresholds on the pressure estimate `P = (1 − R/S) · 100`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LmkdThresholds {
+    /// Above this, high-`oom_adj` (cached/background) processes are killable
+    /// (paper: 60).
+    pub kill_cached: f64,
+    /// At or above this, foreground apps are killable (paper: 95).
+    pub kill_foreground: f64,
+    /// Width of the sliding window (µs) over which scan/reclaim counters
+    /// feed the pressure estimate.
+    pub window_us: u64,
+    /// Minimum pages scanned inside the window before P is trusted (avoids
+    /// division noise when almost no reclaim is happening).
+    pub min_scanned: u64,
+}
+
+impl Default for LmkdThresholds {
+    fn default() -> Self {
+        LmkdThresholds {
+            kill_cached: 60.0,
+            kill_foreground: 95.0,
+            window_us: 1_000_000,
+            min_scanned: 64,
+        }
+    }
+}
+
+/// Full configuration of one device's memory subsystem.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Physical RAM.
+    pub total: Pages,
+    /// Pages pinned by the kernel image, drivers and firmware carve-outs
+    /// (not reclaimable, not visible to userspace).
+    pub kernel_reserved: Pages,
+    /// kswapd sleeps while `free ≥ high`.
+    pub watermark_high: Pages,
+    /// kswapd wakes when `free < low`.
+    pub watermark_low: Pages,
+    /// Allocations below `min` trigger direct reclaim in the allocating
+    /// thread's context.
+    pub watermark_min: Pages,
+    /// zRAM logical capacity.
+    pub zram_capacity: Pages,
+    /// zRAM compression ratio.
+    pub zram_ratio: f64,
+    /// Fraction of file pages that are dirty when scanned and need writeback
+    /// before they can be dropped.
+    pub dirty_file_fraction: f64,
+    /// Trim-signal thresholds on the cached-process LRU count.
+    pub trim: TrimThresholds,
+    /// lmkd thresholds.
+    pub lmkd: LmkdThresholds,
+    /// CPU prices.
+    pub costs: CostModel,
+    /// Pages kswapd scans per batch before yielding the CPU.
+    pub kswapd_batch: u64,
+}
+
+impl MemConfig {
+    /// A reasonable configuration for a device with `ram_mib` of RAM,
+    /// following Linux's `√(16 · lowmem)` watermark heuristic scaled the way
+    /// Android Go devices ship, with zRAM at 50% of RAM (logical).
+    pub fn for_ram_mib(ram_mib: u64) -> MemConfig {
+        let total = Pages::from_mib(ram_mib);
+        // Kernel + firmware carve-out: ~22% on a 1 GB phone, relatively less
+        // on larger devices (fixed ~130 MiB plus 9% of RAM).
+        let reserved = Pages::from_mib(130) + total.mul_f64(0.09);
+        let min = total.mul_f64(0.004).max(Pages::from_mib(4));
+        // Android's watermark band is narrow even with extra_free_kbytes —
+        // narrow enough that allocation bursts routinely race kswapd into
+        // direct reclaim, which is the §2 stall mechanism.
+        let low = min.mul_f64(2.5);
+        let high = min.mul_f64(3.75);
+        MemConfig {
+            total,
+            kernel_reserved: reserved,
+            watermark_high: high,
+            watermark_low: low,
+            watermark_min: min,
+            zram_capacity: total.mul_f64(0.5),
+            zram_ratio: 2.8,
+            dirty_file_fraction: 0.18,
+            trim: TrimThresholds::NOKIA1,
+            lmkd: LmkdThresholds::default(),
+            costs: CostModel::default(),
+            kswapd_batch: 512,
+        }
+    }
+
+    /// Memory usable by processes (total minus the kernel carve-out).
+    pub fn usable(&self) -> Pages {
+        self.total - self.kernel_reserved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermarks_are_ordered() {
+        for mib in [512, 1024, 2048, 3072, 4096, 8192] {
+            let c = MemConfig::for_ram_mib(mib);
+            assert!(c.watermark_min < c.watermark_low, "{mib} MiB");
+            assert!(c.watermark_low < c.watermark_high, "{mib} MiB");
+            assert!(c.watermark_high < c.usable(), "{mib} MiB");
+        }
+    }
+
+    #[test]
+    fn reserved_grows_sublinearly() {
+        let one = MemConfig::for_ram_mib(1024);
+        let four = MemConfig::for_ram_mib(4096);
+        let frac_1 = one.kernel_reserved.count() as f64 / one.total.count() as f64;
+        let frac_4 = four.kernel_reserved.count() as f64 / four.total.count() as f64;
+        assert!(frac_1 > frac_4, "small devices lose a larger RAM fraction");
+        assert!(frac_1 < 0.30 && frac_4 > 0.08);
+    }
+
+    #[test]
+    fn nokia1_trim_thresholds_match_paper() {
+        let t = TrimThresholds::NOKIA1;
+        assert_eq!((t.moderate, t.low, t.critical), (6, 5, 3));
+    }
+
+    #[test]
+    fn lmkd_defaults_match_paper() {
+        let l = LmkdThresholds::default();
+        assert_eq!(l.kill_cached, 60.0);
+        assert_eq!(l.kill_foreground, 95.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! An Android-like kernel memory-management model.
+//!
+//! This crate reproduces, at page granularity, the machinery §2 of *"Coal Not
+//! Diamonds"* (CoNEXT '22) describes:
+//!
+//! * **Physical memory** divided into 4 KiB pages: free pages, *cached*
+//!   (file-backed) pages, and *anonymous* pages ([`pages`], [`process`]).
+//! * **zRAM** — the in-memory compressed swap Android uses instead of a disk
+//!   swap partition ([`zram`]). Anonymous and dirty cached pages are
+//!   compressed there by reclaim; touching them later pays a decompression
+//!   fault.
+//! * **kswapd** — background reclaim driven by free-page watermarks
+//!   ([`reclaim`]). Scans the LRU from coldest (cached apps) to hottest
+//!   (the foreground app), dropping clean file pages and compressing
+//!   anonymous pages, and records the scanned/reclaimed counters that feed
+//!   lmkd's pressure estimate.
+//! * **lmkd** — the userspace low-memory killer ([`lmkd`]). Implements the
+//!   paper's published pressure formula `P = (1 − R/S) · 100`: when
+//!   `60 < P < 95` high-`oom_adj` (cached/background) processes become
+//!   eligible to be killed, and when `P ≥ 95` the foreground app itself
+//!   does — which is exactly how the paper's video clients crash.
+//! * **Memory-pressure signals** — `onTrimMemory`-style Moderate / Low /
+//!   Critical levels derived from the number of cached/empty processes left
+//!   in the LRU ([`trim`]), with the Nokia 1 thresholds (6 / 5 / 3) from the
+//!   paper's footnote 6.
+//! * **Direct reclaim and thrashing** — allocations that cannot be satisfied
+//!   stall the allocating thread while it reclaims on its own behalf, and
+//!   evicted-but-hot file pages refault through disk I/O ([`manager`]).
+//!
+//! The crate is *pure state machine*: it never spends CPU itself. Every
+//! operation returns the CPU time and disk I/O its real counterpart would
+//! cost, and the caller (the device machine in `mvqoe-device`, or the coarse
+//! fleet stepper in [`coarse`]) charges those costs to simulated threads.
+
+pub mod coarse;
+pub mod config;
+pub mod costs;
+pub mod lmkd;
+pub mod manager;
+pub mod pages;
+pub mod process;
+pub mod reclaim;
+pub mod trim;
+pub mod zram;
+
+pub use config::MemConfig;
+pub use manager::{AllocOutcome, MemEvent, MemoryManager, TouchOutcome};
+pub use pages::{Pages, PAGE_SIZE};
+pub use process::{OomAdj, ProcKind, ProcessId};
+pub use trim::TrimLevel;

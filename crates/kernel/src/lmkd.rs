@@ -1,0 +1,139 @@
+//! lmkd victim selection.
+//!
+//! When pressure crosses the thresholds in [`crate::config::LmkdThresholds`]
+//! lmkd picks the process with the highest `oom_adj` score among those
+//! currently eligible, breaking ties toward the largest memory footprint
+//! (§2, "Killing of processes"). This module implements eligibility and
+//! selection as pure functions over process metadata, so both the
+//! fine-grained machine and the coarse fleet stepper share one kill policy.
+
+use crate::config::LmkdThresholds;
+use crate::process::{MemProcess, OomAdj, ProcKind};
+use serde::{Deserialize, Serialize};
+
+/// Which band of processes the current pressure makes killable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillBand {
+    /// Nothing is killable.
+    None,
+    /// `60 < P < 95`: background work — services, previous app, cached apps.
+    Cached,
+    /// `P ≥ 95`: foreground apps included.
+    Foreground,
+}
+
+impl KillBand {
+    /// Decide the band from the current pressure estimate.
+    pub fn from_pressure(p: Option<f64>, t: &LmkdThresholds) -> KillBand {
+        match p {
+            Some(p) if p >= t.kill_foreground => KillBand::Foreground,
+            Some(p) if p > t.kill_cached => KillBand::Cached,
+            _ => KillBand::None,
+        }
+    }
+
+    /// Minimum `oom_adj` a process must have to be killable in this band.
+    pub fn min_adj(self) -> Option<OomAdj> {
+        match self {
+            KillBand::None => None,
+            // Services (adj 5) and colder are fair game in the cached band.
+            KillBand::Cached => Some(OomAdj(5)),
+            KillBand::Foreground => Some(OomAdj(0)),
+        }
+    }
+}
+
+/// Pick the lmkd victim among `procs`: the live process with the highest
+/// `oom_adj` at or above the band's cutoff; ties broken toward the largest
+/// killable footprint, then the lowest pid for determinism.
+pub fn select_victim<'a, I>(procs: I, band: KillBand) -> Option<&'a MemProcess>
+where
+    I: IntoIterator<Item = &'a MemProcess>,
+{
+    let min_adj = band.min_adj()?;
+    procs
+        .into_iter()
+        .filter(|p| !p.dead && p.kind != ProcKind::System && p.oom_adj >= min_adj)
+        .max_by(|a, b| {
+            a.oom_adj
+                .cmp(&b.oom_adj)
+                .then(a.killable_footprint().cmp(&b.killable_footprint()))
+                .then(b.id.cmp(&a.id)) // lower pid wins a full tie
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pages::Pages;
+    use crate::process::ProcessId;
+
+    fn proc(id: u32, kind: ProcKind, anon_mib: u64) -> MemProcess {
+        let mut p = MemProcess::new(ProcessId(id), format!("p{id}"), kind);
+        p.anon_resident = Pages::from_mib(anon_mib);
+        p
+    }
+
+    #[test]
+    fn band_from_pressure_matches_paper_thresholds() {
+        let t = LmkdThresholds::default();
+        assert_eq!(KillBand::from_pressure(None, &t), KillBand::None);
+        assert_eq!(KillBand::from_pressure(Some(30.0), &t), KillBand::None);
+        assert_eq!(KillBand::from_pressure(Some(60.0), &t), KillBand::None);
+        assert_eq!(KillBand::from_pressure(Some(61.0), &t), KillBand::Cached);
+        assert_eq!(KillBand::from_pressure(Some(94.9), &t), KillBand::Cached);
+        assert_eq!(KillBand::from_pressure(Some(95.0), &t), KillBand::Foreground);
+        assert_eq!(KillBand::from_pressure(Some(100.0), &t), KillBand::Foreground);
+    }
+
+    #[test]
+    fn cached_band_spares_foreground() {
+        let procs = vec![
+            proc(1, ProcKind::Foreground, 300),
+            proc(2, ProcKind::Cached, 50),
+            proc(3, ProcKind::Service, 80),
+        ];
+        let victim = select_victim(&procs, KillBand::Cached).unwrap();
+        assert_eq!(victim.id, ProcessId(2), "cached app dies before service");
+    }
+
+    #[test]
+    fn foreground_band_can_kill_video_client() {
+        let procs = vec![proc(1, ProcKind::Foreground, 300)];
+        assert_eq!(select_victim(&procs, KillBand::Cached), None);
+        let victim = select_victim(&procs, KillBand::Foreground).unwrap();
+        assert_eq!(victim.id, ProcessId(1));
+    }
+
+    #[test]
+    fn system_processes_are_never_victims() {
+        let procs = vec![proc(1, ProcKind::System, 500)];
+        assert_eq!(select_victim(&procs, KillBand::Foreground), None);
+    }
+
+    #[test]
+    fn ties_break_toward_largest_footprint() {
+        let procs = vec![
+            proc(1, ProcKind::Cached, 20),
+            proc(2, ProcKind::Cached, 90),
+            proc(3, ProcKind::Cached, 40),
+        ];
+        let victim = select_victim(&procs, KillBand::Cached).unwrap();
+        assert_eq!(victim.id, ProcessId(2));
+    }
+
+    #[test]
+    fn dead_processes_are_skipped() {
+        let mut dead = proc(1, ProcKind::Cached, 90);
+        dead.dead = true;
+        let procs = vec![dead, proc(2, ProcKind::Cached, 10)];
+        let victim = select_victim(&procs, KillBand::Cached).unwrap();
+        assert_eq!(victim.id, ProcessId(2));
+    }
+
+    #[test]
+    fn none_band_selects_nothing() {
+        let procs = vec![proc(1, ProcKind::Cached, 90)];
+        assert_eq!(select_victim(&procs, KillBand::None), None);
+    }
+}

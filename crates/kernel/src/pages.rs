@@ -1,0 +1,156 @@
+//! Page-count arithmetic.
+//!
+//! Android (and this model) manages memory in fixed 4 KiB pages (§2 of the
+//! paper). [`Pages`] is a counted quantity with byte/MiB conversions so the
+//! rest of the workspace never multiplies raw integers by 4096 by hand.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Size of one page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A count of 4 KiB pages.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Pages(pub u64);
+
+impl Pages {
+    /// Zero pages.
+    pub const ZERO: Pages = Pages(0);
+
+    /// Construct from a raw page count.
+    pub const fn new(n: u64) -> Pages {
+        Pages(n)
+    }
+
+    /// Pages needed to hold `bytes` (rounded up).
+    pub const fn from_bytes(bytes: u64) -> Pages {
+        Pages(bytes.div_ceil(PAGE_SIZE))
+    }
+
+    /// Pages in `mib` mebibytes.
+    pub const fn from_mib(mib: u64) -> Pages {
+        Pages(mib * 1024 * 1024 / PAGE_SIZE)
+    }
+
+    /// Pages needed to hold a fractional MiB quantity (rounded up).
+    pub fn from_mib_f64(mib: f64) -> Pages {
+        Pages((mib * 256.0).ceil().max(0.0) as u64)
+    }
+
+    /// Raw page count.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Total bytes represented.
+    pub const fn bytes(self) -> u64 {
+        self.0 * PAGE_SIZE
+    }
+
+    /// Size in mebibytes.
+    pub fn mib(self) -> f64 {
+        self.bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// True if zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Pages) -> Pages {
+        Pages(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two counts.
+    pub fn min(self, other: Pages) -> Pages {
+        Pages(self.0.min(other.0))
+    }
+
+    /// The larger of two counts.
+    pub fn max(self, other: Pages) -> Pages {
+        Pages(self.0.max(other.0))
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest page.
+    pub fn mul_f64(self, k: f64) -> Pages {
+        debug_assert!(k >= 0.0);
+        Pages((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add for Pages {
+    type Output = Pages;
+    fn add(self, rhs: Pages) -> Pages {
+        Pages(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Pages {
+    fn add_assign(&mut self, rhs: Pages) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Pages {
+    type Output = Pages;
+    fn sub(self, rhs: Pages) -> Pages {
+        debug_assert!(self.0 >= rhs.0, "page count went negative");
+        Pages(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Pages {
+    fn sub_assign(&mut self, rhs: Pages) {
+        debug_assert!(self.0 >= rhs.0, "page count went negative");
+        self.0 -= rhs.0;
+    }
+}
+impl Sum for Pages {
+    fn sum<I: Iterator<Item = Pages>>(iter: I) -> Pages {
+        iter.fold(Pages::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Pages {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MiB", self.mib())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversions_round_up() {
+        assert_eq!(Pages::from_bytes(0), Pages(0));
+        assert_eq!(Pages::from_bytes(1), Pages(1));
+        assert_eq!(Pages::from_bytes(4096), Pages(1));
+        assert_eq!(Pages::from_bytes(4097), Pages(2));
+    }
+
+    #[test]
+    fn mib_roundtrip() {
+        assert_eq!(Pages::from_mib(1), Pages(256));
+        assert_eq!(Pages::from_mib(1024).bytes(), 1024 * 1024 * 1024);
+        assert!((Pages::from_mib(17).mib() - 17.0).abs() < 1e-12);
+        assert_eq!(Pages::from_mib_f64(0.5), Pages(128));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Pages(100);
+        let b = Pages(30);
+        assert_eq!(a + b, Pages(130));
+        assert_eq!(a - b, Pages(70));
+        assert_eq!(b.saturating_sub(a), Pages::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.mul_f64(0.5), Pages(50));
+        let total: Pages = [a, b, Pages(1)].into_iter().sum();
+        assert_eq!(total, Pages(131));
+    }
+}

@@ -1,0 +1,203 @@
+//! Processes as the memory manager sees them.
+//!
+//! Android classifies processes into priority groups and assigns each an
+//! `oom_adj` score — low-priority (cached/empty) processes get high scores
+//! and are killed first (§2, "Killing of processes"). This module models a
+//! process's memory footprint (resident anonymous pages, pages swapped to
+//! zRAM, resident file-backed pages and the file working-set they belong
+//! to) plus the priority metadata lmkd and the trim-signal logic need.
+
+use crate::pages::Pages;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for a simulated process.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub u32);
+
+/// Android-style process priority classes, ordered hot → cold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProcKind {
+    /// Core system processes (system_server, surfaceflinger). Never killed.
+    System,
+    /// Persistent apps (phone, launcher shell). Effectively never killed.
+    Persistent,
+    /// The app the user is interacting with — the video client in our
+    /// experiments. Killable only at `P ≥ 95`.
+    Foreground,
+    /// Visible-but-not-focused apps and bound services.
+    Visible,
+    /// Started services doing background work.
+    Service,
+    /// The previous app, kept warm for fast switching.
+    Previous,
+    /// Cached (backgrounded) apps — first in line for lmkd.
+    Cached,
+}
+
+impl ProcKind {
+    /// The classic `oom_adj` score Android associates with this class.
+    pub fn default_oom_adj(self) -> OomAdj {
+        match self {
+            ProcKind::System => OomAdj(-16),
+            ProcKind::Persistent => OomAdj(-12),
+            ProcKind::Foreground => OomAdj(0),
+            ProcKind::Visible => OomAdj(1),
+            ProcKind::Service => OomAdj(5),
+            ProcKind::Previous => OomAdj(7),
+            ProcKind::Cached => OomAdj(9),
+        }
+    }
+
+    /// Whether this process counts toward the cached/empty LRU that drives
+    /// `onTrimMemory` levels (paper §2, footnote 6).
+    pub fn counts_as_cached(self) -> bool {
+        matches!(self, ProcKind::Cached | ProcKind::Previous)
+    }
+
+    /// Reclaim "coldness": kswapd prefers stealing pages from colder
+    /// processes. Higher = colder = reclaimed first.
+    pub fn reclaim_order(self) -> u8 {
+        match self {
+            ProcKind::Cached => 6,
+            ProcKind::Previous => 5,
+            ProcKind::Service => 4,
+            ProcKind::Visible => 3,
+            ProcKind::Persistent => 2,
+            ProcKind::Foreground => 1,
+            ProcKind::System => 0,
+        }
+    }
+}
+
+/// An `oom_adj` badness score. Higher means killed earlier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct OomAdj(pub i8);
+
+/// Memory-accounting state for one process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemProcess {
+    /// Stable identifier.
+    pub id: ProcessId,
+    /// Display name ("firefox", "kswapd0", "com.example.bg3", …).
+    pub name: String,
+    /// Priority class.
+    pub kind: ProcKind,
+    /// Kill-priority score (defaults from `kind`, adjustable).
+    pub oom_adj: OomAdj,
+    /// Resident anonymous pages (heap, decoded surfaces, JS heap …).
+    pub anon_resident: Pages,
+    /// Anonymous pages currently compressed into zRAM.
+    pub anon_in_zram: Pages,
+    /// Resident file-backed (page-cache) pages attributed to this process.
+    pub file_resident: Pages,
+    /// Total file-backed working set (code, mmap'd resources). Evicted file
+    /// pages refault from disk when touched.
+    pub file_ws: Pages,
+    /// Fraction of this process's file pages that are shared with others
+    /// (libraries). Scales the PSS contribution of `file_resident`.
+    pub file_share: f64,
+    /// True once killed; kept for post-mortem accounting.
+    pub dead: bool,
+}
+
+impl MemProcess {
+    /// Create a process with no memory yet.
+    pub fn new(id: ProcessId, name: impl Into<String>, kind: ProcKind) -> MemProcess {
+        MemProcess {
+            id,
+            name: name.into(),
+            kind,
+            oom_adj: kind.default_oom_adj(),
+            anon_resident: Pages::ZERO,
+            anon_in_zram: Pages::ZERO,
+            file_resident: Pages::ZERO,
+            file_ws: Pages::ZERO,
+            file_share: 0.0,
+            dead: false,
+        }
+    }
+
+    /// Total anonymous footprint (resident + swapped).
+    pub fn anon_total(&self) -> Pages {
+        self.anon_resident + self.anon_in_zram
+    }
+
+    /// Proportional Set Size — what `dumpsys meminfo` reports and what the
+    /// paper's Fig. 8 plots: private (anonymous) pages plus the process's
+    /// proportional share of shared (file-backed) pages. Pages compressed
+    /// into zRAM are *not* resident and do not count.
+    pub fn pss(&self) -> Pages {
+        let shared_part = self.file_resident.mul_f64(1.0 - self.file_share / 2.0);
+        self.anon_resident + shared_part
+    }
+
+    /// Resident set size (everything resident, unscaled).
+    pub fn rss(&self) -> Pages {
+        self.anon_resident + self.file_resident
+    }
+
+    /// Pages that would be freed if this process were killed right now
+    /// (resident + zRAM slots it pins, before compression accounting).
+    pub fn killable_footprint(&self) -> Pages {
+        self.anon_resident + self.anon_in_zram + self.file_resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_adj_ordering_matches_kill_order() {
+        // Colder classes must have strictly higher scores than hotter ones.
+        let order = [
+            ProcKind::System,
+            ProcKind::Persistent,
+            ProcKind::Foreground,
+            ProcKind::Visible,
+            ProcKind::Service,
+            ProcKind::Previous,
+            ProcKind::Cached,
+        ];
+        for pair in order.windows(2) {
+            assert!(
+                pair[0].default_oom_adj() < pair[1].default_oom_adj(),
+                "{:?} vs {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn cached_lru_membership() {
+        assert!(ProcKind::Cached.counts_as_cached());
+        assert!(ProcKind::Previous.counts_as_cached());
+        assert!(!ProcKind::Foreground.counts_as_cached());
+        assert!(!ProcKind::System.counts_as_cached());
+    }
+
+    #[test]
+    fn pss_excludes_zram_and_discounts_shared() {
+        let mut p = MemProcess::new(ProcessId(1), "firefox", ProcKind::Foreground);
+        p.anon_resident = Pages(1000);
+        p.anon_in_zram = Pages(500);
+        p.file_resident = Pages(400);
+        p.file_share = 0.5; // half the file pages are shared libraries
+        // shared discount: 400 * (1 - 0.25) = 300
+        assert_eq!(p.pss(), Pages(1300));
+        assert_eq!(p.rss(), Pages(1400));
+        assert_eq!(p.anon_total(), Pages(1500));
+        assert_eq!(p.killable_footprint(), Pages(1900));
+    }
+
+    #[test]
+    fn reclaim_order_prefers_cached() {
+        assert!(ProcKind::Cached.reclaim_order() > ProcKind::Foreground.reclaim_order());
+        assert!(ProcKind::Foreground.reclaim_order() > ProcKind::System.reclaim_order());
+    }
+}

@@ -1,0 +1,121 @@
+//! `onTrimMemory`-style memory-pressure signal levels.
+//!
+//! Android notifies foreground/running apps with Moderate, Low and Critical
+//! trim signals (§2 of the paper). The level is derived from how many
+//! cached/empty processes remain in the LRU: because Android aggressively
+//! caches processes, a shrinking cached list *is* the pressure signal
+//! (paper fn. 6). `Normal` is the absence of a signal.
+
+use crate::config::TrimThresholds;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory-pressure signal level, ordered by severity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum TrimLevel {
+    /// No memory pressure signal.
+    #[default]
+    Normal,
+    /// `TRIM_MEMORY_RUNNING_MODERATE`: reclaim has begun; app not killable.
+    Moderate,
+    /// `TRIM_MEMORY_RUNNING_LOW`: lack of memory will impact foreground
+    /// performance.
+    Low,
+    /// `TRIM_MEMORY_RUNNING_CRITICAL`: the system cannot keep background
+    /// processes alive; the foreground app may be next.
+    Critical,
+}
+
+impl TrimLevel {
+    /// All levels, mildest first.
+    pub const ALL: [TrimLevel; 4] = [
+        TrimLevel::Normal,
+        TrimLevel::Moderate,
+        TrimLevel::Low,
+        TrimLevel::Critical,
+    ];
+
+    /// Non-Normal levels (the ones that generate signals).
+    pub const SIGNALS: [TrimLevel; 3] =
+        [TrimLevel::Moderate, TrimLevel::Low, TrimLevel::Critical];
+
+    /// Derive the level from the current cached/empty process count.
+    pub fn from_cached_count(cached: u32, t: &TrimThresholds) -> TrimLevel {
+        if cached <= t.critical {
+            TrimLevel::Critical
+        } else if cached <= t.low {
+            TrimLevel::Low
+        } else if cached <= t.moderate {
+            TrimLevel::Moderate
+        } else {
+            TrimLevel::Normal
+        }
+    }
+
+    /// True for any level other than `Normal`.
+    pub fn is_pressure(self) -> bool {
+        self != TrimLevel::Normal
+    }
+
+    /// Severity as an index 0..=3 (Normal..Critical).
+    pub fn severity(self) -> usize {
+        match self {
+            TrimLevel::Normal => 0,
+            TrimLevel::Moderate => 1,
+            TrimLevel::Low => 2,
+            TrimLevel::Critical => 3,
+        }
+    }
+}
+
+impl fmt::Display for TrimLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrimLevel::Normal => "Normal",
+            TrimLevel::Moderate => "Moderate",
+            TrimLevel::Low => "Low",
+            TrimLevel::Critical => "Critical",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nokia1_thresholds() {
+        let t = TrimThresholds::NOKIA1;
+        assert_eq!(TrimLevel::from_cached_count(10, &t), TrimLevel::Normal);
+        assert_eq!(TrimLevel::from_cached_count(7, &t), TrimLevel::Normal);
+        assert_eq!(TrimLevel::from_cached_count(6, &t), TrimLevel::Moderate);
+        assert_eq!(TrimLevel::from_cached_count(5, &t), TrimLevel::Low);
+        assert_eq!(TrimLevel::from_cached_count(4, &t), TrimLevel::Low);
+        assert_eq!(TrimLevel::from_cached_count(3, &t), TrimLevel::Critical);
+        assert_eq!(TrimLevel::from_cached_count(0, &t), TrimLevel::Critical);
+    }
+
+    #[test]
+    fn severity_is_monotone_in_cached_count() {
+        let t = TrimThresholds::NOKIA1;
+        let mut last = usize::MAX;
+        for cached in 0..12 {
+            let sev = TrimLevel::from_cached_count(cached, &t).severity();
+            assert!(sev <= last, "severity must not increase with more cached procs");
+            last = sev;
+        }
+    }
+
+    #[test]
+    fn ordering_matches_severity() {
+        assert!(TrimLevel::Normal < TrimLevel::Moderate);
+        assert!(TrimLevel::Moderate < TrimLevel::Low);
+        assert!(TrimLevel::Low < TrimLevel::Critical);
+        for l in TrimLevel::ALL {
+            assert_eq!(l.is_pressure(), l != TrimLevel::Normal);
+        }
+    }
+}

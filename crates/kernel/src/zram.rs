@@ -1,0 +1,147 @@
+//! zRAM: Android's compressed in-memory swap.
+//!
+//! Android phones ship without a disk swap partition; instead, reclaim
+//! compresses anonymous (and modified file-backed) pages into a RAM-resident
+//! pool (paper §2, footnote 4). Compression buys capacity at a CPU price —
+//! which is exactly the coin kswapd spends when it becomes the busiest
+//! thread on the device under Moderate pressure (paper Fig. 13).
+//!
+//! The pool stores logical pages at a configurable compression ratio and is
+//! itself carved out of physical RAM, so every 4 KiB page swapped in frees
+//! only `1 − 1/ratio` of a page of real memory.
+
+use crate::pages::Pages;
+use serde::{Deserialize, Serialize};
+
+/// The compressed swap pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zram {
+    /// Maximum *logical* (uncompressed) pages the pool may hold. Android
+    /// typically sizes zRAM at 25–50% of RAM in logical terms.
+    capacity_logical: Pages,
+    /// Average compression ratio (logical bytes / compressed bytes). LZ4 on
+    /// typical app heaps achieves ≈ 2.8:1.
+    ratio: f64,
+    /// Logical pages currently stored.
+    stored_logical: Pages,
+}
+
+impl Zram {
+    /// Create a pool with the given logical capacity and compression ratio.
+    pub fn new(capacity_logical: Pages, ratio: f64) -> Zram {
+        assert!(ratio >= 1.0, "compression ratio must be ≥ 1");
+        Zram {
+            capacity_logical,
+            ratio,
+            stored_logical: Pages::ZERO,
+        }
+    }
+
+    /// Logical pages currently stored.
+    pub fn stored(&self) -> Pages {
+        self.stored_logical
+    }
+
+    /// Physical pages the pool currently occupies (compressed size, rounded
+    /// up so a non-empty pool always costs at least one page).
+    pub fn physical_used(&self) -> Pages {
+        if self.stored_logical.is_zero() {
+            return Pages::ZERO;
+        }
+        Pages::new(
+            ((self.stored_logical.count() as f64 / self.ratio).ceil() as u64).max(1),
+        )
+    }
+
+    /// Remaining logical capacity.
+    pub fn logical_free(&self) -> Pages {
+        self.capacity_logical.saturating_sub(self.stored_logical)
+    }
+
+    /// True when no more pages can be swapped in.
+    pub fn is_full(&self) -> bool {
+        self.logical_free().is_zero()
+    }
+
+    /// Store up to `want` logical pages. Returns `(stored, physical_growth)`:
+    /// how many logical pages were accepted and how many *additional*
+    /// physical pages the pool now occupies. The caller moves `stored` pages
+    /// out of a process's resident set and deducts `physical_growth` from
+    /// free memory.
+    pub fn store(&mut self, want: Pages) -> (Pages, Pages) {
+        let before = self.physical_used();
+        let stored = want.min(self.logical_free());
+        self.stored_logical += stored;
+        (stored, self.physical_used() - before)
+    }
+
+    /// Remove `n` logical pages (a swap-in / decompression fault, or the
+    /// death of a process whose pages were swapped). Returns the physical
+    /// pages released back to the free pool.
+    pub fn release(&mut self, n: Pages) -> Pages {
+        let n = n.min(self.stored_logical);
+        let before = self.physical_used();
+        self.stored_logical -= n;
+        before - self.physical_used()
+    }
+
+    /// Effective space saved so far: logical stored minus physical used.
+    pub fn pages_saved(&self) -> Pages {
+        self.stored_logical.saturating_sub(self.physical_used())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_reports_physical_growth() {
+        let mut z = Zram::new(Pages(1000), 2.0);
+        let (stored, grew) = z.store(Pages(100));
+        assert_eq!(stored, Pages(100));
+        assert_eq!(grew, Pages(50));
+        assert_eq!(z.physical_used(), Pages(50));
+        assert_eq!(z.pages_saved(), Pages(50));
+    }
+
+    #[test]
+    fn store_clamps_at_capacity() {
+        let mut z = Zram::new(Pages(10), 2.0);
+        let (stored, _) = z.store(Pages(25));
+        assert_eq!(stored, Pages(10));
+        assert!(z.is_full());
+        let (more, grew) = z.store(Pages(1));
+        assert_eq!(more, Pages::ZERO);
+        assert_eq!(grew, Pages::ZERO);
+    }
+
+    #[test]
+    fn release_returns_physical_pages() {
+        let mut z = Zram::new(Pages(1000), 2.0);
+        z.store(Pages(200));
+        let freed = z.release(Pages(100));
+        assert_eq!(freed, Pages(50));
+        assert_eq!(z.stored(), Pages(100));
+        // Releasing more than stored is clamped.
+        let freed = z.release(Pages(500));
+        assert_eq!(freed, Pages(50));
+        assert_eq!(z.stored(), Pages::ZERO);
+        assert_eq!(z.physical_used(), Pages::ZERO);
+    }
+
+    #[test]
+    fn non_empty_pool_costs_at_least_one_page() {
+        let mut z = Zram::new(Pages(1000), 4.0);
+        z.store(Pages(1));
+        assert_eq!(z.physical_used(), Pages(1));
+    }
+
+    #[test]
+    fn fractional_ratio_rounds_up() {
+        let mut z = Zram::new(Pages(1000), 2.8);
+        z.store(Pages(7));
+        // 7 / 2.8 = 2.5 → 3 physical pages
+        assert_eq!(z.physical_used(), Pages(3));
+    }
+}

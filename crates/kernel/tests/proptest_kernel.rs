@@ -1,0 +1,183 @@
+//! Property tests on the memory manager's core invariants.
+
+use mvqoe_kernel::manager::KillSource;
+use mvqoe_kernel::{MemConfig, MemoryManager, Pages, ProcKind, TrimLevel};
+use mvqoe_sim::SimTime;
+use proptest::prelude::*;
+
+/// Operations the fuzzer may apply to a populated manager.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { proc_idx: usize, mib: u64 },
+    Free { proc_idx: usize, mib: u64 },
+    TouchAnon { proc_idx: usize, mib: u64 },
+    TouchFile { proc_idx: usize, mib: u64 },
+    KswapdBatch,
+    Kill { proc_idx: usize },
+    Spawn { mib: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..12usize, 1..64u64).prop_map(|(proc_idx, mib)| Op::Alloc { proc_idx, mib }),
+        (0..12usize, 1..64u64).prop_map(|(proc_idx, mib)| Op::Free { proc_idx, mib }),
+        (0..12usize, 1..32u64).prop_map(|(proc_idx, mib)| Op::TouchAnon { proc_idx, mib }),
+        (0..12usize, 1..32u64).prop_map(|(proc_idx, mib)| Op::TouchFile { proc_idx, mib }),
+        Just(Op::KswapdBatch),
+        (0..12usize).prop_map(|proc_idx| Op::Kill { proc_idx }),
+        (8..80u64).prop_map(|mib| Op::Spawn { mib }),
+    ]
+}
+
+fn populated() -> MemoryManager {
+    let mut mm = MemoryManager::new(MemConfig::for_ram_mib(1024));
+    mm.spawn_sized(
+        SimTime::ZERO,
+        "system",
+        ProcKind::System,
+        Pages::from_mib(120),
+        Pages::from_mib(80),
+        Pages::from_mib(60),
+        0.3,
+    );
+    for i in 0..8 {
+        mm.spawn_sized(
+            SimTime::ZERO,
+            format!("bg{i}"),
+            ProcKind::Cached,
+            Pages::from_mib(30),
+            Pages::from_mib(20),
+            Pages::from_mib(12),
+            0.5,
+        );
+    }
+    mm.spawn_sized(
+        SimTime::ZERO,
+        "fg",
+        ProcKind::Foreground,
+        Pages::from_mib(100),
+        Pages::from_mib(60),
+        Pages::from_mib(40),
+        0.4,
+    );
+    mm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of operations runs, every page is accounted for:
+    /// free + zRAM physical + resident == usable.
+    #[test]
+    fn page_accounting_is_conserved(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut mm = populated();
+        let usable = mm.config().usable();
+        for (step, op) in ops.into_iter().enumerate() {
+            let now = SimTime::from_millis(step as u64 * 10);
+            let n_procs = mm.procs().len();
+            match op {
+                Op::Alloc { proc_idx, mib } => {
+                    let pid = mm.procs()[proc_idx % n_procs].id;
+                    if !mm.proc(pid).dead {
+                        mm.alloc_anon(now, pid, Pages::from_mib(mib));
+                    }
+                }
+                Op::Free { proc_idx, mib } => {
+                    let pid = mm.procs()[proc_idx % n_procs].id;
+                    mm.free_anon(now, pid, Pages::from_mib(mib).min(mm.proc(pid).anon_total()));
+                }
+                Op::TouchAnon { proc_idx, mib } => {
+                    let pid = mm.procs()[proc_idx % n_procs].id;
+                    if !mm.proc(pid).dead {
+                        mm.touch_anon(now, pid, Pages::from_mib(mib));
+                    }
+                }
+                Op::TouchFile { proc_idx, mib } => {
+                    let pid = mm.procs()[proc_idx % n_procs].id;
+                    if !mm.proc(pid).dead {
+                        mm.touch_file(now, pid, Pages::from_mib(mib));
+                    }
+                }
+                Op::KswapdBatch => {
+                    if mm.kswapd_needed(now) {
+                        mm.kswapd_batch(now);
+                    }
+                }
+                Op::Kill { proc_idx } => {
+                    let p = &mm.procs()[proc_idx % n_procs];
+                    if !p.dead && p.kind != ProcKind::System {
+                        let pid = p.id;
+                        mm.kill(now, pid, KillSource::Lmkd);
+                    }
+                }
+                Op::Spawn { mib } => {
+                    mm.spawn_sized(
+                        now,
+                        format!("dyn@{step}"),
+                        ProcKind::Cached,
+                        Pages::from_mib(mib),
+                        Pages::from_mib(mib / 2),
+                        Pages::from_mib(mib / 3),
+                        0.5,
+                    );
+                }
+            }
+            prop_assert_eq!(mm.accounted_pages(), usable, "after step {}", step);
+        }
+    }
+
+    /// The trim level is a pure, monotone function of the cached count.
+    #[test]
+    fn trim_level_monotone(cached in 0u32..40) {
+        let t = mvqoe_kernel::config::TrimThresholds::NOKIA1;
+        let here = TrimLevel::from_cached_count(cached, &t);
+        let more = TrimLevel::from_cached_count(cached + 1, &t);
+        prop_assert!(more <= here, "adding a cached proc must not raise severity");
+    }
+
+    /// Reclaim never steals below a process's hot floor.
+    #[test]
+    fn floors_are_respected(floor_mib in 10u64..80, pressure_mib in 100u64..600) {
+        let mut mm = populated();
+        let fg = mm.procs().iter().find(|p| p.name == "fg").unwrap().id;
+        let floor = Pages::from_mib(floor_mib).min(mm.proc(fg).anon_resident);
+        mm.set_floor(fg, floor, Pages::ZERO);
+        let hog = mm.spawn(SimTime::ZERO, "hog", ProcKind::Foreground);
+        mm.set_floor(hog, Pages::from_mib(4096), Pages::ZERO);
+        mm.alloc_anon(SimTime::from_millis(1), hog, Pages::from_mib(pressure_mib));
+        for i in 0..200u64 {
+            let now = SimTime::from_millis(2 + i * 5);
+            if mm.kswapd_needed(now) {
+                mm.kswapd_batch(now);
+            }
+        }
+        prop_assert!(
+            mm.proc(fg).anon_resident >= floor,
+            "floor {} violated: resident {}",
+            floor, mm.proc(fg).anon_resident
+        );
+    }
+
+    /// Killing a process returns exactly its resident + compressed share,
+    /// and a dead process holds nothing.
+    #[test]
+    fn kill_reclaims_everything(mib in 16u64..256) {
+        let mut mm = populated();
+        let (pid, _) = mm.spawn_sized(
+            SimTime::ZERO,
+            "victim",
+            ProcKind::Cached,
+            Pages::from_mib(mib),
+            Pages::from_mib(mib / 2),
+            Pages::from_mib(mib / 4),
+            0.5,
+        );
+        mm.kill(SimTime::from_millis(1), pid, KillSource::Lmkd);
+        let p = mm.proc(pid);
+        prop_assert!(p.dead);
+        prop_assert_eq!(p.anon_resident, Pages::ZERO);
+        prop_assert_eq!(p.anon_in_zram, Pages::ZERO);
+        prop_assert_eq!(p.file_resident, Pages::ZERO);
+        prop_assert_eq!(mm.accounted_pages(), mm.config().usable());
+    }
+}

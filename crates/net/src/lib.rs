@@ -1,0 +1,21 @@
+//! Network model for DASH streaming.
+//!
+//! The paper's testbed (Fig. 7) is a phone streaming from an Apache server
+//! over a dedicated WiFi LAN, provisioned so the network is *never* the
+//! bottleneck — the playback buffer fills immediately and stays full, which
+//! is what isolates memory pressure as the only variable. This crate
+//! reproduces that setup and also supports constrained/varying links so the
+//! ABR-ablation experiments can exercise network-driven adaptation
+//! alongside the paper's memory-driven adaptation:
+//!
+//! * [`Link`] — a piecewise-constant-rate serial link with propagation
+//!   latency and optional loss-retry degradation;
+//! * [`SegmentServer`] — per-request server overhead in front of the link,
+//!   with a running estimate of delivered throughput (the signal classic
+//!   ABR algorithms consume).
+
+pub mod link;
+pub mod server;
+
+pub use link::{Link, LinkParams};
+pub use server::SegmentServer;

@@ -1,0 +1,225 @@
+//! A serial link with a piecewise-constant rate schedule.
+
+use mvqoe_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Static link parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Base rate in Mbit/s. The paper's LAN is fast enough to never
+    /// bottleneck (≥ ~80 Mbit/s WiFi to one client).
+    pub rate_mbps: f64,
+    /// One-way propagation latency added to every transfer.
+    pub latency: SimDuration,
+    /// Packet-loss probability per transfer; each loss event costs one
+    /// retry round-trip (coarse TCP model, for fault injection).
+    pub loss_prob: f64,
+    /// Optional rate schedule: `(from_time, rate_mbps)` change-points,
+    /// sorted by time. Overrides `rate_mbps` from each change-point on.
+    pub schedule: Vec<(SimTime, f64)>,
+}
+
+impl LinkParams {
+    /// The paper's dedicated WiFi LAN: fast, low latency, lossless.
+    pub fn paper_lan() -> LinkParams {
+        LinkParams {
+            rate_mbps: 120.0,
+            latency: SimDuration::from_millis(4),
+            loss_prob: 0.0,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// A constrained link for ABR experiments.
+    pub fn constrained(rate_mbps: f64) -> LinkParams {
+        LinkParams {
+            rate_mbps,
+            latency: SimDuration::from_millis(25),
+            loss_prob: 0.0,
+            schedule: Vec::new(),
+        }
+    }
+}
+
+/// The link: one transfer at a time (HTTP/1.1 over one TCP connection, as
+/// dash.js uses for sequential segment fetches).
+#[derive(Debug, Clone)]
+pub struct Link {
+    params: LinkParams,
+    busy_until: SimTime,
+    bytes_delivered: u64,
+}
+
+impl Link {
+    /// Create a link.
+    pub fn new(params: LinkParams) -> Link {
+        Link {
+            params,
+            busy_until: SimTime::ZERO,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// Rate in effect at time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let mut rate = self.params.rate_mbps;
+        for &(from, r) in &self.params.schedule {
+            if t >= from {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+
+    /// Begin transferring `bytes` at `now`; returns the completion time.
+    ///
+    /// The transfer is integrated across rate change-points, serialized
+    /// behind any transfer already in flight, and prefixed with latency.
+    pub fn start_transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        } + self.params.latency;
+        let mut remaining_bits = bytes as f64 * 8.0;
+        let mut t = start;
+        // Integrate across the (finite) schedule; cap iterations defensively.
+        for _ in 0..self.params.schedule.len() + 1 {
+            let rate = self.rate_at(t).max(0.01); // Mbit/s == bit/µs
+            let next_change = self
+                .params
+                .schedule
+                .iter()
+                .map(|&(from, _)| from)
+                .find(|&from| from > t);
+            let finish_at_rate = t + SimDuration::from_micros((remaining_bits / rate).ceil() as u64);
+            match next_change {
+                Some(change) if change < finish_at_rate => {
+                    remaining_bits -= (change - t).as_micros() as f64 * rate;
+                    t = change;
+                }
+                _ => {
+                    t = finish_at_rate;
+                    remaining_bits = 0.0;
+                    break;
+                }
+            }
+        }
+        if remaining_bits > 0.0 {
+            let rate = self.rate_at(t).max(0.01);
+            t += SimDuration::from_micros((remaining_bits / rate).ceil() as u64);
+        }
+        // Loss retries: expected retry cost folded in deterministically.
+        if self.params.loss_prob > 0.0 {
+            let penalty = self
+                .params
+                .latency
+                .mul_f64(2.0 * self.params.loss_prob / (1.0 - self.params.loss_prob).max(0.01));
+            t += penalty;
+        }
+        self.busy_until = t;
+        self.bytes_delivered += bytes;
+        t
+    }
+
+    /// Total bytes delivered so far.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// The link parameters (mutable for fault injection).
+    pub fn params_mut(&mut self) -> &mut LinkParams {
+        &mut self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn transfer_time_matches_rate() {
+        let mut link = Link::new(LinkParams {
+            rate_mbps: 8.0, // 1 MB/s
+            latency: SimDuration::ZERO,
+            loss_prob: 0.0,
+            schedule: Vec::new(),
+        });
+        let done = link.start_transfer(t(0), 1_000_000);
+        assert_eq!(done, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn latency_prefixes_every_transfer() {
+        let mut link = Link::new(LinkParams {
+            rate_mbps: 8.0,
+            latency: SimDuration::from_millis(10),
+            loss_prob: 0.0,
+            schedule: Vec::new(),
+        });
+        let done = link.start_transfer(t(0), 8_000); // 8 ms of transfer
+        assert_eq!(done, t(18));
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut link = Link::new(LinkParams {
+            rate_mbps: 8.0,
+            latency: SimDuration::ZERO,
+            loss_prob: 0.0,
+            schedule: Vec::new(),
+        });
+        let first = link.start_transfer(t(0), 1_000_000);
+        let second = link.start_transfer(t(0), 1_000_000);
+        assert_eq!(second, first + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn rate_schedule_applies() {
+        let mut link = Link::new(LinkParams {
+            rate_mbps: 8.0,
+            latency: SimDuration::ZERO,
+            loss_prob: 0.0,
+            schedule: vec![(SimTime::from_secs(1), 16.0)],
+        });
+        assert_eq!(link.rate_at(t(0)), 8.0);
+        assert_eq!(link.rate_at(SimTime::from_secs(2)), 16.0);
+        // 2 MB: first second moves 1 MB at 8 Mbit/s, second half-second the
+        // rest at 16 Mbit/s → total 1.5 s.
+        let done = link.start_transfer(t(0), 2_000_000);
+        assert_eq!(done, SimTime::from_micros(1_500_000));
+    }
+
+    #[test]
+    fn paper_lan_is_fast_enough_for_1080p60() {
+        // A 4 s chunk at the top YouTube ladder bitrate (~12 Mbit/s for
+        // 1080p60) must download far faster than real time.
+        let mut link = Link::new(LinkParams::paper_lan());
+        let chunk_bytes = (12.0 * 4.0 / 8.0 * 1e6) as u64;
+        let done = link.start_transfer(t(0), chunk_bytes);
+        assert!(
+            done < SimTime::from_millis(600),
+            "4 s chunk must arrive in ≪ 4 s, got {done}"
+        );
+    }
+
+    #[test]
+    fn loss_adds_penalty() {
+        let mk = |loss| {
+            let mut link = Link::new(LinkParams {
+                rate_mbps: 8.0,
+                latency: SimDuration::from_millis(20),
+                loss_prob: loss,
+                schedule: Vec::new(),
+            });
+            link.start_transfer(t(0), 100_000)
+        };
+        assert!(mk(0.2) > mk(0.0));
+    }
+}

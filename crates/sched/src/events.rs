@@ -1,0 +1,69 @@
+//! Scheduler event records — the simulation's analog of a Perfetto
+//! `sched_switch`/`sched_wakeup` trace.
+//!
+//! The device machine drains these each tick and forwards them to the
+//! tracer (`mvqoe-trace`), which answers the paper's §5 questions: top
+//! running threads, preemption counts, post-preemption run lengths, and
+//! victim wait times (Table 5).
+
+use crate::thread::{ThreadId, ThreadState};
+use mvqoe_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A completed work item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The thread that finished the work.
+    pub thread: ThreadId,
+    /// The tag supplied when the work was pushed.
+    pub tag: u64,
+    /// Completion time.
+    pub at: SimTime,
+}
+
+/// One preemption: `victim` was running and was displaced by `preempter`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreemptionRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// The displaced thread.
+    pub victim: ThreadId,
+    /// The thread that took the CPU.
+    pub preempter: ThreadId,
+    /// The core involved.
+    pub core: usize,
+}
+
+/// Kinds of scheduler events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedEventKind {
+    /// A thread started running on a core.
+    SwitchIn {
+        /// Core it runs on.
+        core: usize,
+    },
+    /// A thread stopped running on a core, entering `to_state`.
+    SwitchOut {
+        /// Core it left.
+        core: usize,
+        /// The state it entered.
+        to_state: ThreadState,
+    },
+    /// A sleeping/blocked thread became runnable.
+    Wakeup,
+    /// A thread blocked on I/O.
+    BlockIo,
+    /// A thread went to sleep (no work left).
+    Sleep,
+}
+
+/// A timestamped scheduler event for one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// The thread it concerns.
+    pub thread: ThreadId,
+    /// What happened.
+    pub kind: SchedEventKind,
+}

@@ -1,0 +1,31 @@
+//! A multi-core CPU scheduler model.
+//!
+//! §5 of *"Coal Not Diamonds"* attributes the frame drops under memory
+//! pressure to *scheduling interference*: `mmcqd` (the eMMC I/O daemon) has
+//! a strictly higher scheduling priority than foreground threads and
+//! preempts them, while `kswapd` shares the fair class with foreground
+//! threads and simply out-competes them for CPU time. This crate models
+//! exactly those relationships:
+//!
+//! * two scheduling classes — [`SchedClass::RealTime`] always beats
+//!   [`SchedClass::Fair`]; fair threads are picked by minimum virtual
+//!   runtime weighted by their share (a compact CFS);
+//! * per-thread state machine — Running / Runnable / Runnable-**Preempted**
+//!   / Sleeping / I/O-wait — with cumulative time accounting per state,
+//!   which is precisely what the paper's Table 4 and Fig. 13 report;
+//! * preemption records (who kicked whom off a core, and when the victim
+//!   next ran) feeding Table 5's `mmcqd` statistics;
+//! * core-migration counting, behind the paper's §7 observation that
+//!   `kswapd` hops cores.
+//!
+//! The scheduler is driven in fixed ticks by the device machine. Work is
+//! expressed in µs at a reference core speed; heterogeneous cores (e.g. the
+//! Nexus 6P's big.LITTLE pairing) scale execution by their speed factor.
+
+pub mod events;
+pub mod scheduler;
+pub mod thread;
+
+pub use events::{Completion, PreemptionRecord, SchedEvent, SchedEventKind};
+pub use scheduler::Scheduler;
+pub use thread::{SchedClass, StateTimes, Thread, ThreadId, ThreadState};

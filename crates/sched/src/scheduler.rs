@@ -1,0 +1,673 @@
+//! The tick-driven multi-core scheduler.
+//!
+//! Each tick (the device machine uses 1 ms), the scheduler picks the best
+//! `n_cores` ready threads — all real-time threads by priority first, then
+//! fair threads by minimum virtual runtime — charges the tick to every
+//! thread's current state, executes work on the running threads, and
+//! records preemptions, completions and switch events.
+
+use crate::events::{Completion, PreemptionRecord, SchedEvent, SchedEventKind};
+use crate::thread::{SchedClass, Thread, ThreadId, ThreadState, WorkItem};
+use mvqoe_sim::{SimDuration, SimTime};
+
+/// One CPU core.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Speed factor relative to the reference core (Nexus 5 @ 2.33 GHz =
+    /// 1.0; the Nokia 1's 1.1 GHz cores ≈ 0.47).
+    pub speed: f64,
+    /// Thread currently placed on this core.
+    pub running: Option<ThreadId>,
+}
+
+/// The scheduler for one device.
+#[derive(Debug)]
+pub struct Scheduler {
+    cores: Vec<Core>,
+    threads: Vec<Thread>,
+    now: SimTime,
+    completions: Vec<Completion>,
+    preemptions: Vec<PreemptionRecord>,
+    events: Vec<SchedEvent>,
+    min_vruntime: f64,
+    record_events: bool,
+}
+
+impl Scheduler {
+    /// Create a scheduler with no cores or threads.
+    pub fn new() -> Scheduler {
+        Scheduler {
+            cores: Vec::new(),
+            threads: Vec::new(),
+            now: SimTime::ZERO,
+            completions: Vec::new(),
+            preemptions: Vec::new(),
+            events: Vec::new(),
+            min_vruntime: 0.0,
+            record_events: true,
+        }
+    }
+
+    /// Disable per-switch event recording (keeps long runs lean; state-time
+    /// accounting and preemption records are unaffected).
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Add a core with the given speed factor. Returns its index.
+    pub fn add_core(&mut self, speed: f64) -> usize {
+        assert!(speed > 0.0);
+        self.cores.push(Core {
+            speed,
+            running: None,
+        });
+        self.cores.len() - 1
+    }
+
+    /// Spawn a thread (initially sleeping).
+    pub fn spawn(&mut self, name: impl Into<String>, class: SchedClass) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        let mut th = Thread::new(id, name, class);
+        th.state_since = self.now;
+        self.threads.push(th);
+        id
+    }
+
+    /// Tag a thread with its owning memory-model process.
+    pub fn set_proc_tag(&mut self, tid: ThreadId, tag: u32) {
+        self.threads[tid.0 as usize].proc_tag = tag.into();
+    }
+
+    /// Queue `us` µs (at reference speed) of work on a thread, waking it if
+    /// it was sleeping. The `tag` comes back in the [`Completion`].
+    pub fn push_work(&mut self, tid: ThreadId, us: f64, tag: u64) {
+        debug_assert!(us >= 0.0);
+        let min_vr = self.min_vruntime;
+        let now = self.now;
+        let record = self.record_events;
+        let th = &mut self.threads[tid.0 as usize];
+        if th.dead {
+            return;
+        }
+        th.work.push_back(WorkItem {
+            remaining_us: us,
+            tag,
+        });
+        if th.state == ThreadState::Sleeping {
+            th.state = ThreadState::Runnable;
+            th.state_since = now;
+            // CFS wakeup placement: don't let long sleepers hoard vruntime
+            // credit and starve everyone else.
+            th.vruntime = th.vruntime.max(min_vr);
+            if record {
+                self.events.push(SchedEvent {
+                    at: now,
+                    thread: tid,
+                    kind: SchedEventKind::Wakeup,
+                });
+            }
+        }
+    }
+
+    /// Block a thread on disk I/O. It leaves its core immediately and will
+    /// not run until [`Scheduler::unblock_io`].
+    pub fn block_io(&mut self, tid: ThreadId) {
+        let now = self.now;
+        let record = self.record_events;
+        let core_idx = self.threads[tid.0 as usize].on_core;
+        if let Some(c) = core_idx {
+            self.cores[c].running = None;
+        }
+        let th = &mut self.threads[tid.0 as usize];
+        if th.dead {
+            return;
+        }
+        if record && th.on_core.is_some() {
+            self.events.push(SchedEvent {
+                at: now,
+                thread: tid,
+                kind: SchedEventKind::SwitchOut {
+                    core: core_idx.unwrap(),
+                    to_state: ThreadState::IoWait,
+                },
+            });
+        }
+        th.on_core = None;
+        th.state = ThreadState::IoWait;
+        th.state_since = now;
+        if record {
+            self.events.push(SchedEvent {
+                at: now,
+                thread: tid,
+                kind: SchedEventKind::BlockIo,
+            });
+        }
+    }
+
+    /// Complete a thread's I/O: it becomes runnable (or sleeps if it has no
+    /// work queued).
+    pub fn unblock_io(&mut self, tid: ThreadId) {
+        let now = self.now;
+        let min_vr = self.min_vruntime;
+        let record = self.record_events;
+        let th = &mut self.threads[tid.0 as usize];
+        if th.dead || th.state != ThreadState::IoWait {
+            return;
+        }
+        th.state = if th.work.is_empty() {
+            ThreadState::Sleeping
+        } else {
+            ThreadState::Runnable
+        };
+        th.state_since = now;
+        th.vruntime = th.vruntime.max(min_vr);
+        if record {
+            self.events.push(SchedEvent {
+                at: now,
+                thread: tid,
+                kind: SchedEventKind::Wakeup,
+            });
+        }
+    }
+
+    /// Terminate a thread (its process died). Pending work is dropped.
+    pub fn kill_thread(&mut self, tid: ThreadId) {
+        let now = self.now;
+        if let Some(c) = self.threads[tid.0 as usize].on_core {
+            self.cores[c].running = None;
+        }
+        let th = &mut self.threads[tid.0 as usize];
+        th.dead = true;
+        th.on_core = None;
+        th.work.clear();
+        th.state = ThreadState::Sleeping;
+        th.state_since = now;
+    }
+
+    /// Change a thread's scheduling class.
+    pub fn set_class(&mut self, tid: ThreadId, class: SchedClass) {
+        self.threads[tid.0 as usize].class = class;
+    }
+
+    /// Advance the simulation by `dt`: select threads, account state time,
+    /// execute work.
+    pub fn tick(&mut self, dt: SimDuration) {
+        let t0 = self.now;
+        let t1 = t0 + dt;
+
+        self.select(t0);
+
+        // Charge the tick to each live thread's state and run the work.
+        for i in 0..self.threads.len() {
+            if self.threads[i].dead {
+                continue;
+            }
+            let state = self.threads[i].state;
+            self.threads[i].times.add(state, dt);
+            if state != ThreadState::Running {
+                continue;
+            }
+            let core = self.threads[i].on_core.expect("running thread has a core");
+            let speed = self.cores[core].speed;
+            let mut budget_us = dt.as_micros() as f64 * speed;
+            let weight = self.threads[i].weight();
+            self.threads[i].vruntime += dt.as_micros() as f64 * 1024.0 / weight;
+            while budget_us > 0.0 {
+                let Some(front) = self.threads[i].work.front_mut() else {
+                    break;
+                };
+                if front.remaining_us <= budget_us {
+                    budget_us -= front.remaining_us;
+                    let tag = front.tag;
+                    self.threads[i].work.pop_front();
+                    self.completions.push(Completion {
+                        thread: self.threads[i].id,
+                        tag,
+                        at: t1,
+                    });
+                } else {
+                    front.remaining_us -= budget_us;
+                    budget_us = 0.0;
+                }
+            }
+            if self.threads[i].work.is_empty() {
+                // Out of work: leave the core and sleep.
+                let tid = self.threads[i].id;
+                self.cores[core].running = None;
+                let th = &mut self.threads[i];
+                th.on_core = None;
+                th.state = ThreadState::Sleeping;
+                th.state_since = t1;
+                if self.record_events {
+                    self.events.push(SchedEvent {
+                        at: t1,
+                        thread: tid,
+                        kind: SchedEventKind::SwitchOut {
+                            core,
+                            to_state: ThreadState::Sleeping,
+                        },
+                    });
+                    self.events.push(SchedEvent {
+                        at: t1,
+                        thread: tid,
+                        kind: SchedEventKind::Sleep,
+                    });
+                }
+            }
+        }
+
+        self.now = t1;
+    }
+
+    /// Pick the best `n_cores` ready threads and place them, recording
+    /// preemptions.
+    fn select(&mut self, now: SimTime) {
+        // Order: RT by priority (desc), then fair by vruntime (asc). Ties by
+        // id for determinism.
+        let mut ready: Vec<usize> = (0..self.threads.len())
+            .filter(|&i| self.threads[i].wants_cpu())
+            .collect();
+        ready.sort_by(|&a, &b| {
+            let ta = &self.threads[a];
+            let tb = &self.threads[b];
+            rank(ta)
+                .partial_cmp(&rank(tb))
+                .unwrap()
+                .then(ta.id.cmp(&tb.id))
+        });
+        ready.truncate(self.cores.len());
+        let selected: Vec<ThreadId> = ready.iter().map(|&i| self.threads[i].id).collect();
+
+        if !ready.is_empty() {
+            self.min_vruntime = self
+                .min_vruntime
+                .max(
+                    ready
+                        .iter()
+                        .map(|&i| self.threads[i].vruntime)
+                        .fold(f64::INFINITY, f64::min),
+                );
+        }
+
+        // Phase 1: displaced threads vacate their cores.
+        let mut displaced: Vec<(ThreadId, usize)> = Vec::new();
+        for c in 0..self.cores.len() {
+            if let Some(tid) = self.cores[c].running {
+                if !selected.contains(&tid) {
+                    self.cores[c].running = None;
+                    let still_wants = self.threads[tid.0 as usize].wants_cpu();
+                    let th = &mut self.threads[tid.0 as usize];
+                                th.on_core = None;
+                    th.state = if still_wants {
+                        ThreadState::RunnablePreempted
+                    } else {
+                        ThreadState::Sleeping
+                    };
+                    th.state_since = now;
+                    if self.record_events {
+                        self.events.push(SchedEvent {
+                            at: now,
+                            thread: tid,
+                            kind: SchedEventKind::SwitchOut {
+                                core: c,
+                                to_state: th.state,
+                            },
+                        });
+                    }
+                    if still_wants {
+                        displaced.push((tid, c));
+                    }
+                }
+            }
+        }
+
+        // Phase 2: place newly selected threads — prefer their last core.
+        let mut to_place: Vec<ThreadId> = selected
+            .iter()
+            .copied()
+            .filter(|tid| self.threads[tid.0 as usize].on_core.is_none())
+            .collect();
+        // Affinity pass.
+        let mut placed = Vec::new();
+        for &tid in &to_place {
+            let last = self.threads[tid.0 as usize].last_core;
+            if let Some(c) = last {
+                if self.cores[c].running.is_none() {
+                    self.place(tid, c, now, &mut displaced);
+                    placed.push(tid);
+                }
+            }
+        }
+        to_place.retain(|t| !placed.contains(t));
+        // Remaining on any free core.
+        for tid in to_place {
+            if let Some(c) = (0..self.cores.len()).find(|&c| self.cores[c].running.is_none()) {
+                self.place(tid, c, now, &mut displaced);
+            }
+        }
+    }
+
+    fn place(
+        &mut self,
+        tid: ThreadId,
+        core: usize,
+        now: SimTime,
+        displaced: &mut Vec<(ThreadId, usize)>,
+    ) {
+        self.cores[core].running = Some(tid);
+        let record = self.record_events;
+        let th = &mut self.threads[tid.0 as usize];
+        let was_running = th.state == ThreadState::Running;
+        th.state = ThreadState::Running;
+        th.state_since = now;
+        th.on_core = Some(core);
+        if let Some(last) = th.last_core {
+            if last != core && !was_running {
+                th.migrations += 1;
+            }
+        }
+        th.last_core = Some(core);
+        if record {
+            self.events.push(SchedEvent {
+                at: now,
+                thread: tid,
+                kind: SchedEventKind::SwitchIn { core },
+            });
+        }
+        // If this placement displaced someone from exactly this core, this
+        // thread is the preempter.
+        if let Some(pos) = displaced.iter().position(|&(_, c)| c == core) {
+            let (victim, _) = displaced.remove(pos);
+            if victim != tid {
+                self.preemptions.push(PreemptionRecord {
+                    at: now,
+                    victim,
+                    preempter: tid,
+                    core,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// A thread by id.
+    pub fn thread(&self, tid: ThreadId) -> &Thread {
+        &self.threads[tid.0 as usize]
+    }
+
+    /// All threads.
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// Cores (for inspection).
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// Drain completed work items in completion order.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Drain preemption records.
+    pub fn drain_preemptions(&mut self) -> Vec<PreemptionRecord> {
+        std::mem::take(&mut self.preemptions)
+    }
+
+    /// Drain raw scheduler events.
+    pub fn drain_events(&mut self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sort key: RT (by descending priority) strictly before fair (by ascending
+/// vruntime). Lower key = scheduled first.
+fn rank(th: &Thread) -> (u8, f64) {
+    match th.class {
+        SchedClass::RealTime { prio } => (0, 255.0 - prio as f64),
+        SchedClass::Fair { .. } => (1, th.vruntime),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: SimDuration = SimDuration(1_000);
+
+    fn sched(cores: usize) -> Scheduler {
+        let mut s = Scheduler::new();
+        for _ in 0..cores {
+            s.add_core(1.0);
+        }
+        s
+    }
+
+    #[test]
+    fn single_thread_runs_and_completes() {
+        let mut s = sched(1);
+        let t = s.spawn("worker", SchedClass::NORMAL);
+        s.push_work(t, 2_500.0, 7);
+        for _ in 0..3 {
+            s.tick(MS);
+        }
+        let done = s.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 7);
+        assert_eq!(done[0].thread, t);
+        assert_eq!(s.thread(t).state, ThreadState::Sleeping);
+        assert_eq!(s.thread(t).times.running, MS * 3);
+    }
+
+    #[test]
+    fn core_speed_scales_execution() {
+        let mut slow = Scheduler::new();
+        slow.add_core(0.5);
+        let t = slow.spawn("w", SchedClass::NORMAL);
+        slow.push_work(t, 1_000.0, 0);
+        slow.tick(MS); // only 500 µs of work done
+        assert!(slow.drain_completions().is_empty());
+        slow.tick(MS);
+        assert_eq!(slow.drain_completions().len(), 1);
+    }
+
+    #[test]
+    fn rt_preempts_fair() {
+        let mut s = sched(1);
+        let fair = s.spawn("video", SchedClass::NORMAL);
+        let rt = s.spawn("mmcqd", SchedClass::RealTime { prio: 50 });
+        s.push_work(fair, 10_000.0, 0);
+        s.tick(MS);
+        assert_eq!(s.thread(fair).state, ThreadState::Running);
+        // mmcqd wakes with work; on the next tick it must take the core.
+        s.push_work(rt, 2_000.0, 1);
+        s.tick(MS);
+        assert_eq!(s.thread(rt).state, ThreadState::Running);
+        assert_eq!(s.thread(fair).state, ThreadState::RunnablePreempted);
+        let pre = s.drain_preemptions();
+        assert_eq!(pre.len(), 1);
+        assert_eq!(pre[0].victim, fair);
+        assert_eq!(pre[0].preempter, rt);
+    }
+
+    #[test]
+    fn preempted_time_is_accounted_separately() {
+        let mut s = sched(1);
+        let fair = s.spawn("video", SchedClass::NORMAL);
+        let rt = s.spawn("mmcqd", SchedClass::RealTime { prio: 50 });
+        s.push_work(fair, 100_000.0, 0);
+        s.tick(MS);
+        s.push_work(rt, 3_000.0, 1);
+        s.tick(MS);
+        s.tick(MS);
+        s.tick(MS);
+        // Three ticks preempted while mmcqd ran.
+        assert_eq!(s.thread(fair).times.preempted, MS * 3);
+        s.tick(MS); // mmcqd done: video runs again
+        assert_eq!(s.thread(fair).state, ThreadState::Running);
+    }
+
+    #[test]
+    fn fair_threads_share_one_core_roughly_equally() {
+        let mut s = sched(1);
+        let a = s.spawn("a", SchedClass::NORMAL);
+        let b = s.spawn("b", SchedClass::NORMAL);
+        s.push_work(a, 1e9, 0);
+        s.push_work(b, 1e9, 1);
+        for _ in 0..1000 {
+            s.tick(MS);
+        }
+        let ra = s.thread(a).times.running.as_micros() as f64;
+        let rb = s.thread(b).times.running.as_micros() as f64;
+        let share = ra / (ra + rb);
+        assert!((share - 0.5).abs() < 0.05, "share {share}");
+    }
+
+    #[test]
+    fn weights_bias_fair_sharing() {
+        let mut s = sched(1);
+        let heavy = s.spawn("heavy", SchedClass::Fair { weight: 3072 });
+        let light = s.spawn("light", SchedClass::Fair { weight: 1024 });
+        s.push_work(heavy, 1e9, 0);
+        s.push_work(light, 1e9, 1);
+        for _ in 0..2000 {
+            s.tick(MS);
+        }
+        let rh = s.thread(heavy).times.running.as_micros() as f64;
+        let rl = s.thread(light).times.running.as_micros() as f64;
+        let ratio = rh / rl;
+        assert!((ratio - 3.0).abs() < 0.35, "ratio {ratio}");
+    }
+
+    #[test]
+    fn two_cores_run_two_threads() {
+        let mut s = sched(2);
+        let a = s.spawn("a", SchedClass::NORMAL);
+        let b = s.spawn("b", SchedClass::NORMAL);
+        s.push_work(a, 5_000.0, 0);
+        s.push_work(b, 5_000.0, 1);
+        s.tick(MS);
+        assert_eq!(s.thread(a).state, ThreadState::Running);
+        assert_eq!(s.thread(b).state, ThreadState::Running);
+        assert_ne!(s.thread(a).on_core, s.thread(b).on_core);
+    }
+
+    #[test]
+    fn io_block_and_unblock() {
+        let mut s = sched(1);
+        let t = s.spawn("reader", SchedClass::NORMAL);
+        s.push_work(t, 10_000.0, 0);
+        s.tick(MS);
+        s.block_io(t);
+        assert_eq!(s.thread(t).state, ThreadState::IoWait);
+        s.tick(MS);
+        s.tick(MS);
+        assert_eq!(s.thread(t).times.io_wait, MS * 2);
+        s.unblock_io(t);
+        s.tick(MS);
+        assert_eq!(s.thread(t).state, ThreadState::Running);
+    }
+
+    #[test]
+    fn killed_thread_never_runs_again() {
+        let mut s = sched(1);
+        let t = s.spawn("victim", SchedClass::NORMAL);
+        s.push_work(t, 10_000.0, 0);
+        s.tick(MS);
+        s.kill_thread(t);
+        s.push_work(t, 1_000.0, 1); // ignored
+        s.tick(MS);
+        assert!(s.thread(t).dead);
+        assert!(s.drain_completions().is_empty());
+        assert_eq!(s.thread(t).times.running, MS);
+    }
+
+    #[test]
+    fn state_times_sum_to_lifetime() {
+        let mut s = sched(1);
+        let a = s.spawn("a", SchedClass::NORMAL);
+        let b = s.spawn("b", SchedClass::NORMAL);
+        s.push_work(a, 3_000.0, 0);
+        s.push_work(b, 3_000.0, 1);
+        for _ in 0..10 {
+            s.tick(MS);
+        }
+        for tid in [a, b] {
+            assert_eq!(
+                s.thread(tid).times.total(),
+                MS * 10,
+                "thread {:?} accounting must cover the whole run",
+                tid
+            );
+        }
+    }
+
+    #[test]
+    fn wakeup_placement_prevents_starvation() {
+        let mut s = sched(1);
+        let hog = s.spawn("hog", SchedClass::NORMAL);
+        s.push_work(hog, 1e9, 0);
+        for _ in 0..5000 {
+            s.tick(MS);
+        }
+        // A newly woken thread must get the CPU promptly despite the hog's
+        // huge accumulated vruntime... on the hog's side.
+        let newcomer = s.spawn("newcomer", SchedClass::NORMAL);
+        s.push_work(newcomer, 2_000.0, 9);
+        let mut waited = 0;
+        loop {
+            s.tick(MS);
+            waited += 1;
+            if !s.drain_completions().is_empty() {
+                break;
+            }
+            assert!(waited < 50, "newcomer starved");
+        }
+    }
+
+    #[test]
+    fn completions_report_multiple_items_per_tick() {
+        let mut s = sched(1);
+        let t = s.spawn("w", SchedClass::NORMAL);
+        for tag in 0..4 {
+            s.push_work(t, 200.0, tag);
+        }
+        s.tick(MS);
+        let tags: Vec<u64> = s.drain_completions().iter().map(|c| c.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn affinity_keeps_thread_on_its_core() {
+        let mut s = sched(2);
+        let t = s.spawn("sticky", SchedClass::NORMAL);
+        s.push_work(t, 500.0, 0);
+        s.tick(MS);
+        let first_core = s.thread(t).last_core;
+        // Sleep, then wake again — should return to the same core.
+        s.push_work(t, 500.0, 1);
+        s.tick(MS);
+        assert_eq!(s.thread(t).last_core, first_core);
+        assert_eq!(s.thread(t).migrations, 0);
+    }
+}

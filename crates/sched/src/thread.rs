@@ -1,0 +1,263 @@
+//! Threads, scheduling classes and state-time accounting.
+
+use mvqoe_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Identifier for a simulated thread.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ThreadId(pub u32);
+
+/// Scheduling class. Real-time always preempts fair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedClass {
+    /// Fixed-priority real-time (Linux `SCHED_FIFO`-like). Higher `prio`
+    /// wins. `mmcqd` lives here — the paper notes it is "strictly
+    /// prioritized over foreground processes".
+    RealTime {
+        /// RT priority; higher wins.
+        prio: u8,
+    },
+    /// CFS-like fair class. `weight` is the share (1024 = nice 0). Both
+    /// foreground app threads and `kswapd` are fair — the paper measures
+    /// 77.9% of Firefox threads at exactly kswapd's priority.
+    Fair {
+        /// Load weight; 1024 corresponds to nice 0.
+        weight: u32,
+    },
+}
+
+impl SchedClass {
+    /// Fair with the default weight.
+    pub const NORMAL: SchedClass = SchedClass::Fair { weight: 1024 };
+
+    /// True for real-time threads.
+    pub fn is_rt(self) -> bool {
+        matches!(self, SchedClass::RealTime { .. })
+    }
+}
+
+/// Thread execution state, matching the states the paper's Table 4 reports
+/// from Perfetto traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// On a CPU core right now.
+    Running,
+    /// Ready to run, waiting for a core (woke up, not yet scheduled).
+    Runnable,
+    /// Ready to run after having been *kicked off* a core by a higher-
+    /// priority thread — the paper's "Runnable (Preempted)".
+    RunnablePreempted,
+    /// Blocked with nothing to do.
+    Sleeping,
+    /// Blocked on disk I/O (uninterruptible sleep).
+    IoWait,
+}
+
+impl ThreadState {
+    /// All states, for iteration in reports.
+    pub const ALL: [ThreadState; 5] = [
+        ThreadState::Running,
+        ThreadState::Runnable,
+        ThreadState::RunnablePreempted,
+        ThreadState::Sleeping,
+        ThreadState::IoWait,
+    ];
+
+    /// True if the thread may be placed on a core.
+    pub fn is_ready(self) -> bool {
+        matches!(
+            self,
+            ThreadState::Runnable | ThreadState::RunnablePreempted | ThreadState::Running
+        )
+    }
+}
+
+impl std::fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ThreadState::Running => "Running",
+            ThreadState::Runnable => "Runnable",
+            ThreadState::RunnablePreempted => "Runnable (Preempted)",
+            ThreadState::Sleeping => "Sleeping",
+            ThreadState::IoWait => "I/O wait",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cumulative time a thread spent in each state.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StateTimes {
+    /// Time on-CPU.
+    pub running: SimDuration,
+    /// Time ready and waiting (not preempted).
+    pub runnable: SimDuration,
+    /// Time ready and waiting after a preemption.
+    pub preempted: SimDuration,
+    /// Time blocked idle.
+    pub sleeping: SimDuration,
+    /// Time blocked on disk I/O.
+    pub io_wait: SimDuration,
+}
+
+impl StateTimes {
+    /// Add `dt` to the bucket for `state`.
+    pub fn add(&mut self, state: ThreadState, dt: SimDuration) {
+        match state {
+            ThreadState::Running => self.running += dt,
+            ThreadState::Runnable => self.runnable += dt,
+            ThreadState::RunnablePreempted => self.preempted += dt,
+            ThreadState::Sleeping => self.sleeping += dt,
+            ThreadState::IoWait => self.io_wait += dt,
+        }
+    }
+
+    /// Time for one state.
+    pub fn get(&self, state: ThreadState) -> SimDuration {
+        match state {
+            ThreadState::Running => self.running,
+            ThreadState::Runnable => self.runnable,
+            ThreadState::RunnablePreempted => self.preempted,
+            ThreadState::Sleeping => self.sleeping,
+            ThreadState::IoWait => self.io_wait,
+        }
+    }
+
+    /// Sum over all states (should equal thread lifetime).
+    pub fn total(&self) -> SimDuration {
+        self.running + self.runnable + self.preempted + self.sleeping + self.io_wait
+    }
+}
+
+/// One unit of CPU work queued on a thread.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// Remaining work, µs at reference core speed.
+    pub remaining_us: f64,
+    /// Caller-defined tag returned on completion.
+    pub tag: u64,
+}
+
+/// A simulated thread.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Thread {
+    /// Stable identifier.
+    pub id: ThreadId,
+    /// Display name (matches the paper's thread names where relevant).
+    pub name: String,
+    /// Owning process identifier in the memory model, if any.
+    pub proc_tag: Option<u32>,
+    /// Scheduling class.
+    pub class: SchedClass,
+    /// Current state.
+    pub state: ThreadState,
+    /// FIFO of pending compute.
+    pub work: VecDeque<WorkItem>,
+    /// CFS virtual runtime (weighted, µs-scaled).
+    pub vruntime: f64,
+    /// Cumulative per-state times.
+    pub times: StateTimes,
+    /// Core the thread is currently running on.
+    pub on_core: Option<usize>,
+    /// Core the thread last ran on (for affinity + migration counting).
+    pub last_core: Option<usize>,
+    /// Number of times the thread resumed on a different core.
+    pub migrations: u64,
+    /// When the thread last entered its current state.
+    pub state_since: SimTime,
+    /// True once the thread is terminated (process killed).
+    pub dead: bool,
+}
+
+impl Thread {
+    /// Create a sleeping thread.
+    pub fn new(id: ThreadId, name: impl Into<String>, class: SchedClass) -> Thread {
+        Thread {
+            id,
+            name: name.into(),
+            proc_tag: None,
+            class,
+            state: ThreadState::Sleeping,
+            work: VecDeque::new(),
+            vruntime: 0.0,
+            times: StateTimes::default(),
+            on_core: None,
+            last_core: None,
+            migrations: 0,
+            state_since: SimTime::ZERO,
+            dead: false,
+        }
+    }
+
+    /// Total work pending, µs at reference speed.
+    pub fn pending_us(&self) -> f64 {
+        self.work.iter().map(|w| w.remaining_us).sum()
+    }
+
+    /// True if the thread has work and is not blocked or dead.
+    pub fn wants_cpu(&self) -> bool {
+        !self.dead && !self.work.is_empty() && self.state.is_ready()
+    }
+
+    /// CFS weight (RT threads get an effectively infinite share).
+    pub fn weight(&self) -> f64 {
+        match self.class {
+            SchedClass::RealTime { .. } => 1024.0,
+            SchedClass::Fair { weight } => weight as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_times_accumulate_and_total() {
+        let mut st = StateTimes::default();
+        st.add(ThreadState::Running, SimDuration::from_millis(10));
+        st.add(ThreadState::Running, SimDuration::from_millis(5));
+        st.add(ThreadState::RunnablePreempted, SimDuration::from_millis(3));
+        st.add(ThreadState::IoWait, SimDuration::from_millis(2));
+        assert_eq!(st.get(ThreadState::Running), SimDuration::from_millis(15));
+        assert_eq!(
+            st.get(ThreadState::RunnablePreempted),
+            SimDuration::from_millis(3)
+        );
+        assert_eq!(st.total(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn readiness_by_state() {
+        assert!(ThreadState::Running.is_ready());
+        assert!(ThreadState::Runnable.is_ready());
+        assert!(ThreadState::RunnablePreempted.is_ready());
+        assert!(!ThreadState::Sleeping.is_ready());
+        assert!(!ThreadState::IoWait.is_ready());
+    }
+
+    #[test]
+    fn new_thread_sleeps_without_work() {
+        let th = Thread::new(ThreadId(0), "decoder", SchedClass::NORMAL);
+        assert_eq!(th.state, ThreadState::Sleeping);
+        assert!(!th.wants_cpu());
+        assert_eq!(th.pending_us(), 0.0);
+    }
+
+    #[test]
+    fn rt_class_detection() {
+        assert!(SchedClass::RealTime { prio: 50 }.is_rt());
+        assert!(!SchedClass::NORMAL.is_rt());
+    }
+
+    #[test]
+    fn display_matches_paper_terms() {
+        assert_eq!(
+            ThreadState::RunnablePreempted.to_string(),
+            "Runnable (Preempted)"
+        );
+    }
+}

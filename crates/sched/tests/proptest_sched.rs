@@ -1,0 +1,131 @@
+//! Property tests on scheduler invariants.
+
+use mvqoe_sched::{SchedClass, Scheduler, ThreadState};
+use mvqoe_sim::SimDuration;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push { thread: usize, us: u32 },
+    BlockIo { thread: usize },
+    UnblockIo { thread: usize },
+    Kill { thread: usize },
+    Tick,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..6usize, 100..20_000u32).prop_map(|(thread, us)| Op::Push { thread, us }),
+        1 => (0..6usize).prop_map(|thread| Op::BlockIo { thread }),
+        1 => (0..6usize).prop_map(|thread| Op::UnblockIo { thread }),
+        1 => (0..6usize).prop_map(|thread| Op::Kill { thread }),
+        6 => Just(Op::Tick),
+    ]
+}
+
+fn build() -> (Scheduler, Vec<mvqoe_sched::ThreadId>) {
+    let mut s = Scheduler::new();
+    s.add_core(1.0);
+    s.add_core(0.5);
+    let mut tids = Vec::new();
+    for i in 0..5 {
+        tids.push(s.spawn(format!("fair{i}"), SchedClass::NORMAL));
+    }
+    tids.push(s.spawn("rt", SchedClass::RealTime { prio: 40 }));
+    (s, tids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// No core ever runs two threads, and no thread runs on two cores.
+    #[test]
+    fn exclusive_core_occupancy(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let (mut s, tids) = build();
+        for op in ops {
+            match op {
+                Op::Push { thread, us } => s.push_work(tids[thread], us as f64, 0),
+                Op::BlockIo { thread } => s.block_io(tids[thread]),
+                Op::UnblockIo { thread } => s.unblock_io(tids[thread]),
+                Op::Kill { thread } => s.kill_thread(tids[thread]),
+                Op::Tick => s.tick(SimDuration::from_millis(1)),
+            }
+            // Invariant: running threads ↔ core assignments are a bijection.
+            let mut seen_threads = std::collections::BTreeSet::new();
+            for (core_idx, core) in s.cores().iter().enumerate() {
+                if let Some(tid) = core.running {
+                    prop_assert!(seen_threads.insert(tid), "thread on two cores");
+                    let th = s.thread(tid);
+                    prop_assert_eq!(th.on_core, Some(core_idx));
+                    prop_assert_eq!(th.state, ThreadState::Running);
+                    prop_assert!(!th.dead);
+                }
+            }
+            for th in s.threads() {
+                if th.state == ThreadState::Running {
+                    let core = th.on_core.expect("running thread must have a core");
+                    prop_assert_eq!(s.cores()[core].running, Some(th.id));
+                }
+            }
+        }
+    }
+
+    /// State-time accounting of a never-killed thread covers exactly the
+    /// ticks it lived through.
+    #[test]
+    fn accounting_covers_wall_time(work in prop::collection::vec(100..30_000u32, 1..20),
+                                   ticks in 1..300u64) {
+        let (mut s, tids) = build();
+        for (i, us) in work.iter().enumerate() {
+            s.push_work(tids[i % 5], *us as f64, i as u64);
+        }
+        for _ in 0..ticks {
+            s.tick(SimDuration::from_millis(1));
+        }
+        for &tid in &tids {
+            let t = s.thread(tid);
+            prop_assert_eq!(
+                t.times.total(),
+                SimDuration::from_millis(ticks),
+                "thread {:?}", tid
+            );
+        }
+    }
+
+    /// Every completion carries the tag it was pushed with, in FIFO order
+    /// per thread, and all work eventually completes.
+    #[test]
+    fn completions_are_fifo_and_complete(tags in prop::collection::vec(0..1000u64, 1..30)) {
+        let (mut s, tids) = build();
+        for &tag in &tags {
+            s.push_work(tids[0], 500.0, tag);
+        }
+        let mut seen = Vec::new();
+        for _ in 0..tags.len() * 4 + 10 {
+            s.tick(SimDuration::from_millis(1));
+            seen.extend(s.drain_completions().into_iter().map(|c| c.tag));
+        }
+        prop_assert_eq!(seen, tags);
+    }
+
+    /// The RT thread, once runnable, is never left waiting while a fair
+    /// thread runs.
+    #[test]
+    fn rt_never_starved_by_fair(fair_work in prop::collection::vec(1_000..50_000u32, 1..8)) {
+        let (mut s, tids) = build();
+        let rt = tids[5];
+        for (i, us) in fair_work.iter().enumerate() {
+            s.push_work(tids[i % 5], *us as f64, 0);
+        }
+        s.push_work(rt, 10_000.0, 1);
+        for _ in 0..3 {
+            s.tick(SimDuration::from_millis(1));
+            let rt_state = s.thread(rt).state;
+            if rt_state == ThreadState::Running {
+                return Ok(()); // scheduled promptly
+            }
+        }
+        // After the first tick following its wakeup the RT thread must run.
+        prop_assert_eq!(s.thread(rt).state, ThreadState::Running);
+    }
+}

@@ -1,0 +1,33 @@
+//! Discrete-event simulation core for the `mvqoe` workspace.
+//!
+//! Every simulated subsystem in this reproduction of *"Coal Not Diamonds: How
+//! Memory Pressure Falters Mobile Video QoE"* (CoNEXT '22) is built on the
+//! primitives in this crate:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution simulation
+//!   clock. All kernel, scheduler, disk, network and video timings are
+//!   expressed in these units, so a whole experiment is exactly reproducible
+//!   and independent of wall-clock speed.
+//! * [`SimRng`] — a seeded, splittable ChaCha8-based random source. The
+//!   paper repeats each experiment five times on real hardware; we map each
+//!   "run" to a distinct seed, which makes confidence intervals meaningful
+//!   while keeping every individual run deterministic.
+//! * [`EventQueue`] — a generic time-ordered queue with FIFO tie-breaking,
+//!   used by components that schedule future work (segment arrivals, vsync
+//!   deadlines, daemon wakeups).
+//! * [`stats`] — summary statistics (means, percentiles, CDFs, 95%
+//!   confidence intervals) matching what the paper reports in its tables
+//!   and figures.
+//! * [`series`] — time-series recording for the paper's instantaneous plots
+//!   (rendered FPS over time, lmkd CPU utilization, processes killed).
+
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime};

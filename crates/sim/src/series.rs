@@ -1,0 +1,164 @@
+//! Time-series recording for instantaneous plots.
+//!
+//! Figures 14–17 plot quantities *over the course of a session*: rendered
+//! FPS, lmkd CPU utilization, processes killed, frame-rate switches.
+//! [`TimeSeries`] collects `(time, value)` samples and can re-bin them into
+//! fixed windows (the paper plots per-second values).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An append-only sequence of timestamped samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Human-readable label (used by experiment binaries when printing).
+    pub name: String,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Create an empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Append a sample. Samples must be pushed in non-decreasing time order.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.samples.last().map_or(true, |&(t, _)| t <= at),
+            "samples must be time-ordered"
+        );
+        self.samples.push((at, value));
+    }
+
+    /// All raw samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of all sample values; `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Re-bin into fixed windows of `width`, reducing each window's samples
+    /// with `reduce` (e.g. mean for utilizations, sum for event counts).
+    /// Windows with no samples yield `empty_value`.
+    ///
+    /// Returns `(window_start, reduced_value)` pairs covering `[0, end)`.
+    pub fn rebin<F>(
+        &self,
+        width: SimDuration,
+        end: SimTime,
+        empty_value: f64,
+        reduce: F,
+    ) -> Vec<(SimTime, f64)>
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        assert!(!width.is_zero(), "window width must be positive");
+        let n_windows = end.as_micros().div_ceil(width.as_micros()) as usize;
+        let mut out = Vec::with_capacity(n_windows);
+        let mut idx = 0usize;
+        for w in 0..n_windows {
+            let start = SimTime(w as u64 * width.as_micros());
+            let stop = start + width;
+            let begin = idx;
+            while idx < self.samples.len() && self.samples[idx].0 < stop {
+                idx += 1;
+            }
+            let window: Vec<f64> = self.samples[begin..idx].iter().map(|&(_, v)| v).collect();
+            let value = if window.is_empty() {
+                empty_value
+            } else {
+                reduce(&window)
+            };
+            out.push((start, value));
+        }
+        out
+    }
+
+    /// Per-window sums — for event counts like "processes killed per second".
+    pub fn binned_sum(&self, width: SimDuration, end: SimTime) -> Vec<(SimTime, f64)> {
+        self.rebin(width, end, 0.0, |w| w.iter().sum())
+    }
+
+    /// Per-window means — for rates like instantaneous FPS or CPU %.
+    pub fn binned_mean(&self, width: SimDuration, end: SimTime) -> Vec<(SimTime, f64)> {
+        self.rebin(width, end, 0.0, |w| w.iter().sum::<f64>() / w.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn push_and_mean() {
+        let mut s = TimeSeries::new("fps");
+        s.push(t(0.0), 60.0);
+        s.push(t(1.0), 30.0);
+        assert_eq!(s.len(), 2);
+        assert!((s.mean() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        let bins = s.binned_sum(SimDuration::from_secs(1), t(3.0));
+        assert_eq!(bins.iter().map(|&(_, v)| v).sum::<f64>(), 0.0);
+        assert_eq!(bins.len(), 3);
+    }
+
+    #[test]
+    fn binned_sum_counts_events() {
+        let mut s = TimeSeries::new("kills");
+        s.push(t(0.2), 1.0);
+        s.push(t(0.7), 1.0);
+        s.push(t(2.1), 1.0);
+        let bins = s.binned_sum(SimDuration::from_secs(1), t(3.0));
+        let values: Vec<f64> = bins.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn binned_mean_averages() {
+        let mut s = TimeSeries::new("fps");
+        s.push(t(0.1), 60.0);
+        s.push(t(0.9), 0.0);
+        s.push(t(1.5), 24.0);
+        let bins = s.binned_mean(SimDuration::from_secs(1), t(2.0));
+        assert!((bins[0].1 - 30.0).abs() < 1e-12);
+        assert!((bins[1].1 - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebin_covers_partial_final_window() {
+        let s = TimeSeries::new("x");
+        let bins = s.rebin(SimDuration::from_secs(1), t(2.5), -1.0, |w| w[0]);
+        assert_eq!(bins.len(), 3);
+        assert!(bins.iter().all(|&(_, v)| v == -1.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Summary statistics used across the paper's tables and figures.
+//!
+//! The paper reports means with 95% confidence intervals (controlled
+//! experiments, 5 runs), medians and percentiles (user-study distributions),
+//! CDFs (Fig. 2), and histograms (Fig. 10). This module provides exactly
+//! those estimators over `f64` samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Half-width of the 95% confidence interval on the mean.
+///
+/// Uses Student-t critical values for the small sample counts the paper
+/// works with (5 runs per configuration), falling back to the normal
+/// approximation for n > 30.
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // Two-sided 97.5% t critical values for df = 1..=30.
+    const T: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    let df = n - 1;
+    let t = if df <= 30 { T[df - 1] } else { 1.96 };
+    t * std_dev(xs) / (n as f64).sqrt()
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`. `0.0` for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile over an already-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Empirical CDF evaluated at each sample: returns `(value, fraction ≤ value)`
+/// pairs in ascending value order — ready to plot as Fig. 2's curve.
+pub fn cdf_points(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in cdf input"));
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Fraction of samples satisfying a predicate (e.g. "devices with median
+/// utilization ≥ 60%").
+pub fn fraction_where<F: Fn(f64) -> bool>(xs: &[f64], pred: F) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| pred(x)).count() as f64 / xs.len() as f64
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets; out-of-range
+/// samples clamp into the edge buckets (matching how survey scores 1–5 bin).
+pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0 && hi > lo);
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &x in xs {
+        let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// A mean ± 95% CI summary of repeated runs, as the paper's bar plots report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Arithmetic mean across runs.
+    pub mean: f64,
+    /// Sample standard deviation across runs.
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Number of runs.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a set of run results.
+    pub fn of(xs: &[f64]) -> Summary {
+        Summary {
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            ci95: ci95_half_width(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            n: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(ci95_half_width(&[3.0]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!(cdf_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn ci95_matches_t_table_for_n5() {
+        // n = 5 → df = 4 → t = 2.776; std of [1..5] is sqrt(2.5).
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let expected = 2.776 * (2.5f64).sqrt() / 5f64.sqrt();
+        assert!((ci95_half_width(&xs) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+        assert!((percentile(&xs, 75.0) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let pts = cdf_points(&[5.0, 1.0, 3.0, 3.0]);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_where_counts() {
+        let xs = [10.0, 60.0, 70.0, 80.0, 90.0];
+        assert!((fraction_where(&xs, |x| x >= 60.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_edges() {
+        let counts = histogram(&[-1.0, 0.5, 1.5, 2.5, 99.0], 0.0, 3.0, 3);
+        assert_eq!(counts, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn summary_of_runs() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+}

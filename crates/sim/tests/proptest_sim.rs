@@ -1,0 +1,99 @@
+//! Property tests on the simulation core.
+
+use mvqoe_sim::{stats, EventQueue, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The event queue is a stable priority queue: pops come out sorted by
+    /// time, and equal times preserve insertion order.
+    #[test]
+    fn event_queue_is_stable_sorted(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), (t, i));
+        }
+        let mut out = Vec::new();
+        while let Some((at, payload)) = q.pop() {
+            out.push((at, payload));
+        }
+        // Sorted by time.
+        prop_assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Stable within equal times: insertion index increases.
+        prop_assert!(out
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || w[0].1 .1 < w[1].1 .1));
+        prop_assert_eq!(out.len(), times.len());
+    }
+
+    /// Percentiles are monotone in p and bounded by the sample extremes.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = stats::percentile(&xs, lo);
+        let b = stats::percentile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// The empirical CDF is a valid distribution function.
+    #[test]
+    fn cdf_is_valid(xs in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let pts = stats::cdf_points(&xs);
+        prop_assert_eq!(pts.len(), xs.len());
+        prop_assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert!(pts[0].1 > 0.0);
+    }
+
+    /// Seeded RNG streams are reproducible and split streams are stable.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        use rand::RngCore;
+        let mut a = SimRng::new(seed).split(&label);
+        let mut b = SimRng::new(seed).split(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Weighted choice never returns a zero-weight index.
+    #[test]
+    fn weighted_index_avoids_zero_weights(
+        weights in prop::collection::vec(0.0f64..10.0, 2..12),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.1);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            let i = rng.weighted_index(&weights);
+            prop_assert!(weights[i] > 0.0, "picked zero-weight index {}", i);
+        }
+    }
+
+    /// Duration arithmetic round-trips through scaling within rounding.
+    #[test]
+    fn duration_scaling_roundtrip(us in 1u64..1_000_000_000, k in 0.01f64..100.0) {
+        let d = SimDuration::from_micros(us);
+        let scaled = d.mul_f64(k);
+        let expected = us as f64 * k;
+        prop_assert!((scaled.as_micros() as f64 - expected).abs() <= 0.5 + 1e-9);
+    }
+
+    /// Summary statistics respect min ≤ mean ≤ max.
+    #[test]
+    fn summary_bounds(xs in prop::collection::vec(-1e5f64..1e5, 1..100)) {
+        let s = stats::Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.ci95 >= 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! The §3 fleet study: run a simulated user population and aggregate.
+
+use crate::observation::DeviceObservation;
+use mvqoe_kernel::TrimLevel;
+use mvqoe_sim::{stats, SimRng, SimTime};
+use mvqoe_workload::FleetUser;
+use serde::{Deserialize, Serialize};
+
+/// Fleet-study parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Users recruited (the paper: 80).
+    pub n_users: u32,
+    /// Root seed.
+    pub seed: u64,
+    /// Median observation length in hours (the paper's range is 1–18 days,
+    /// ≈ 124 h mean).
+    pub median_hours: f64,
+    /// Cleaning rule: minimum interactive hours to keep a device (the
+    /// paper: 10 h, keeping 48 of 80).
+    pub min_interactive_hours: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_users: 80,
+            seed: 2022,
+            median_hours: 100.0,
+            min_interactive_hours: 10.0,
+        }
+    }
+}
+
+/// Aggregated fleet results after cleaning.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct FleetResults {
+    /// Devices that passed the cleaning rule.
+    pub devices: Vec<DeviceObservation>,
+    /// Users recruited before cleaning.
+    pub recruited: u32,
+    /// Total logged hours across all recruited devices.
+    pub total_hours: f64,
+}
+
+/// Run the fleet study.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetResults {
+    let root = SimRng::new(cfg.seed);
+    let mut devices = Vec::new();
+    let mut total_hours = 0.0;
+    for i in 0..cfg.n_users {
+        let mut hours_rng = root.split(&format!("hours-{i}"));
+        // Observation length: heavy-tailed, 1–18 days.
+        let hours = hours_rng
+            .lognormal(cfg.median_hours, 0.9)
+            .clamp(24.0, 432.0);
+        total_hours += hours;
+        let mut user = FleetUser::new(i, &root);
+        let mut obs = DeviceObservation::new(
+            user.device.name.clone(),
+            user.device.manufacturer.clone(),
+            user.device.ram_mib,
+            user.pattern,
+        );
+        let seconds = (hours * 3600.0) as u64;
+        for s in 0..seconds {
+            let sample = user.step_1s(SimTime::from_secs(s));
+            obs.record(&sample);
+        }
+        devices.push(obs);
+    }
+    let recruited = cfg.n_users;
+    devices.retain(|d| d.interactive_hours > cfg.min_interactive_hours);
+    FleetResults {
+        devices,
+        recruited,
+        total_hours,
+    }
+}
+
+impl FleetResults {
+    /// Median utilization per kept device (Fig. 2's sample set).
+    pub fn median_utilizations(&self) -> Vec<f64> {
+        self.devices.iter().map(|d| d.median_utilization()).collect()
+    }
+
+    /// Fraction of devices with median utilization at least `pct`.
+    pub fn fraction_util_at_least(&self, pct: f64) -> f64 {
+        let utils = self.median_utilizations();
+        stats::fraction_where(&utils, |u| u >= pct)
+    }
+
+    /// Fraction of devices receiving ≥ `rate` pressure signals per hour.
+    pub fn fraction_signal_rate_at_least(&self, rate: f64) -> f64 {
+        let rates: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|d| d.total_signals_per_hour())
+            .collect();
+        stats::fraction_where(&rates, |r| r >= rate)
+    }
+
+    /// Fraction of devices spending at least `frac` of time in `level`.
+    pub fn fraction_time_in_state_at_least(&self, level: TrimLevel, frac: f64) -> f64 {
+        let fracs: Vec<f64> = self
+            .devices
+            .iter()
+            .map(|d| d.time_fraction(level))
+            .collect();
+        stats::fraction_where(&fracs, |f| f >= frac)
+    }
+
+    /// The `n` devices spending the most time out of Normal (Fig. 5's
+    /// selection).
+    pub fn top_pressure_devices(&self, n: usize) -> Vec<&DeviceObservation> {
+        let mut sorted: Vec<&DeviceObservation> = self.devices.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.pressure_time_fraction()
+                .partial_cmp(&a.pressure_time_fraction())
+                .unwrap()
+        });
+        sorted.into_iter().take(n).collect()
+    }
+
+    /// Devices out of Normal more than `frac` of the time (Fig. 6 uses
+    /// > 30%).
+    pub fn devices_above_pressure_fraction(&self, frac: f64) -> Vec<&DeviceObservation> {
+        self.devices
+            .iter()
+            .filter(|d| d.pressure_time_fraction() > frac)
+            .collect()
+    }
+
+    /// Pooled transition probability across a device subset.
+    pub fn pooled_transition_prob(
+        devices: &[&DeviceObservation],
+        from: TrimLevel,
+        to: TrimLevel,
+    ) -> f64 {
+        let mut row_total = 0u64;
+        let mut hit = 0u64;
+        for d in devices {
+            let row = &d.transitions[from.severity()];
+            row_total += row.iter().sum::<u64>();
+            hit += row[to.severity()];
+        }
+        if row_total == 0 {
+            0.0
+        } else {
+            hit as f64 / row_total as f64
+        }
+    }
+
+    /// Pooled dwell-time percentile across a device subset.
+    pub fn pooled_dwell_percentile(
+        devices: &[&DeviceObservation],
+        state: TrimLevel,
+        p: f64,
+    ) -> f64 {
+        let pooled: Vec<f64> = devices
+            .iter()
+            .flat_map(|d| d.dwells[state.severity()].iter().copied())
+            .collect();
+        stats::percentile(&pooled, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use std::sync::OnceLock;
+
+    /// One shared small fleet run (running it per-test would dominate the
+    /// suite's wall time).
+    fn small_fleet() -> &'static FleetResults {
+        static FLEET: OnceLock<FleetResults> = OnceLock::new();
+        FLEET.get_or_init(|| {
+            run_fleet(&FleetConfig {
+                n_users: 8,
+                seed: 7,
+                median_hours: 14.0,
+                min_interactive_hours: 2.0,
+            })
+        })
+    }
+
+    #[test]
+    fn fleet_runs_and_cleans() {
+        let r = small_fleet();
+        assert_eq!(r.recruited, 8);
+        assert!(!r.devices.is_empty(), "some devices must pass cleaning");
+        assert!(r.devices.len() <= 8);
+        assert!(r.total_hours > 8.0 * 14.0);
+        for d in &r.devices {
+            assert!(d.interactive_hours > 2.0);
+        }
+    }
+
+    #[test]
+    fn utilization_medians_are_plausible() {
+        let r = small_fleet();
+        let utils = r.median_utilizations();
+        assert!(utils.iter().all(|&u| (0.0..=100.0).contains(&u)));
+        // Phones under active use run well above half-empty.
+        let med = stats::median(&utils);
+        assert!(med > 40.0, "fleet median utilization {med:.1}%");
+    }
+
+    #[test]
+    fn some_devices_see_pressure() {
+        let r = small_fleet();
+        let with_signals = r.fraction_signal_rate_at_least(1e-9);
+        assert!(
+            with_signals > 0.0,
+            "at least one device must observe a pressure signal"
+        );
+    }
+
+    #[test]
+    fn fraction_helpers_are_monotone() {
+        let r = small_fleet();
+        assert!(r.fraction_util_at_least(40.0) >= r.fraction_util_at_least(70.0));
+        assert!(
+            r.fraction_signal_rate_at_least(0.1) >= r.fraction_signal_rate_at_least(10.0)
+        );
+    }
+
+    #[test]
+    fn top_pressure_selection_is_sorted() {
+        let r = small_fleet();
+        let top = r.top_pressure_devices(3);
+        for w in top.windows(2) {
+            assert!(w[0].pressure_time_fraction() >= w[1].pressure_time_fraction());
+        }
+    }
+}

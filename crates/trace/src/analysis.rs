@@ -1,0 +1,255 @@
+//! Trace queries reproducing the paper's §5 analysis.
+
+use crate::trace::Trace;
+use mvqoe_sched::{SchedEventKind, StateTimes, ThreadId, ThreadState};
+use mvqoe_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Total on-CPU time for one thread, for the "top running threads" ranking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadRunTime {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Its name at registration.
+    pub name: String,
+    /// Total time it held a core.
+    pub running: SimDuration,
+}
+
+/// Compute on-CPU time per thread from switch events (a thread still on a
+/// core at trace end is closed at the horizon). Returns threads sorted by
+/// descending running time — the paper's "top running threads" list.
+pub fn running_time_ranking(trace: &Trace) -> Vec<ThreadRunTime> {
+    let mut on_core: BTreeMap<ThreadId, SimTime> = BTreeMap::new();
+    let mut total: BTreeMap<ThreadId, SimDuration> = BTreeMap::new();
+    for e in trace.events() {
+        match e.kind {
+            SchedEventKind::SwitchIn { .. } => {
+                on_core.insert(e.thread, e.at);
+            }
+            SchedEventKind::SwitchOut { .. } => {
+                if let Some(start) = on_core.remove(&e.thread) {
+                    *total.entry(e.thread).or_default() += e.at.saturating_since(start);
+                }
+            }
+            _ => {}
+        }
+    }
+    let end = trace.end();
+    for (tid, start) in on_core {
+        *total.entry(tid).or_default() += end.saturating_since(start);
+    }
+    let mut out: Vec<ThreadRunTime> = total
+        .into_iter()
+        .map(|(thread, running)| ThreadRunTime {
+            thread,
+            name: trace
+                .thread(thread)
+                .map(|m| m.name.clone())
+                .unwrap_or_else(|| format!("tid{}", thread.0)),
+            running,
+        })
+        .collect();
+    out.sort_by(|a, b| b.running.cmp(&a.running).then(a.thread.cmp(&b.thread)));
+    out
+}
+
+/// The rank (1-based) of a named thread in the running-time ranking.
+pub fn rank_of(trace: &Trace, name: &str) -> Option<usize> {
+    running_time_ranking(trace)
+        .iter()
+        .position(|r| r.name == name)
+        .map(|i| i + 1)
+}
+
+/// The paper's Table 5 statistics for one preempter against a victim set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PreemptionSummary {
+    /// Number of preemptions of any victim thread by the preempter.
+    pub count: u64,
+    /// Total time the preempter ran continuously right after a preemption.
+    pub preempter_run_after: SimDuration,
+    /// Total time the victims waited to get the CPU back.
+    pub victim_wait: SimDuration,
+}
+
+/// Compute preemption statistics for `preempter` against `victims` (the
+/// paper uses mmcqd vs the video client threads).
+pub fn preemption_stats(
+    trace: &Trace,
+    preempter: ThreadId,
+    victims: &[ThreadId],
+) -> PreemptionSummary {
+    // Index switch events per thread for next-event lookups.
+    let mut per_thread: BTreeMap<ThreadId, Vec<(SimTime, bool)>> = BTreeMap::new(); // (time, is_in)
+    for e in trace.events() {
+        match e.kind {
+            SchedEventKind::SwitchIn { .. } => {
+                per_thread.entry(e.thread).or_default().push((e.at, true))
+            }
+            SchedEventKind::SwitchOut { .. } => {
+                per_thread.entry(e.thread).or_default().push((e.at, false))
+            }
+            _ => {}
+        }
+    }
+    let end = trace.end();
+    let next_event_after = |tid: ThreadId, t: SimTime, want_in: bool| -> Option<SimTime> {
+        per_thread
+            .get(&tid)?
+            .iter()
+            .find(|&&(at, is_in)| at > t && is_in == want_in)
+            .map(|&(at, _)| at)
+    };
+
+    let mut out = PreemptionSummary::default();
+    for p in trace.preemptions() {
+        if p.preempter != preempter || !victims.contains(&p.victim) {
+            continue;
+        }
+        out.count += 1;
+        // How long the preempter kept running after taking the core.
+        let run_end = next_event_after(preempter, p.at, false).unwrap_or(end);
+        out.preempter_run_after += run_end.saturating_since(p.at);
+        // How long the victim waited to run again.
+        let back = next_event_after(p.victim, p.at, true).unwrap_or(end);
+        out.victim_wait += back.saturating_since(p.at);
+    }
+    out
+}
+
+/// Percentage of `total` spent in each state — the paper's Fig. 13 pie for
+/// kswapd. Returns `(state, percent)` pairs in [`ThreadState::ALL`] order.
+pub fn state_percentages(times: &StateTimes, total: SimDuration) -> Vec<(ThreadState, f64)> {
+    let denom = total.as_micros().max(1) as f64;
+    ThreadState::ALL
+        .iter()
+        .map(|&s| (s, times.get(s).as_micros() as f64 / denom * 100.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvqoe_sched::{PreemptionRecord, SchedEvent};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn ev(at: SimTime, thread: u32, kind: SchedEventKind) -> SchedEvent {
+        SchedEvent {
+            at,
+            thread: ThreadId(thread),
+            kind,
+        }
+    }
+
+    fn switch_in(at: SimTime, thread: u32) -> SchedEvent {
+        ev(at, thread, SchedEventKind::SwitchIn { core: 0 })
+    }
+
+    fn switch_out(at: SimTime, thread: u32) -> SchedEvent {
+        ev(
+            at,
+            thread,
+            SchedEventKind::SwitchOut {
+                core: 0,
+                to_state: ThreadState::Runnable,
+            },
+        )
+    }
+
+    #[test]
+    fn running_ranking_orders_by_cpu_time() {
+        let mut tr = Trace::new();
+        tr.register_thread(ThreadId(0), "kswapd0", None);
+        tr.register_thread(ThreadId(1), "firefox", None);
+        tr.record_sched([
+            switch_in(t(0), 0),
+            switch_out(t(100), 0),
+            switch_in(t(100), 1),
+            switch_out(t(130), 1),
+            switch_in(t(130), 0),
+            switch_out(t(150), 0),
+        ]);
+        tr.finish(t(150));
+        let ranking = running_time_ranking(&tr);
+        assert_eq!(ranking[0].name, "kswapd0");
+        assert_eq!(ranking[0].running, SimDuration::from_millis(120));
+        assert_eq!(ranking[1].running, SimDuration::from_millis(30));
+        assert_eq!(rank_of(&tr, "firefox"), Some(2));
+        assert_eq!(rank_of(&tr, "ghost"), None);
+    }
+
+    #[test]
+    fn open_interval_closes_at_horizon() {
+        let mut tr = Trace::new();
+        tr.register_thread(ThreadId(0), "w", None);
+        tr.record_sched([switch_in(t(10), 0)]);
+        tr.finish(t(60));
+        let ranking = running_time_ranking(&tr);
+        assert_eq!(ranking[0].running, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn preemption_stats_measure_run_and_wait() {
+        let mut tr = Trace::new();
+        let mmcqd = ThreadId(9);
+        let video = ThreadId(1);
+        tr.register_thread(mmcqd, "mmcqd/0", None);
+        tr.register_thread(video, "MediaCodec", None);
+        // video runs 0..50, preempted by mmcqd which runs 50..80,
+        // video back at 80.
+        tr.record_sched([
+            switch_in(t(0), 1),
+            switch_out(t(50), 1),
+            switch_in(t(50), 9),
+            switch_out(t(80), 9),
+            switch_in(t(80), 1),
+        ]);
+        tr.record_preemptions([PreemptionRecord {
+            at: t(50),
+            victim: video,
+            preempter: mmcqd,
+            core: 0,
+        }]);
+        tr.finish(t(100));
+        let s = preemption_stats(&tr, mmcqd, &[video]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.preempter_run_after, SimDuration::from_millis(30));
+        assert_eq!(s.victim_wait, SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn preemption_stats_filter_other_threads() {
+        let mut tr = Trace::new();
+        tr.record_preemptions([PreemptionRecord {
+            at: t(10),
+            victim: ThreadId(5),
+            preempter: ThreadId(9),
+            core: 0,
+        }]);
+        tr.finish(t(20));
+        // Victim 5 is not in our victim set.
+        let s = preemption_stats(&tr, ThreadId(9), &[ThreadId(1)]);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn state_percentages_sum_to_hundred() {
+        let mut st = StateTimes::default();
+        st.add(ThreadState::Running, SimDuration::from_secs(56));
+        st.add(ThreadState::Sleeping, SimDuration::from_secs(31));
+        st.add(ThreadState::Runnable, SimDuration::from_secs(13));
+        let pct = state_percentages(&st, SimDuration::from_secs(100));
+        let total: f64 = pct.iter().map(|&(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        let running = pct
+            .iter()
+            .find(|&&(s, _)| s == ThreadState::Running)
+            .unwrap()
+            .1;
+        assert!((running - 56.0).abs() < 1e-9);
+    }
+}

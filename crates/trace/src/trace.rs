@@ -1,0 +1,155 @@
+//! The trace recorder.
+
+use mvqoe_sched::{PreemptionRecord, SchedEvent, ThreadId};
+use mvqoe_sim::{SimTime, TimeSeries};
+use std::collections::BTreeMap;
+
+/// Metadata for a traced thread.
+#[derive(Debug, Clone)]
+pub struct ThreadMeta {
+    /// Thread name ("kswapd0", "MediaCodec", …).
+    pub name: String,
+    /// Owning process tag in the memory model, if any.
+    pub proc_tag: Option<u32>,
+}
+
+/// A recorded trace of one run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    threads: BTreeMap<ThreadId, ThreadMeta>,
+    events: Vec<SchedEvent>,
+    preemptions: Vec<PreemptionRecord>,
+    counters: BTreeMap<String, TimeSeries>,
+    end: SimTime,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Register a thread's metadata (call once per thread).
+    pub fn register_thread(&mut self, id: ThreadId, name: impl Into<String>, proc_tag: Option<u32>) {
+        self.threads.insert(
+            id,
+            ThreadMeta {
+                name: name.into(),
+                proc_tag,
+            },
+        );
+    }
+
+    /// Append scheduler events (drained from the scheduler each tick).
+    pub fn record_sched(&mut self, events: impl IntoIterator<Item = SchedEvent>) {
+        for e in events {
+            self.end = self.end.max(e.at);
+            self.events.push(e);
+        }
+    }
+
+    /// Append preemption records.
+    pub fn record_preemptions(&mut self, records: impl IntoIterator<Item = PreemptionRecord>) {
+        self.preemptions.extend(records);
+    }
+
+    /// Push a sample onto a named counter track (lmkd CPU %, rendered FPS,
+    /// processes killed, …).
+    pub fn counter(&mut self, name: &str, at: SimTime, value: f64) {
+        self.end = self.end.max(at);
+        self.counters
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(name))
+            .push(at, value);
+    }
+
+    /// Mark the end of the traced run.
+    pub fn finish(&mut self, at: SimTime) {
+        self.end = self.end.max(at);
+    }
+
+    /// The trace horizon.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Thread metadata by id.
+    pub fn thread(&self, id: ThreadId) -> Option<&ThreadMeta> {
+        self.threads.get(&id)
+    }
+
+    /// Look up a thread id by exact name (first match).
+    pub fn thread_by_name(&self, name: &str) -> Option<ThreadId> {
+        self.threads
+            .iter()
+            .find(|(_, m)| m.name == name)
+            .map(|(&id, _)| id)
+    }
+
+    /// All registered threads.
+    pub fn threads(&self) -> impl Iterator<Item = (&ThreadId, &ThreadMeta)> {
+        self.threads.iter()
+    }
+
+    /// All scheduler events in arrival order.
+    pub fn events(&self) -> &[SchedEvent] {
+        &self.events
+    }
+
+    /// All preemption records.
+    pub fn preemptions(&self) -> &[PreemptionRecord] {
+        &self.preemptions
+    }
+
+    /// A counter track by name.
+    pub fn counter_track(&self, name: &str) -> Option<&TimeSeries> {
+        self.counters.get(name)
+    }
+
+    /// Names of all counter tracks.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvqoe_sched::SchedEventKind;
+
+    #[test]
+    fn registers_and_looks_up_threads() {
+        let mut tr = Trace::new();
+        tr.register_thread(ThreadId(0), "kswapd0", None);
+        tr.register_thread(ThreadId(1), "MediaCodec", Some(3));
+        assert_eq!(tr.thread_by_name("kswapd0"), Some(ThreadId(0)));
+        assert_eq!(tr.thread(ThreadId(1)).unwrap().proc_tag, Some(3));
+        assert_eq!(tr.thread_by_name("nope"), None);
+        assert_eq!(tr.threads().count(), 2);
+    }
+
+    #[test]
+    fn records_events_and_tracks_horizon() {
+        let mut tr = Trace::new();
+        tr.record_sched([SchedEvent {
+            at: SimTime::from_secs(3),
+            thread: ThreadId(0),
+            kind: SchedEventKind::Wakeup,
+        }]);
+        assert_eq!(tr.events().len(), 1);
+        assert_eq!(tr.end(), SimTime::from_secs(3));
+        tr.finish(SimTime::from_secs(10));
+        assert_eq!(tr.end(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn counter_tracks_accumulate() {
+        let mut tr = Trace::new();
+        tr.counter("lmkd_cpu", SimTime::from_secs(1), 0.0);
+        tr.counter("lmkd_cpu", SimTime::from_secs(2), 40.0);
+        tr.counter("fps", SimTime::from_secs(1), 60.0);
+        assert_eq!(tr.counter_track("lmkd_cpu").unwrap().len(), 2);
+        assert_eq!(tr.counter_names().count(), 2);
+        assert!(tr.counter_track("absent").is_none());
+    }
+}

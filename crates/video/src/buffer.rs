@@ -1,0 +1,208 @@
+//! The client playback buffer.
+//!
+//! dash.js buffers downloaded chunks ahead of the playhead; the paper
+//! configures a 60 s capacity and provisions the LAN so the buffer fills
+//! immediately and stays full (§4.1) — making device resources, not the
+//! network, the bottleneck under study. The buffer tracks bytes so the
+//! machine can allocate/free the corresponding anonymous pages as segments
+//! arrive and are consumed.
+
+use crate::ladder::Representation;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One buffered segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferedSegment {
+    /// The representation it was downloaded at.
+    pub rep: Representation,
+    /// Encoded size in bytes.
+    pub bytes: u64,
+    /// Playback duration in seconds.
+    pub seconds: f64,
+    /// Frames not yet consumed.
+    pub frames_left: u32,
+    /// Total frames in the segment.
+    pub frames_total: u32,
+}
+
+/// Result of consuming one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsumedFrame {
+    /// The representation of the consumed frame.
+    pub rep: Representation,
+    /// Bytes released back if the segment just finished (0 otherwise).
+    pub freed_bytes: u64,
+}
+
+/// A bounded playback buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlaybackBuffer {
+    capacity_seconds: f64,
+    segments: VecDeque<BufferedSegment>,
+}
+
+impl PlaybackBuffer {
+    /// Create an empty buffer with the given capacity.
+    pub fn new(capacity_seconds: f64) -> PlaybackBuffer {
+        assert!(capacity_seconds > 0.0);
+        PlaybackBuffer {
+            capacity_seconds,
+            segments: VecDeque::new(),
+        }
+    }
+
+    /// Buffered playback time in seconds.
+    pub fn buffered_seconds(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.seconds * s.frames_left as f64 / s.frames_total as f64)
+            .sum()
+    }
+
+    /// Total encoded bytes currently held.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// True when another full segment would exceed capacity.
+    pub fn has_room_for(&self, seconds: f64) -> bool {
+        self.buffered_seconds() + seconds <= self.capacity_seconds + 1e-9
+    }
+
+    /// Capacity in seconds.
+    pub fn capacity_seconds(&self) -> f64 {
+        self.capacity_seconds
+    }
+
+    /// Append a downloaded segment.
+    pub fn push_segment(&mut self, rep: Representation, bytes: u64, seconds: f64) {
+        let frames = (seconds * rep.fps.value() as f64).round().max(1.0) as u32;
+        self.segments.push_back(BufferedSegment {
+            rep,
+            bytes,
+            seconds,
+            frames_left: frames,
+            frames_total: frames,
+        });
+    }
+
+    /// The representation of the next frame to play, if any.
+    pub fn peek_rep(&self) -> Option<Representation> {
+        self.segments.front().map(|s| s.rep)
+    }
+
+    /// Consume one frame from the front segment. Returns what was consumed
+    /// and how many bytes were released (when a segment empties).
+    pub fn pop_frame(&mut self) -> Option<ConsumedFrame> {
+        let front = self.segments.front_mut()?;
+        let rep = front.rep;
+        front.frames_left -= 1;
+        let freed = if front.frames_left == 0 {
+            let bytes = front.bytes;
+            self.segments.pop_front();
+            bytes
+        } else {
+            0
+        };
+        Some(ConsumedFrame {
+            rep,
+            freed_bytes: freed,
+        })
+    }
+
+    /// True when no frames remain.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of buffered segments.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Drop everything (client crash / teardown). Returns bytes released.
+    pub fn clear(&mut self) -> u64 {
+        let bytes = self.buffered_bytes();
+        self.segments.clear();
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::{Fps, Resolution};
+
+    fn rep(fps: Fps) -> Representation {
+        Representation::youtube(Resolution::R480p, fps)
+    }
+
+    #[test]
+    fn fills_and_reports_occupancy() {
+        let mut b = PlaybackBuffer::new(60.0);
+        assert!(b.is_empty());
+        for _ in 0..15 {
+            assert!(b.has_room_for(4.0));
+            b.push_segment(rep(Fps::F30), 1_000_000, 4.0);
+        }
+        assert!((b.buffered_seconds() - 60.0).abs() < 1e-9);
+        assert!(!b.has_room_for(4.0));
+        assert_eq!(b.buffered_bytes(), 15_000_000);
+        assert_eq!(b.n_segments(), 15);
+    }
+
+    #[test]
+    fn frames_per_segment_follow_fps() {
+        let mut b = PlaybackBuffer::new(60.0);
+        b.push_segment(rep(Fps::F30), 100, 4.0);
+        // 120 frames; bytes released only on the last one.
+        for i in 0..120 {
+            let c = b.pop_frame().unwrap();
+            if i < 119 {
+                assert_eq!(c.freed_bytes, 0, "frame {i}");
+            } else {
+                assert_eq!(c.freed_bytes, 100);
+            }
+        }
+        assert!(b.is_empty());
+        assert!(b.pop_frame().is_none());
+    }
+
+    #[test]
+    fn occupancy_decreases_smoothly() {
+        let mut b = PlaybackBuffer::new(60.0);
+        b.push_segment(rep(Fps::F60), 100, 4.0);
+        let full = b.buffered_seconds();
+        for _ in 0..120 {
+            b.pop_frame();
+        }
+        let half = b.buffered_seconds();
+        assert!((full - 4.0).abs() < 1e-9);
+        assert!((half - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_representations_queue_in_order() {
+        let mut b = PlaybackBuffer::new(60.0);
+        let r30 = rep(Fps::F30);
+        let r60 = rep(Fps::F60);
+        b.push_segment(r30, 1, 4.0);
+        b.push_segment(r60, 1, 4.0);
+        assert_eq!(b.peek_rep(), Some(r30));
+        for _ in 0..120 {
+            b.pop_frame();
+        }
+        assert_eq!(b.peek_rep(), Some(r60));
+    }
+
+    #[test]
+    fn clear_returns_all_bytes() {
+        let mut b = PlaybackBuffer::new(60.0);
+        b.push_segment(rep(Fps::F30), 500, 4.0);
+        b.push_segment(rep(Fps::F30), 700, 4.0);
+        b.pop_frame();
+        assert_eq!(b.clear(), 1200);
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,429 @@
+//! Encoding ladder: resolutions, frame rates, bitrates, genres, manifests.
+//!
+//! The paper encodes five videos (travel, sports, gaming, news, nature) with
+//! H.264 at 240p–1440p, 30 and 60 FPS, at the bitrates YouTube recommends
+//! for uploads, in ~4 s DASH chunks (§4.1). §6 additionally uses 24 and
+//! 48 FPS encodings for the frame-rate adaptation experiments.
+
+use mvqoe_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Video resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Resolution {
+    /// 426×240.
+    R240p,
+    /// 640×360.
+    R360p,
+    /// 854×480.
+    R480p,
+    /// 1280×720 (HD).
+    R720p,
+    /// 1920×1080 (FHD).
+    R1080p,
+    /// 2560×1440 (QHD).
+    R1440p,
+}
+
+impl Resolution {
+    /// All resolutions the paper's ladder covers, ascending.
+    pub const ALL: [Resolution; 6] = [
+        Resolution::R240p,
+        Resolution::R360p,
+        Resolution::R480p,
+        Resolution::R720p,
+        Resolution::R1080p,
+        Resolution::R1440p,
+    ];
+
+    /// Pixel dimensions.
+    pub fn dims(self) -> (u32, u32) {
+        match self {
+            Resolution::R240p => (426, 240),
+            Resolution::R360p => (640, 360),
+            Resolution::R480p => (854, 480),
+            Resolution::R720p => (1280, 720),
+            Resolution::R1080p => (1920, 1080),
+            Resolution::R1440p => (2560, 1440),
+        }
+    }
+
+    /// Total pixels per frame.
+    pub fn pixels(self) -> u64 {
+        let (w, h) = self.dims();
+        w as u64 * h as u64
+    }
+
+    /// The next lower rung, if any.
+    pub fn step_down(self) -> Option<Resolution> {
+        let i = Resolution::ALL.iter().position(|&r| r == self)?;
+        i.checked_sub(1).map(|j| Resolution::ALL[j])
+    }
+
+    /// The next higher rung, if any.
+    pub fn step_up(self) -> Option<Resolution> {
+        let i = Resolution::ALL.iter().position(|&r| r == self)?;
+        Resolution::ALL.get(i + 1).copied()
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (_, h) = self.dims();
+        write!(f, "{h}p")
+    }
+}
+
+/// Encoded frame rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Fps {
+    /// 24 FPS (film rate; the paper's §6 recovery rate).
+    F24,
+    /// 30 FPS.
+    F30,
+    /// 48 FPS.
+    F48,
+    /// 60 FPS.
+    F60,
+}
+
+impl Fps {
+    /// All encoded frame rates used in the paper.
+    pub const ALL: [Fps; 4] = [Fps::F24, Fps::F30, Fps::F48, Fps::F60];
+
+    /// Frames per second as an integer.
+    pub fn value(self) -> u32 {
+        match self {
+            Fps::F24 => 24,
+            Fps::F30 => 30,
+            Fps::F48 => 48,
+            Fps::F60 => 60,
+        }
+    }
+
+    /// Frame period in microseconds.
+    pub fn frame_period_us(self) -> u64 {
+        1_000_000 / self.value() as u64
+    }
+}
+
+impl fmt::Display for Fps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} FPS", self.value())
+    }
+}
+
+/// Video genre — the paper's five test videos (§4.3, Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Genre {
+    /// "Dubai Flow Motion" — the paper's primary video \[8\].
+    Travel,
+    /// Djokovic vs Shapovalov highlights \[16\].
+    Sports,
+    /// Dota 2 tournament game \[15\].
+    Gaming,
+    /// CNN interview segment \[4\].
+    News,
+    /// "Bali in 8K" \[3\].
+    Nature,
+}
+
+impl Genre {
+    /// All five genres.
+    pub const ALL: [Genre; 5] = [
+        Genre::Travel,
+        Genre::Sports,
+        Genre::Gaming,
+        Genre::News,
+        Genre::Nature,
+    ];
+
+    /// Decode-complexity multiplier relative to the average H.264 stream
+    /// (high-motion content stresses motion compensation).
+    pub fn complexity(self) -> f64 {
+        match self {
+            Genre::Travel => 1.10,
+            Genre::Sports => 1.15,
+            Genre::Gaming => 1.00,
+            Genre::News => 0.85,
+            Genre::Nature => 1.05,
+        }
+    }
+
+    /// Relative standard deviation of chunk sizes around the target bitrate
+    /// (VBR variability).
+    pub fn size_variation(self) -> f64 {
+        match self {
+            Genre::Travel => 0.15,
+            Genre::Sports => 0.20,
+            Genre::Gaming => 0.25,
+            Genre::News => 0.08,
+            Genre::Nature => 0.12,
+        }
+    }
+}
+
+impl fmt::Display for Genre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Genre::Travel => "travel",
+            Genre::Sports => "sports",
+            Genre::Gaming => "gaming",
+            Genre::News => "news",
+            Genre::Nature => "nature",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One encoding of a video: resolution × frame rate × bitrate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Representation {
+    /// Resolution.
+    pub resolution: Resolution,
+    /// Encoded frame rate.
+    pub fps: Fps,
+    /// Target bitrate in kbit/s.
+    pub bitrate_kbps: u32,
+}
+
+impl Representation {
+    /// Build the representation for `(resolution, fps)` at the YouTube-
+    /// recommended bitrate \[20\]: 30 FPS baseline per resolution, scaled by
+    /// frame rate (60 FPS streams get 1.5× the 30 FPS bitrate, matching the
+    /// published 1080p 8 Mbit/s → 12 Mbit/s step).
+    pub fn youtube(resolution: Resolution, fps: Fps) -> Representation {
+        let base30: f64 = match resolution {
+            Resolution::R240p => 400.0,
+            Resolution::R360p => 1_000.0,
+            Resolution::R480p => 2_500.0,
+            Resolution::R720p => 5_000.0,
+            Resolution::R1080p => 8_000.0,
+            Resolution::R1440p => 16_000.0,
+        };
+        let fps_factor = match fps {
+            Fps::F24 => 0.90,
+            Fps::F30 => 1.00,
+            Fps::F48 => 1.30,
+            Fps::F60 => 1.50,
+        };
+        Representation {
+            resolution,
+            fps,
+            bitrate_kbps: (base30 * fps_factor).round() as u32,
+        }
+    }
+
+    /// Bytes of one `seconds`-long chunk at the target bitrate.
+    pub fn chunk_bytes(&self, seconds: f64) -> u64 {
+        (self.bitrate_kbps as f64 * 1000.0 / 8.0 * seconds) as u64
+    }
+}
+
+impl fmt::Display for Representation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @ {} ({} kbit/s)",
+            self.resolution, self.fps, self.bitrate_kbps
+        )
+    }
+}
+
+/// A DASH manifest: one video in several representations, chunked.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Genre of the content.
+    pub genre: Genre,
+    /// Available representations.
+    pub representations: Vec<Representation>,
+    /// Chunk duration in seconds (the paper uses ≈ 4 s).
+    pub segment_seconds: f64,
+    /// Total video duration in seconds.
+    pub duration_seconds: f64,
+}
+
+impl Manifest {
+    /// The paper's full ladder for one genre: every resolution × every
+    /// frame rate, 4 s chunks.
+    pub fn full_ladder(genre: Genre, duration_seconds: f64) -> Manifest {
+        let mut representations = Vec::new();
+        for res in Resolution::ALL {
+            for fps in Fps::ALL {
+                representations.push(Representation::youtube(res, fps));
+            }
+        }
+        Manifest {
+            genre,
+            representations,
+            segment_seconds: 4.0,
+            duration_seconds,
+        }
+    }
+
+    /// A provider ladder restricted to the given frame rates — today's
+    /// services mostly publish only 30/60 FPS rungs; the paper's §7 argues
+    /// for offering more (24/48) so memory-constrained devices can adapt.
+    pub fn with_fps(genre: Genre, duration_seconds: f64, fps_offered: &[Fps]) -> Manifest {
+        assert!(!fps_offered.is_empty());
+        let mut representations = Vec::new();
+        for res in Resolution::ALL {
+            for &fps in fps_offered {
+                representations.push(Representation::youtube(res, fps));
+            }
+        }
+        Manifest {
+            genre,
+            representations,
+            segment_seconds: 4.0,
+            duration_seconds,
+        }
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> u32 {
+        (self.duration_seconds / self.segment_seconds).ceil() as u32
+    }
+
+    /// Find the representation for `(resolution, fps)`.
+    pub fn representation(&self, resolution: Resolution, fps: Fps) -> Option<Representation> {
+        self.representations
+            .iter()
+            .copied()
+            .find(|r| r.resolution == resolution && r.fps == fps)
+    }
+
+    /// Size of segment `idx` in `rep`, with genre-dependent VBR variation
+    /// (deterministic per seed).
+    pub fn segment_bytes(&self, rep: Representation, idx: u32, rng: &mut SimRng) -> u64 {
+        let nominal = rep.chunk_bytes(self.segment_seconds) as f64;
+        let sigma = self.genre.size_variation();
+        let factor = (1.0 + sigma * rng.std_normal()).clamp(0.4, 2.5);
+        let _ = idx;
+        (nominal * factor) as u64
+    }
+
+    /// Representations available at a given frame rate, sorted by bitrate.
+    pub fn ladder_at_fps(&self, fps: Fps) -> Vec<Representation> {
+        let mut v: Vec<Representation> = self
+            .representations
+            .iter()
+            .copied()
+            .filter(|r| r.fps == fps)
+            .collect();
+        v.sort_by_key(|r| r.bitrate_kbps);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn youtube_bitrates_match_published_anchors() {
+        // The anchors the paper's §4.1 setup uses: 1080p is 8 Mbit/s at 30
+        // and 12 Mbit/s at 60 FPS; 720p is 5 / 7.5 Mbit/s.
+        assert_eq!(
+            Representation::youtube(Resolution::R1080p, Fps::F30).bitrate_kbps,
+            8_000
+        );
+        assert_eq!(
+            Representation::youtube(Resolution::R1080p, Fps::F60).bitrate_kbps,
+            12_000
+        );
+        assert_eq!(
+            Representation::youtube(Resolution::R720p, Fps::F60).bitrate_kbps,
+            7_500
+        );
+        assert_eq!(
+            Representation::youtube(Resolution::R1440p, Fps::F30).bitrate_kbps,
+            16_000
+        );
+    }
+
+    #[test]
+    fn bitrate_monotone_in_resolution_and_fps() {
+        for fps in Fps::ALL {
+            let mut last = 0;
+            for res in Resolution::ALL {
+                let b = Representation::youtube(res, fps).bitrate_kbps;
+                assert!(b > last, "{res} {fps}");
+                last = b;
+            }
+        }
+        for res in Resolution::ALL {
+            let mut last = 0;
+            for fps in Fps::ALL {
+                let b = Representation::youtube(res, fps).bitrate_kbps;
+                assert!(b > last, "{res} {fps}");
+                last = b;
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_stepping() {
+        assert_eq!(Resolution::R720p.step_down(), Some(Resolution::R480p));
+        assert_eq!(Resolution::R720p.step_up(), Some(Resolution::R1080p));
+        assert_eq!(Resolution::R240p.step_down(), None);
+        assert_eq!(Resolution::R1440p.step_up(), None);
+    }
+
+    #[test]
+    fn frame_periods() {
+        assert_eq!(Fps::F60.frame_period_us(), 16_666);
+        assert_eq!(Fps::F30.frame_period_us(), 33_333);
+        assert_eq!(Fps::F24.frame_period_us(), 41_666);
+    }
+
+    #[test]
+    fn chunk_bytes_at_4s() {
+        let rep = Representation::youtube(Resolution::R1080p, Fps::F30);
+        // 8 Mbit/s × 4 s = 4 MB
+        assert_eq!(rep.chunk_bytes(4.0), 4_000_000);
+    }
+
+    #[test]
+    fn full_ladder_has_every_cell() {
+        let m = Manifest::full_ladder(Genre::Travel, 185.0);
+        assert_eq!(m.representations.len(), 24);
+        assert!(m
+            .representation(Resolution::R480p, Fps::F48)
+            .is_some());
+        assert_eq!(m.n_segments(), 47);
+        let ladder60 = m.ladder_at_fps(Fps::F60);
+        assert_eq!(ladder60.len(), 6);
+        assert!(ladder60.windows(2).all(|w| w[0].bitrate_kbps < w[1].bitrate_kbps));
+    }
+
+    #[test]
+    fn restricted_ladder_offers_only_selected_fps() {
+        let m = Manifest::with_fps(Genre::Travel, 120.0, &[Fps::F30, Fps::F60]);
+        assert_eq!(m.representations.len(), 12);
+        assert!(m.representation(Resolution::R480p, Fps::F30).is_some());
+        assert!(m.representation(Resolution::R480p, Fps::F24).is_none());
+    }
+
+    #[test]
+    fn segment_sizes_vary_by_genre() {
+        let news = Manifest::full_ladder(Genre::News, 120.0);
+        let gaming = Manifest::full_ladder(Genre::Gaming, 120.0);
+        let rep = Representation::youtube(Resolution::R720p, Fps::F30);
+        let spread = |m: &Manifest| {
+            let mut rng = SimRng::new(7);
+            let sizes: Vec<f64> = (0..30).map(|i| m.segment_bytes(rep, i, &mut rng) as f64).collect();
+            let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+            (sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / sizes.len() as f64).sqrt()
+                / mean
+        };
+        assert!(spread(&gaming) > spread(&news), "gaming is burstier than news");
+    }
+
+    #[test]
+    fn genre_complexity_orders_sensibly() {
+        assert!(Genre::Sports.complexity() > Genre::News.complexity());
+        assert!(Genre::Travel.complexity() > 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The DASH video stack.
+//!
+//! Models everything the paper's client side comprises (§4.1): videos
+//! encoded with H.264 at resolutions 240p–1440p and frame rates 24–60 FPS
+//! at the YouTube-recommended bitrates, split into ~4 s chunks; a dash.js
+//! style player with a 60 s playback buffer; and three client platforms —
+//! Firefox (the paper's main client), Chrome and an ExoPlayer-based native
+//! app (Appendix B) — that differ in memory footprint and decode path.
+//!
+//! The crate is pure model: costs and sizes, no scheduling. The device
+//! machine (`mvqoe-device`) drives a [`buffer::PlaybackBuffer`] and a
+//! decode/render pipeline against the scheduler, charging costs from
+//! [`decode::DecodeCostModel`] and allocating the pages that
+//! [`memory_model`] prescribes — which is how the paper's Fig. 8 (PSS vs
+//! resolution/frame-rate) and Figs. 9/11/12 (frame drops) emerge from
+//! mechanism rather than curve fitting.
+
+pub mod buffer;
+pub mod decode;
+pub mod ladder;
+pub mod memory_model;
+pub mod players;
+pub mod stats;
+
+pub use buffer::PlaybackBuffer;
+pub use decode::DecodeCostModel;
+pub use ladder::{Fps, Genre, Manifest, Representation, Resolution};
+pub use players::{PlayerKind, PlayerProfile};
+pub use stats::SessionStats;

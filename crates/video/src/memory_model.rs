@@ -1,0 +1,211 @@
+//! The video client's memory footprint, component by component.
+//!
+//! The paper's Fig. 8 measures the client PSS growing ≈ 125 MB from 240p to
+//! 1080p and ≈ 20 MB more at 60 FPS (on the Nexus 5, no pressure). That
+//! growth is mechanical, and this module prices each mechanism:
+//!
+//! * **segment buffer** — dash.js keeps up to 60 s of encoded video in the
+//!   MediaSource buffers (JS heap ⇒ anonymous pages), so buffer bytes scale
+//!   with bitrate, which scales with resolution *and* frame rate;
+//! * **decoded surfaces** — the render pipeline queues NV12 frames
+//!   (width × height × 1.5 bytes each); 48/60 FPS playback keeps a deeper
+//!   queue;
+//! * **codec state** — H.264 reference frames (DPB) plus fixed tables.
+//!
+//! The device machine allocates exactly these pages, so Fig. 8 is
+//! *reproduced*, not asserted.
+
+use crate::ladder::{Fps, Representation, Resolution};
+use crate::players::PlayerProfile;
+use mvqoe_kernel::Pages;
+
+/// Container/MSE overhead factor on buffered media bytes (demuxed copies,
+/// ArrayBuffer slack).
+pub const MSE_OVERHEAD: f64 = 1.15;
+
+/// Decoded frames the H.264 decoder keeps as references (DPB depth).
+pub const DPB_FRAMES: u64 = 6;
+
+/// Fixed codec-state overhead (parameter sets, entropy tables, scratch).
+pub const CODEC_FIXED: Pages = Pages::from_mib(6);
+
+/// Extra decoded surfaces queued at high frame rates (≥ 48 FPS).
+pub const HIGH_FPS_EXTRA_SURFACES: u32 = 4;
+
+/// Bytes of one decoded NV12 frame.
+pub fn frame_bytes(resolution: Resolution) -> u64 {
+    resolution.pixels() * 3 / 2
+}
+
+/// Pages of one decoded NV12 frame.
+pub fn frame_pages(resolution: Resolution) -> Pages {
+    Pages::from_bytes(frame_bytes(resolution))
+}
+
+/// Pages held by `seconds` of buffered encoded media at `rep`'s bitrate,
+/// including MSE overhead.
+pub fn segment_buffer_pages(rep: Representation, seconds: f64) -> Pages {
+    let bytes = rep.bitrate_kbps as f64 * 1000.0 / 8.0 * seconds * MSE_OVERHEAD;
+    Pages::from_bytes(bytes as u64)
+}
+
+/// Decoded-surface queue depth for a profile at a frame rate.
+pub fn surface_depth(profile: &PlayerProfile, fps: Fps) -> u32 {
+    if fps.value() >= 48 {
+        profile.surface_queue + HIGH_FPS_EXTRA_SURFACES
+    } else {
+        profile.surface_queue
+    }
+}
+
+/// Pages held by the decoded-surface queue.
+pub fn surface_queue_pages(resolution: Resolution, depth: u32) -> Pages {
+    Pages::from_bytes(frame_bytes(resolution) * depth as u64)
+}
+
+/// Pages of codec state (DPB + fixed overhead).
+pub fn codec_state_pages(resolution: Resolution) -> Pages {
+    Pages::from_bytes(frame_bytes(resolution) * DPB_FRAMES) + CODEC_FIXED
+}
+
+/// Total anonymous pages a client holds while streaming `rep` with
+/// `buffered_seconds` of media in the buffer.
+pub fn video_anon_pages(
+    profile: &PlayerProfile,
+    rep: Representation,
+    buffered_seconds: f64,
+) -> Pages {
+    profile.base_anon
+        + segment_buffer_pages(rep, buffered_seconds)
+        + surface_queue_pages(rep.resolution, surface_depth(profile, rep.fps))
+        + codec_state_pages(rep.resolution)
+}
+
+/// The *hot* anonymous working set the pipeline actively references each
+/// frame: surfaces in flight, codec state, and the buffer region around the
+/// playhead. Reclaim can compress everything else — touching it later is
+/// what costs the decode thread its deadline.
+pub fn hot_anon_pages(
+    profile: &PlayerProfile,
+    rep: Representation,
+    buffered_seconds: f64,
+) -> Pages {
+    surface_queue_pages(rep.resolution, surface_depth(profile, rep.fps))
+        + codec_state_pages(rep.resolution)
+        + segment_buffer_pages(rep, buffered_seconds).mul_f64(profile.hot_buffer_fraction)
+        + profile.base_anon.mul_f64(0.25)
+}
+
+/// The PSS `dumpsys meminfo` would report for a fully-resident client
+/// (used for calibration tests; live PSS comes from the memory manager).
+pub fn expected_pss(
+    profile: &PlayerProfile,
+    rep: Representation,
+    buffered_seconds: f64,
+) -> Pages {
+    let shared_discount = 1.0 - profile.file_share / 2.0;
+    video_anon_pages(profile, rep, buffered_seconds)
+        + profile.base_file_resident.mul_f64(shared_discount)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::players::PlayerKind;
+
+    fn rep(res: Resolution, fps: Fps) -> Representation {
+        Representation::youtube(res, fps)
+    }
+
+    #[test]
+    fn frame_bytes_nv12() {
+        // 1080p NV12 = 1920*1080*1.5 ≈ 3.1 MB
+        assert_eq!(frame_bytes(Resolution::R1080p), 3_110_400);
+        assert!(frame_pages(Resolution::R1080p).mib() > 2.9);
+    }
+
+    #[test]
+    fn buffer_pages_scale_with_bitrate() {
+        let low = segment_buffer_pages(rep(Resolution::R240p, Fps::F30), 60.0);
+        let high = segment_buffer_pages(rep(Resolution::R1080p, Fps::F30), 60.0);
+        assert!(high.mib() / low.mib() > 15.0, "8 Mbit vs 0.4 Mbit");
+        // 8 Mbit/s × 60 s × 1.15 = 69 MB ≈ 65.8 MiB
+        assert!((high.mib() - 65.8).abs() < 2.0, "{}", high.mib());
+    }
+
+    #[test]
+    fn fig8_resolution_growth_band() {
+        // Paper: PSS grows ≈ 125 MB from 240p to 1080p at a fixed frame
+        // rate on Firefox (full 60 s buffer). Accept 95–150 MB.
+        let ff = PlayerProfile::of(PlayerKind::Firefox);
+        let p240 = expected_pss(&ff, rep(Resolution::R240p, Fps::F30), 60.0);
+        let p1080 = expected_pss(&ff, rep(Resolution::R1080p, Fps::F30), 60.0);
+        let delta = p1080.mib() - p240.mib();
+        assert!(
+            (95.0..=150.0).contains(&delta),
+            "240p→1080p PSS delta {delta} MiB out of band"
+        );
+    }
+
+    #[test]
+    fn fig8_frame_rate_growth_band() {
+        // Paper: moving 30 → 60 FPS adds ≈ 20 MB of PSS on average across
+        // 240p–1080p. Accept 10–30 MB.
+        let ff = PlayerProfile::of(PlayerKind::Firefox);
+        let resolutions = [
+            Resolution::R240p,
+            Resolution::R360p,
+            Resolution::R480p,
+            Resolution::R720p,
+            Resolution::R1080p,
+        ];
+        let mean_delta: f64 = resolutions
+            .iter()
+            .map(|&r| {
+                expected_pss(&ff, rep(r, Fps::F60), 60.0).mib()
+                    - expected_pss(&ff, rep(r, Fps::F30), 60.0).mib()
+            })
+            .sum::<f64>()
+            / resolutions.len() as f64;
+        assert!(
+            (10.0..=30.0).contains(&mean_delta),
+            "30→60 FPS mean PSS delta {mean_delta} MiB out of band"
+        );
+    }
+
+    #[test]
+    fn hot_set_is_a_strict_subset() {
+        let ff = PlayerProfile::of(PlayerKind::Firefox);
+        for res in Resolution::ALL {
+            for fps in Fps::ALL {
+                let r = rep(res, fps);
+                assert!(
+                    hot_anon_pages(&ff, r, 60.0) < video_anon_pages(&ff, r, 60.0),
+                    "{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn high_fps_keeps_deeper_surface_queue() {
+        let ff = PlayerProfile::of(PlayerKind::Firefox);
+        assert_eq!(
+            surface_depth(&ff, Fps::F60),
+            ff.surface_queue + HIGH_FPS_EXTRA_SURFACES
+        );
+        assert_eq!(surface_depth(&ff, Fps::F30), ff.surface_queue);
+        assert_eq!(surface_depth(&ff, Fps::F48), ff.surface_queue + HIGH_FPS_EXTRA_SURFACES);
+    }
+
+    #[test]
+    fn exoplayer_footprint_is_much_smaller() {
+        let ff = PlayerProfile::of(PlayerKind::Firefox);
+        let exo = PlayerProfile::of(PlayerKind::ExoPlayer);
+        let r = rep(Resolution::R720p, Fps::F60);
+        assert!(
+            expected_pss(&exo, r, 60.0).mib() + 80.0 < expected_pss(&ff, r, 60.0).mib(),
+            "appendix B attributes ExoPlayer's resilience to its smaller footprint"
+        );
+    }
+}

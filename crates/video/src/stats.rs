@@ -1,0 +1,106 @@
+//! Per-session QoE statistics.
+//!
+//! The paper's client-level metrics (§4.1): rendered frames per second,
+//! frame-drop percentage, and client crash occurrence — plus the
+//! time-series the instantaneous plots (Figs. 14–17) need.
+
+use mvqoe_sim::{SimDuration, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Statistics collected over one streaming session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Frames presented on time.
+    pub frames_rendered: u64,
+    /// Frames dropped (missed their vsync deadline or skipped to keep 1×).
+    pub frames_dropped: u64,
+    /// When the client was killed, if it was.
+    pub crashed_at: Option<SimTime>,
+    /// Segments fully downloaded.
+    pub segments_downloaded: u64,
+    /// Time spent stalled with an empty buffer (rebuffering).
+    pub rebuffer_time: SimDuration,
+    /// Per-second rendered-FPS samples (Figs. 14–17).
+    pub fps_series: TimeSeries,
+    /// Client PSS samples in MiB over the session (Fig. 8).
+    pub pss_series: TimeSeries,
+    /// Session wall-clock end (crash or playback end).
+    pub ended_at: SimTime,
+}
+
+impl Default for SessionStats {
+    fn default() -> Self {
+        SessionStats {
+            frames_rendered: 0,
+            frames_dropped: 0,
+            crashed_at: None,
+            segments_downloaded: 0,
+            rebuffer_time: SimDuration::ZERO,
+            fps_series: TimeSeries::new("rendered_fps"),
+            pss_series: TimeSeries::new("pss_mib"),
+            ended_at: SimTime::ZERO,
+        }
+    }
+}
+
+impl SessionStats {
+    /// Total frames that should have been presented.
+    pub fn frames_total(&self) -> u64 {
+        self.frames_rendered + self.frames_dropped
+    }
+
+    /// Frame-drop percentage (the paper's headline metric). A session that
+    /// crashed before presenting anything counts as 100%.
+    pub fn drop_pct(&self) -> f64 {
+        let total = self.frames_total();
+        if total == 0 {
+            return if self.crashed_at.is_some() { 100.0 } else { 0.0 };
+        }
+        self.frames_dropped as f64 / total as f64 * 100.0
+    }
+
+    /// True if the client was killed during the session.
+    pub fn crashed(&self) -> bool {
+        self.crashed_at.is_some()
+    }
+
+    /// Mean rendered FPS over the whole session.
+    pub fn mean_fps(&self) -> f64 {
+        self.fps_series.mean()
+    }
+
+    /// Mean client PSS in MiB.
+    pub fn mean_pss_mib(&self) -> f64 {
+        self.pss_series.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_pct_basic() {
+        let mut s = SessionStats::default();
+        s.frames_rendered = 80;
+        s.frames_dropped = 20;
+        assert!((s.drop_pct() - 20.0).abs() < 1e-12);
+        assert_eq!(s.frames_total(), 100);
+    }
+
+    #[test]
+    fn instant_crash_is_total_loss() {
+        let mut s = SessionStats::default();
+        s.crashed_at = Some(SimTime::from_secs(1));
+        assert_eq!(s.drop_pct(), 100.0);
+        assert!(s.crashed());
+    }
+
+    #[test]
+    fn empty_session_is_zero() {
+        let s = SessionStats::default();
+        assert_eq!(s.drop_pct(), 0.0);
+        assert!(!s.crashed());
+        assert_eq!(s.mean_fps(), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests on the video stack's invariants.
+
+use mvqoe_sim::SimRng;
+use mvqoe_video::{Fps, Genre, Manifest, PlaybackBuffer, Representation, Resolution};
+use proptest::prelude::*;
+
+fn any_resolution() -> impl Strategy<Value = Resolution> {
+    prop::sample::select(Resolution::ALL.to_vec())
+}
+
+fn any_fps() -> impl Strategy<Value = Fps> {
+    prop::sample::select(Fps::ALL.to_vec())
+}
+
+fn any_genre() -> impl Strategy<Value = Genre> {
+    prop::sample::select(Genre::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The buffer never exceeds its capacity when the producer respects
+    /// `has_room_for`, and occupancy bytes always equal the sum of what is
+    /// inside.
+    #[test]
+    fn buffer_respects_capacity(
+        capacity in 8.0f64..120.0,
+        pushes in prop::collection::vec((any_resolution(), any_fps(), 1u64..5_000_000), 1..60),
+        consume_between in 0usize..200,
+    ) {
+        let mut buffer = PlaybackBuffer::new(capacity);
+        let mut inside_bytes: u64 = 0;
+        for (res, fps, bytes) in pushes {
+            let rep = Representation::youtube(res, fps);
+            for _ in 0..consume_between {
+                if let Some(c) = buffer.pop_frame() {
+                    inside_bytes -= c.freed_bytes;
+                } else {
+                    break;
+                }
+            }
+            if buffer.has_room_for(4.0) {
+                buffer.push_segment(rep, bytes, 4.0);
+                inside_bytes += bytes;
+            }
+            prop_assert!(buffer.buffered_seconds() <= capacity + 4.0 + 1e-9);
+            prop_assert_eq!(buffer.buffered_bytes(), inside_bytes);
+        }
+    }
+
+    /// Consuming an entire buffer frame-by-frame frees every byte.
+    #[test]
+    fn buffer_drains_to_zero(
+        segs in prop::collection::vec((any_fps(), 1u64..1_000_000), 1..15),
+    ) {
+        let mut buffer = PlaybackBuffer::new(1e9);
+        let mut total = 0u64;
+        for (fps, bytes) in segs {
+            buffer.push_segment(Representation::youtube(Resolution::R480p, fps), bytes, 4.0);
+            total += bytes;
+        }
+        let mut freed = 0u64;
+        while let Some(c) = buffer.pop_frame() {
+            freed += c.freed_bytes;
+        }
+        prop_assert_eq!(freed, total);
+        prop_assert!(buffer.is_empty());
+        prop_assert!(buffer.buffered_seconds().abs() < 1e-9);
+    }
+
+    /// Every (resolution, fps) cell exists in the full ladder, and bitrates
+    /// stay strictly positive and finite.
+    #[test]
+    fn ladder_is_total(res in any_resolution(), fps in any_fps(), genre in any_genre()) {
+        let m = Manifest::full_ladder(genre, 120.0);
+        let rep = m.representation(res, fps);
+        prop_assert!(rep.is_some());
+        let rep = rep.unwrap();
+        prop_assert!(rep.bitrate_kbps > 0);
+        prop_assert!(rep.chunk_bytes(4.0) > 0);
+    }
+
+    /// Segment sizes stay within the clamp band around nominal regardless
+    /// of genre and seed.
+    #[test]
+    fn segment_sizes_bounded(genre in any_genre(), seed in 0u64..1000, idx in 0u32..64) {
+        let m = Manifest::full_ladder(genre, 120.0);
+        let rep = Representation::youtube(Resolution::R720p, Fps::F30);
+        let nominal = rep.chunk_bytes(m.segment_seconds) as f64;
+        let mut rng = SimRng::new(seed);
+        let size = m.segment_bytes(rep, idx, &mut rng) as f64;
+        prop_assert!(size >= nominal * 0.4 - 1.0 && size <= nominal * 2.5 + 1.0,
+            "size {} vs nominal {}", size, nominal);
+    }
+
+    /// Decode cost sampling is positive and bounded below by the 30% floor.
+    #[test]
+    fn decode_cost_is_positive(res in any_resolution(), fps in any_fps(),
+                               genre in any_genre(), seed in 0u64..500) {
+        use mvqoe_video::{DecodeCostModel, PlayerKind, PlayerProfile};
+        let model = DecodeCostModel::default();
+        let profile = PlayerProfile::of(PlayerKind::Firefox);
+        let rep = Representation::youtube(res, fps);
+        let mean = model.mean_decode_us(rep, genre, &profile, 1.0);
+        let mut rng = SimRng::new(seed);
+        let sample = model.sample_decode_us(rep, genre, &profile, 1.0, &mut rng);
+        prop_assert!(sample >= mean * 0.3 - 1e-9);
+        prop_assert!(sample.is_finite() && sample > 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! A catalog of app archetypes with realistic memory footprints.
+//!
+//! Footprints follow published Android app memory studies (heavy social and
+//! game apps run hundreds of MB; utilities tens). On small-RAM devices apps
+//! self-limit (Go editions, tighter heap caps), modelled by a RAM-dependent
+//! scale factor.
+
+use mvqoe_kernel::Pages;
+use mvqoe_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Categories of apps users open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppCategory {
+    /// Feeds and stories — large heaps, lots of images.
+    Social,
+    /// Games — the largest footprints (excluded from the paper's organic
+    /// experiment but present in fleet usage).
+    Game,
+    /// Video streaming apps.
+    Video,
+    /// Music streaming (small, runs long in background).
+    Music,
+    /// Messaging.
+    Chat,
+    /// Web browser.
+    Browser,
+    /// Camera/photo.
+    Camera,
+    /// Small utilities.
+    Utility,
+}
+
+impl AppCategory {
+    /// All categories.
+    pub const ALL: [AppCategory; 8] = [
+        AppCategory::Social,
+        AppCategory::Game,
+        AppCategory::Video,
+        AppCategory::Music,
+        AppCategory::Chat,
+        AppCategory::Browser,
+        AppCategory::Camera,
+        AppCategory::Utility,
+    ];
+
+    /// Median anonymous footprint in MiB when foreground on a large device.
+    pub fn median_anon_mib(self) -> f64 {
+        match self {
+            AppCategory::Social => 260.0,
+            AppCategory::Game => 450.0,
+            AppCategory::Video => 280.0,
+            AppCategory::Music => 120.0,
+            AppCategory::Chat => 150.0,
+            AppCategory::Browser => 300.0,
+            AppCategory::Camera => 240.0,
+            AppCategory::Utility => 80.0,
+        }
+    }
+
+    /// Typical foreground dwell time in seconds.
+    pub fn median_session_secs(self) -> f64 {
+        match self {
+            AppCategory::Social => 300.0,
+            AppCategory::Game => 900.0,
+            AppCategory::Video => 600.0,
+            AppCategory::Music => 60.0,
+            AppCategory::Chat => 120.0,
+            AppCategory::Browser => 240.0,
+            AppCategory::Camera => 90.0,
+            AppCategory::Utility => 45.0,
+        }
+    }
+
+    /// How much the app keeps growing per foreground minute (fraction of
+    /// its base footprint) — feeds grow as you scroll.
+    pub fn growth_per_min(self) -> f64 {
+        match self {
+            AppCategory::Social => 0.10,
+            AppCategory::Game => 0.06,
+            AppCategory::Video => 0.08,
+            AppCategory::Browser => 0.12,
+            _ => 0.03,
+        }
+    }
+}
+
+/// One app archetype instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Category.
+    pub category: AppCategory,
+    /// Anonymous footprint.
+    pub anon: Pages,
+    /// File working set.
+    pub file_ws: Pages,
+    /// File pages initially resident.
+    pub file_resident: Pages,
+}
+
+/// Sample an app of `category` scaled for a device with `ram_mib` RAM.
+pub fn sample_app(category: AppCategory, ram_mib: u64, rng: &mut SimRng) -> AppSpec {
+    // Apps self-limit on small devices: ~55% of full size at 1 GB, full at
+    // 4 GB and above.
+    let scale = (0.4 + 0.6 * (ram_mib as f64 / 4096.0).min(1.0)).min(1.0);
+    let anon_mib = rng.lognormal(category.median_anon_mib() * scale, 0.35);
+    let file_mib = anon_mib * rng.uniform(0.25, 0.5);
+    AppSpec {
+        category,
+        anon: Pages::from_mib_f64(anon_mib),
+        file_ws: Pages::from_mib_f64(file_mib),
+        file_resident: Pages::from_mib_f64(file_mib * 0.7),
+    }
+}
+
+/// The paper's organic experiment: "8 background applications … selected
+/// from the top free applications available on Google Play Store and did
+/// not include any game" (§4.3).
+pub fn top_free_no_games(n: usize, ram_mib: u64, rng: &mut SimRng) -> Vec<AppSpec> {
+    const TOP_FREE: [AppCategory; 8] = [
+        AppCategory::Social,
+        AppCategory::Chat,
+        AppCategory::Social,
+        AppCategory::Video,
+        AppCategory::Music,
+        AppCategory::Browser,
+        AppCategory::Camera,
+        AppCategory::Utility,
+    ];
+    (0..n)
+        .map(|i| sample_app(TOP_FREE[i % TOP_FREE.len()], ram_mib, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn games_are_biggest_utilities_smallest() {
+        assert!(AppCategory::Game.median_anon_mib() > AppCategory::Social.median_anon_mib());
+        assert!(AppCategory::Utility.median_anon_mib() < AppCategory::Music.median_anon_mib());
+    }
+
+    #[test]
+    fn small_devices_get_smaller_apps() {
+        let mut rng_a = SimRng::new(3);
+        let mut rng_b = SimRng::new(3);
+        let small: f64 = (0..50)
+            .map(|_| sample_app(AppCategory::Social, 1024, &mut rng_a).anon.mib())
+            .sum();
+        let large: f64 = (0..50)
+            .map(|_| sample_app(AppCategory::Social, 8192, &mut rng_b).anon.mib())
+            .sum();
+        assert!(small < large * 0.75, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn top_free_excludes_games() {
+        let mut rng = SimRng::new(9);
+        let apps = top_free_no_games(8, 1024, &mut rng);
+        assert_eq!(apps.len(), 8);
+        assert!(apps.iter().all(|a| a.category != AppCategory::Game));
+        for a in &apps {
+            assert!(a.file_resident <= a.file_ws);
+            assert!(!a.anon.is_zero());
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The fleet usage model behind the §3 user study.
+//!
+//! Each [`FleetUser`] owns a generated device (a coarse-stepped
+//! `MemoryManager`, no scheduler — daemon CPU contention is irrelevant at
+//! day scale) and a self-reported [`UsagePattern`] matching the paper's
+//! Fig. 1 survey: a young, university-heavy population for whom video
+//! streaming is the most frequent activity, music second, and multitasking
+//! with 2+ background apps common.
+//!
+//! A user's simulated day alternates screen-on sessions and idle periods;
+//! while interactive they launch apps (weighted by their pattern), the
+//! foreground app grows, backgrounded apps pile into the cached LRU, and
+//! the kernel responds — generating exactly the signal streams
+//! `SignalCapturer` logged at 1 Hz.
+
+use crate::catalog::{sample_app, AppCategory};
+use mvqoe_device::DeviceProfile;
+use mvqoe_kernel::coarse::coarse_step;
+use mvqoe_kernel::manager::KillSource;
+use mvqoe_kernel::{MemoryManager, Pages, ProcKind, ProcessId, TrimLevel};
+use mvqoe_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Self-reported usage frequencies on the survey's 1–5 scale, plus derived
+/// behavioural rates.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UsagePattern {
+    /// "How often do you play games?" (1–5).
+    pub games: f64,
+    /// "How often do you listen to music?" (1–5).
+    pub music: f64,
+    /// "How often do you stream videos?" (1–5).
+    pub videos: f64,
+    /// "How often do you multitask with >1 app in the background?" (1–5).
+    pub multitask_1: f64,
+    /// "… with >2 apps?" (1–5).
+    pub multitask_2: f64,
+    /// Fraction of the day the screen is on.
+    pub interactive_frac: f64,
+}
+
+impl UsagePattern {
+    /// Sample a pattern for the paper's population (81% under 25,
+    /// university students/staff): video is the top activity, music next,
+    /// games third; multitasking is common.
+    pub fn sample(rng: &mut SimRng) -> UsagePattern {
+        let clamp = |x: f64| x.clamp(1.0, 5.0);
+        let multitask_1 = clamp(rng.normal(4.0, 0.8));
+        UsagePattern {
+            games: clamp(rng.normal(2.4, 1.1)),
+            music: clamp(rng.normal(3.6, 1.0)),
+            videos: clamp(rng.normal(4.2, 0.7)),
+            multitask_1,
+            multitask_2: clamp(multitask_1 - rng.uniform(0.2, 1.0)),
+            interactive_frac: rng.uniform(0.12, 0.38),
+        }
+    }
+
+    /// App-launch category weights induced by the pattern.
+    fn category_weights(&self) -> Vec<(AppCategory, f64)> {
+        vec![
+            (AppCategory::Video, self.videos),
+            (AppCategory::Music, self.music * 0.7),
+            (AppCategory::Game, self.games * 0.8),
+            (AppCategory::Social, 3.5),
+            (AppCategory::Chat, 3.8),
+            (AppCategory::Browser, 2.2),
+            (AppCategory::Camera, 1.0),
+            (AppCategory::Utility, 1.2),
+        ]
+    }
+}
+
+/// One 1 Hz sample, as `SignalCapturer` records (§3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FleetSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Available memory (free + cached) in MiB.
+    pub available_mib: f64,
+    /// RAM utilization percent.
+    pub utilization_pct: f64,
+    /// Current trim level.
+    pub trim: TrimLevel,
+    /// Whether the screen was on.
+    pub interactive: bool,
+    /// Number of running service/cached processes.
+    pub n_services: u32,
+}
+
+struct StandingApp {
+    size_mib: u64,
+    pid: ProcessId,
+    respawn_at: Option<SimTime>,
+}
+
+struct ForegroundApp {
+    pid: ProcessId,
+    category: AppCategory,
+    opened_at: SimTime,
+    leave_at: SimTime,
+    base_anon: Pages,
+}
+
+/// One user's device being lived on.
+pub struct FleetUser {
+    /// The generated device.
+    pub device: DeviceProfile,
+    /// The usage pattern driving behaviour.
+    pub pattern: UsagePattern,
+    mm: MemoryManager,
+    rng: SimRng,
+    foreground: Option<ForegroundApp>,
+    standing: Vec<StandingApp>,
+    interactive: bool,
+    toggle_at: SimTime,
+    launch_at: SimTime,
+    kills_observed: u64,
+}
+
+impl FleetUser {
+    /// Create a user with a generated device and sampled pattern.
+    pub fn new(idx: u32, root: &SimRng) -> FleetUser {
+        let mut rng = root.split(&format!("fleet-user-{idx}"));
+        let device = DeviceProfile::fleet_device(idx, &mut rng);
+        let pattern = UsagePattern::sample(&mut rng);
+        let mut mm = MemoryManager::new(device.mem.clone());
+        let now = SimTime::ZERO;
+        // Standing population, as in Machine::new.
+        let (sys, _) = mm.spawn_sized(
+            now,
+            "system_server",
+            ProcKind::System,
+            Pages::from_mib(110 + device.ram_mib / 20),
+            Pages::from_mib(90),
+            Pages::from_mib(70),
+            0.3,
+        );
+        mm.set_floor(sys, Pages::from_mib(80), Pages::from_mib(40));
+        mm.spawn_sized(
+            now,
+            "launcher",
+            ProcKind::Persistent,
+            Pages::from_mib(60 + device.ram_mib / 40),
+            Pages::from_mib(50),
+            Pages::from_mib(35),
+            0.4,
+        );
+        let (n_cached, mib_each) = device.cached_apps;
+        let mut standing = Vec::new();
+        for i in 0..n_cached {
+            let size = (mib_each as f64 * rng.uniform(0.6, 1.5)) as u64;
+            let (pid, _) = mm.spawn_sized(
+                now,
+                format!("pre.app{i}"),
+                ProcKind::Cached,
+                Pages::from_mib(size),
+                Pages::from_mib(size / 2),
+                Pages::from_mib(size / 3),
+                0.5,
+            );
+            standing.push(StandingApp {
+                size_mib: size,
+                pid,
+                respawn_at: None,
+            });
+        }
+        mm.drain_events();
+        FleetUser {
+            device,
+            pattern,
+            mm,
+            rng,
+            foreground: None,
+            standing,
+            interactive: false,
+            toggle_at: SimTime::ZERO,
+            launch_at: SimTime::ZERO,
+            kills_observed: 0,
+        }
+    }
+
+    /// The memory manager (for assertions and ad-hoc inspection).
+    pub fn mm(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// lmkd kills observed so far.
+    pub fn kills_observed(&self) -> u64 {
+        self.kills_observed
+    }
+
+    /// Advance one second of this user's life and return the 1 Hz sample.
+    pub fn step_1s(&mut self, now: SimTime) -> FleetSample {
+        // Screen on/off cycle.
+        if now >= self.toggle_at {
+            self.interactive = !self.interactive;
+            if !self.interactive {
+                // Screen off: the foreground app backgrounds and sheds;
+                // the device gets its chance to recover — which is what
+                // makes pressure *episodic* (signals, not a constant state).
+                // Heavy multitaskers hoard: their apps barely shed, keeping
+                // the device chronically overcommitted (the paper's tail of
+                // devices living in Low/Critical).
+                let shed_frac = if self.pattern.multitask_2 >= 4.0 { 0.05 } else { 0.35 };
+                if let Some(fg) = self.foreground.take() {
+                    if !self.mm.proc(fg.pid).dead {
+                        self.mm.set_kind(now, fg.pid, ProcKind::Cached);
+                        let shed = self.mm.proc(fg.pid).anon_total().mul_f64(shed_frac);
+                        self.mm.free_anon(now, fg.pid, shed);
+                        self.mm.set_floor(fg.pid, Pages::ZERO, Pages::ZERO);
+                    }
+                }
+            }
+            let mean_secs = if self.interactive {
+                // Session length scales with overall usage.
+                360.0 + 600.0 * self.pattern.interactive_frac
+            } else {
+                // Idle gap sized to hit the target interactive fraction.
+                let on = 360.0 + 600.0 * self.pattern.interactive_frac;
+                on * (1.0 - self.pattern.interactive_frac) / self.pattern.interactive_frac
+            };
+            self.toggle_at = now + SimDuration::from_secs_f64(self.rng.exponential(mean_secs));
+            if self.interactive {
+                self.launch_at = now + SimDuration::from_secs_f64(self.rng.exponential(20.0));
+            }
+        }
+
+        if self.interactive {
+            self.drive_interactive(now);
+        } else if self.rng.chance(0.002) {
+            // Rare background sync while idle.
+            if let Some(pid) = self.random_cached_pid() {
+                self.mm.touch_anon(now, pid, Pages::from_mib(4));
+            }
+        }
+
+        // Preinstalled services respawn after lmkd kills them — Android
+        // aggressively re-caches processes (paper §2 fn. 6), which is what
+        // refills the LRU and lets the trim level recover between episodes.
+        for i in 0..self.standing.len() {
+            let dead = self.mm.proc(self.standing[i].pid).dead;
+            match (dead, self.standing[i].respawn_at) {
+                (true, None) => {
+                    // Hoarders' devices also churn services faster.
+                    let delay = if self.pattern.multitask_2 >= 4.0 {
+                        self.rng.uniform(8.0, 45.0)
+                    } else {
+                        self.rng.uniform(20.0, 120.0)
+                    };
+                    self.standing[i].respawn_at =
+                        Some(now + SimDuration::from_secs_f64(delay));
+                }
+                (true, Some(at)) if now >= at => {
+                    let size = self.standing[i].size_mib;
+                    let (pid, _) = self.mm.spawn_sized(
+                        now,
+                        format!("pre.app.r@{now}"),
+                        ProcKind::Cached,
+                        Pages::from_mib(size * 2 / 3),
+                        Pages::from_mib(size / 2),
+                        Pages::from_mib(size / 4),
+                        0.5,
+                    );
+                    self.standing[i] = StandingApp {
+                        size_mib: size,
+                        pid,
+                        respawn_at: None,
+                    };
+                }
+                _ => {}
+            }
+        }
+
+        // Kernel dynamics.
+        let out = coarse_step(&mut self.mm, now, SimDuration::from_secs(1));
+        self.kills_observed += out.kills.len() as u64;
+        // Remove dead foreground (killed under extreme pressure).
+        if let Some(fg) = &self.foreground {
+            if self.mm.proc(fg.pid).dead {
+                self.foreground = None;
+            }
+        }
+
+        FleetSample {
+            at: now,
+            available_mib: self.mm.available().mib(),
+            utilization_pct: self.mm.utilization_pct(),
+            trim: self.mm.trim_level(),
+            interactive: self.interactive,
+            n_services: self.mm.cached_proc_count(),
+        }
+    }
+
+    fn drive_interactive(&mut self, now: SimTime) {
+        // Leave the current app when its dwell ends.
+        let leave = self
+            .foreground
+            .as_ref()
+            .is_some_and(|fg| now >= fg.leave_at);
+        if leave {
+            let fg = self.foreground.take().unwrap();
+            // Backgrounded: becomes a cached process; heavy apps shed some
+            // memory on trim.
+            self.mm.set_kind(now, fg.pid, ProcKind::Cached);
+            let shed = self.mm.proc(fg.pid).anon_total().mul_f64(0.25);
+            self.mm.free_anon(now, fg.pid, shed);
+            self.mm.set_floor(fg.pid, Pages::ZERO, Pages::ZERO);
+        }
+
+        // Launch a new app.
+        if now >= self.launch_at && self.foreground.is_none() {
+            let weights = self.pattern.category_weights();
+            let idx = self
+                .rng
+                .weighted_index(&weights.iter().map(|&(_, w)| w).collect::<Vec<_>>());
+            let category = weights[idx].0;
+            let spec = sample_app(category, self.device.ram_mib, &mut self.rng);
+            let (pid, _) = self.mm.spawn_sized(
+                now,
+                format!("{category:?}@{now}"),
+                ProcKind::Foreground,
+                spec.anon,
+                spec.file_ws,
+                spec.file_resident,
+                0.45,
+            );
+            // The foreground's working set is hot.
+            self.mm
+                .set_floor(pid, spec.anon.mul_f64(0.6), spec.file_resident.mul_f64(0.5));
+            let dwell = self
+                .rng
+                .exponential(category.median_session_secs())
+                .clamp(15.0, 3600.0);
+            self.foreground = Some(ForegroundApp {
+                pid,
+                category,
+                opened_at: now,
+                leave_at: now + SimDuration::from_secs_f64(dwell),
+                base_anon: spec.anon,
+            });
+            let gap = 45.0 / (0.5 + self.pattern.multitask_1 / 5.0);
+            self.launch_at = now + SimDuration::from_secs_f64(self.rng.exponential(gap).max(8.0));
+        } else if now >= self.launch_at && self.foreground.is_some() {
+            // Multitask switch: leave earlier than planned.
+            if self.rng.chance(self.pattern.multitask_2 / 12.0) {
+                if let Some(fg) = &mut self.foreground {
+                    fg.leave_at = now;
+                }
+            }
+            self.launch_at = now + SimDuration::from_secs(5);
+        }
+
+        // Foreground growth + touching.
+        if let Some(fg) = &self.foreground {
+            let pid = fg.pid;
+            let growth = fg
+                .base_anon
+                .mul_f64(fg.category.growth_per_min() / 60.0);
+            let elapsed = now.saturating_since(fg.opened_at);
+            // Feeds keep growing for a long while (endless scroll).
+            if elapsed < SimDuration::from_secs(2400) {
+                self.mm.alloc_anon(now, pid, growth.mul_f64(2.0));
+            }
+            self.mm.touch_anon(now, pid, fg.base_anon.mul_f64(0.05));
+        }
+
+        // Kill housekeeping: dead cached procs disappear from the LRU
+        // automatically (MemoryManager tracks liveness).
+        let _ = KillSource::Lmkd;
+    }
+
+    fn random_cached_pid(&mut self) -> Option<ProcessId> {
+        let cached: Vec<ProcessId> = self
+            .mm
+            .procs()
+            .iter()
+            .filter(|p| !p.dead && p.kind.counts_as_cached())
+            .map(|p| p.id)
+            .collect();
+        if cached.is_empty() {
+            None
+        } else {
+            Some(cached[self.rng.index(cached.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_pattern_matches_fig1_ordering() {
+        let mut rng = SimRng::new(21);
+        let n = 200;
+        let (mut v, mut m, mut g) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let p = UsagePattern::sample(&mut rng);
+            v += p.videos;
+            m += p.music;
+            g += p.games;
+            assert!((1.0..=5.0).contains(&p.videos));
+            assert!(p.multitask_2 <= p.multitask_1);
+        }
+        assert!(v > m && m > g, "video > music > games as in Fig. 1");
+    }
+
+    #[test]
+    fn a_day_produces_pressure_on_a_small_device() {
+        let root = SimRng::new(3);
+        // Find a small-RAM user.
+        let mut user = (0..40)
+            .map(|i| FleetUser::new(i, &root))
+            .find(|u| u.device.ram_mib <= 2048)
+            .expect("fleet contains small devices");
+        let mut utils = Vec::new();
+        let mut any_pressure = false;
+        for s in 0..(8 * 3600u64) {
+            let sample = user.step_1s(SimTime::from_secs(s));
+            if sample.interactive {
+                utils.push(sample.utilization_pct);
+            }
+            any_pressure |= sample.trim.is_pressure();
+        }
+        assert!(!utils.is_empty(), "user must have screen-on time");
+        let med = mvqoe_sim::stats::median(&utils);
+        assert!(
+            med > 40.0,
+            "interactive median utilization {med:.1}% unrealistically low"
+        );
+        assert!(
+            any_pressure || user.device.ram_mib > 1024,
+            "a 1 GB device should see some pressure in a day"
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let root = SimRng::new(77);
+        let run = || {
+            let mut u = FleetUser::new(5, &root);
+            (0..3600u64)
+                .map(|s| u.step_1s(SimTime::from_secs(s)).utilization_pct)
+                .sum::<f64>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn accounting_survives_a_simulated_morning() {
+        let root = SimRng::new(9);
+        let mut u = FleetUser::new(2, &root);
+        for s in 0..(2 * 3600u64) {
+            u.step_1s(SimTime::from_secs(s));
+        }
+        assert_eq!(u.mm().accounted_pages(), u.mm().config().usable());
+    }
+}

@@ -1,0 +1,53 @@
+//! A miniature §3 user study: simulate a small fleet of users living on
+//! their phones and report the paper's headline distributions.
+//!
+//! ```sh
+//! cargo run --release --example fleet_study
+//! ```
+
+use mvqoe::study::{run_fleet, FleetConfig};
+use mvqoe::kernel::TrimLevel;
+use mvqoe::sim::stats;
+
+fn main() {
+    // 20 users, ~2 days median observation (the paper: 80 users, 1–18 days).
+    let fleet = run_fleet(&FleetConfig {
+        n_users: 20,
+        seed: 2022,
+        median_hours: 48.0,
+        min_interactive_hours: 5.0,
+    });
+    println!(
+        "{} users recruited, {} kept after cleaning, {:.0} h logged\n",
+        fleet.recruited,
+        fleet.devices.len(),
+        fleet.total_hours
+    );
+
+    let medians = fleet.median_utilizations();
+    println!(
+        "median RAM utilization: p50 {:.0}%, devices ≥60%: {:.0}% (paper: 80%)",
+        stats::median(&medians),
+        fleet.fraction_util_at_least(60.0) * 100.0
+    );
+    println!(
+        "devices seeing ≥1 pressure signal/hour: {:.0}% (paper: 63%)",
+        fleet.fraction_signal_rate_at_least(1.0) * 100.0
+    );
+    println!(
+        "devices ≥2% of time in Moderate: {:.0}% (paper: 27%)",
+        fleet.fraction_time_in_state_at_least(TrimLevel::Moderate, 0.02) * 100.0
+    );
+
+    println!("\nper-device detail:");
+    for d in &fleet.devices {
+        println!(
+            "  {:24} {:>4} MiB RAM  util p50 {:>4.0}%  signals/h {:>6.2}  pressure time {:>5.2}%",
+            d.name,
+            d.ram_mib,
+            d.median_utilization(),
+            d.total_signals_per_hour(),
+            d.pressure_time_fraction() * 100.0
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: stream one video on a simulated phone and read the QoE.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mvqoe::prelude::*;
+
+fn main() {
+    // The paper's mid-range device: a Nexus 5 (2 GB RAM, 4 × 2.33 GHz).
+    let device = DeviceProfile::nexus5();
+
+    // Stream the paper's travel video at 1080p / 60 FPS for 60 seconds,
+    // first with no memory pressure, then starting from the Moderate
+    // onTrimMemory state (induced by the MP Simulator, as in §4.1).
+    for pressure in [
+        PressureMode::None,
+        PressureMode::Synthetic(TrimLevel::Moderate),
+    ] {
+        let mut cfg = SessionConfig::paper_default(device.clone(), pressure, 7);
+        cfg.video_secs = 60.0;
+        let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+        let rep = manifest
+            .representation(Resolution::R1080p, Fps::F60)
+            .unwrap();
+        let mut abr = FixedAbr::new(rep);
+
+        let outcome = run_session(&cfg, &mut abr);
+        println!(
+            "{:9}  rendered {:5} frames, dropped {:5} ({:5.1}%), crashed: {}, mean PSS {:.0} MiB",
+            pressure.label(),
+            outcome.stats.frames_rendered,
+            outcome.stats.frames_dropped,
+            outcome.stats.drop_pct(),
+            outcome.stats.crashed(),
+            outcome.stats.mean_pss_mib(),
+        );
+
+        // Peek at the kernel daemons' share of the session — the paper's
+        // §5 interference story in two numbers.
+        let m = &outcome.machine;
+        println!(
+            "           kswapd ran {}, mmcqd ran {}, lmkd killed {} processes",
+            m.sched.thread(m.kswapd_thread()).times.running,
+            m.sched.thread(m.mmcqd_thread()).times.running,
+            m.mm.vmstat().lmkd_kills,
+        );
+    }
+}

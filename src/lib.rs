@@ -1,0 +1,80 @@
+//! # mvqoe — memory pressure and mobile video QoE
+//!
+//! A full-system Rust reproduction of *"Coal Not Diamonds: How Memory
+//! Pressure Falters Mobile Video QoE"* (Waheed, Akhtar, Qazi, Qazi —
+//! CoNEXT '22): a simulated Android memory-management stack (zRAM, kswapd,
+//! lmkd, mmcqd), a multi-core scheduler, an eMMC storage model, a DASH
+//! video pipeline, the paper's three test devices, its user-study fleet,
+//! and regenerators for every table and figure in its evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mvqoe::prelude::*;
+//!
+//! // Stream 16 s of 480p30 video on a Nexus 5 with no memory pressure…
+//! let mut cfg = SessionConfig::paper_default(
+//!     DeviceProfile::nexus5(),
+//!     PressureMode::None,
+//!     42,
+//! );
+//! cfg.video_secs = 16.0;
+//! let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+//! let rep = manifest.representation(Resolution::R480p, Fps::F30).unwrap();
+//! let mut abr = FixedAbr::new(rep);
+//! let outcome = run_session(&cfg, &mut abr);
+//!
+//! // …and playback is clean.
+//! assert!(!outcome.stats.crashed());
+//! assert!(outcome.stats.drop_pct() < 2.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`sim`] | discrete-event core: clock, seeded RNG, statistics |
+//! | [`kernel`] | Android-like memory management (paper §2) |
+//! | [`sched`] | multi-core CFS+RT scheduler with state accounting |
+//! | [`storage`] | eMMC + I/O queue (mmcqd's work source) |
+//! | [`net`] | LAN link + DASH segment server |
+//! | [`video`] | ladder, players, memory & decode cost models |
+//! | [`abr`] | network baselines + the memory-aware controller |
+//! | [`device`] | device profiles + the assembled machine |
+//! | [`workload`] | MP Simulator, organic apps, fleet usage model |
+//! | [`trace`] | Perfetto-like tracing + §5 queries |
+//! | [`study`] | fleet study + DMOS survey (§3, §4.3) |
+//! | [`core`] | end-to-end streaming sessions + QoE aggregation |
+//! | [`experiments`] | one regenerator per table/figure |
+
+pub use mvqoe_abr as abr;
+pub use mvqoe_core as core;
+pub use mvqoe_device as device;
+pub use mvqoe_experiments as experiments;
+pub use mvqoe_kernel as kernel;
+pub use mvqoe_net as net;
+pub use mvqoe_sched as sched;
+pub use mvqoe_sim as sim;
+pub use mvqoe_storage as storage;
+pub use mvqoe_study as study;
+pub use mvqoe_trace as trace;
+pub use mvqoe_video as video;
+pub use mvqoe_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mvqoe_abr::{
+        Abr, AbrContext, Bola, BufferBased, FixedAbr, MemoryAware, ScheduledFps,
+        ThroughputBased,
+    };
+    pub use mvqoe_core::{
+        run_cell, run_session, CellResult, PressureMode, SessionConfig, SessionOutcome,
+    };
+    pub use mvqoe_device::{DeviceProfile, Machine};
+    pub use mvqoe_kernel::{MemoryManager, Pages, ProcKind, TrimLevel};
+    pub use mvqoe_sim::{SimDuration, SimRng, SimTime};
+    pub use mvqoe_video::{
+        Fps, Genre, Manifest, PlayerKind, Representation, Resolution, SessionStats,
+    };
+    pub use mvqoe_workload::{BackgroundApps, FleetUser, MpSimulator, UsagePattern};
+}

@@ -1,0 +1,242 @@
+//! Cross-crate integration tests: the paper's qualitative findings must
+//! hold end-to-end through the full stack (kernel + scheduler + disk +
+//! video pipeline + workloads).
+
+use mvqoe::prelude::*;
+
+fn cfg(device: DeviceProfile, pressure: PressureMode, secs: f64, seed: u64) -> SessionConfig {
+    let mut c = SessionConfig::paper_default(device, pressure, seed);
+    c.video_secs = secs;
+    c
+}
+
+fn fixed(res: Resolution, fps: Fps, secs: f64) -> FixedAbr {
+    let m = Manifest::full_ladder(Genre::Travel, secs);
+    FixedAbr::new(m.representation(res, fps).unwrap())
+}
+
+/// Drop rates must be ordered by pressure state (the paper's core finding).
+#[test]
+fn drops_increase_with_pressure_on_nokia1() {
+    let run = |pressure| {
+        let c = cfg(DeviceProfile::nokia1(), pressure, 40.0, 5);
+        let mut abr = fixed(Resolution::R720p, Fps::F60, 40.0);
+        let out = run_session(&c, &mut abr);
+        if out.stats.crashed() {
+            100.0
+        } else {
+            out.stats.drop_pct()
+        }
+    };
+    let normal = run(PressureMode::None);
+    let moderate = run(PressureMode::Synthetic(TrimLevel::Moderate));
+    let critical = run(PressureMode::Synthetic(TrimLevel::Critical));
+    assert!(
+        normal < moderate && moderate <= critical,
+        "ordering violated: {normal:.1} / {moderate:.1} / {critical:.1}"
+    );
+}
+
+/// Bigger devices fare better at the same configuration.
+#[test]
+fn more_ram_means_fewer_drops() {
+    let run = |device| {
+        let c = cfg(device, PressureMode::Synthetic(TrimLevel::Moderate), 40.0, 6);
+        let mut abr = fixed(Resolution::R720p, Fps::F60, 40.0);
+        let out = run_session(&c, &mut abr);
+        if out.stats.crashed() {
+            100.0
+        } else {
+            out.stats.drop_pct()
+        }
+    };
+    let nokia = run(DeviceProfile::nokia1());
+    let n6p = run(DeviceProfile::nexus6p());
+    assert!(
+        nokia > n6p + 5.0,
+        "1 GB ({nokia:.1}%) must fare clearly worse than 3 GB ({n6p:.1}%)"
+    );
+}
+
+/// The 1 GB device crashes under Critical pressure at high resolution
+/// (paper Table 2: 100% crash rate).
+#[test]
+fn nokia1_crashes_under_critical() {
+    let c = cfg(
+        DeviceProfile::nokia1(),
+        PressureMode::Synthetic(TrimLevel::Critical),
+        40.0,
+        7,
+    );
+    let mut abr = fixed(Resolution::R720p, Fps::F30, 40.0);
+    let out = run_session(&c, &mut abr);
+    assert!(out.stats.crashed(), "Critical + 720p must kill the client");
+}
+
+/// Crashes come from lmkd killing the foreground process, not from
+/// simulation artifacts: the kill must be attributed.
+#[test]
+fn crashes_are_lmkd_kills() {
+    let c = cfg(
+        DeviceProfile::nokia1(),
+        PressureMode::Synthetic(TrimLevel::Critical),
+        30.0,
+        8,
+    );
+    let mut abr = fixed(Resolution::R720p, Fps::F30, 30.0);
+    let out = run_session(&c, &mut abr);
+    assert!(out.stats.crashed());
+    assert!(
+        out.machine.mm.vmstat().lmkd_kills > 0,
+        "lmkd must have been the killer"
+    );
+    assert!(out.machine.mm.proc(out.client_pid).dead);
+}
+
+/// Memory-aware adaptation beats a fixed 60 FPS policy under pressure
+/// (the paper's §6 opportunity).
+#[test]
+fn memory_aware_abr_beats_fixed_under_pressure() {
+    let secs = 60.0;
+    let drops_of = |mk: &mut dyn FnMut() -> Box<dyn Abr>| {
+        let c = cfg(
+            DeviceProfile::nokia1(),
+            PressureMode::Synthetic(TrimLevel::Moderate),
+            secs,
+            9,
+        );
+        let cell = run_cell(&c, 3, mk);
+        cell.drop_pct.mean
+    };
+    let m = Manifest::full_ladder(Genre::Travel, secs);
+    let rep = m.representation(Resolution::R720p, Fps::F60).unwrap();
+    let fixed_drops = drops_of(&mut || Box::new(FixedAbr::new(rep)));
+    let aware_drops = drops_of(&mut || {
+        Box::new(MemoryAware::new(BufferBased::new(Fps::F60), Fps::F60))
+    });
+    assert!(
+        aware_drops < fixed_drops * 0.7,
+        "memory-aware ({aware_drops:.1}%) must clearly beat fixed 720p60 ({fixed_drops:.1}%)"
+    );
+}
+
+/// Lowering the encoded frame rate rescues playback at a resolution that
+/// is unplayable at 60 FPS (Fig. 16's core claim).
+#[test]
+fn frame_rate_reduction_rescues_1080p_on_nokia1() {
+    let run = |fps| {
+        let c = cfg(DeviceProfile::nokia1(), PressureMode::None, 30.0, 10);
+        let mut abr = fixed(Resolution::R1080p, fps, 30.0);
+        let out = run_session(&c, &mut abr);
+        out.stats.drop_pct()
+    };
+    let at60 = run(Fps::F60);
+    let at24 = run(Fps::F24);
+    assert!(at60 > 50.0, "1080p60 must be broken ({at60:.1}%)");
+    assert!(at24 < 10.0, "1080p24 must be watchable ({at24:.1}%)");
+}
+
+/// PSS grows with both resolution and frame rate (Fig. 8), measured live
+/// through the memory manager, not the static model.
+#[test]
+fn pss_ordering_matches_fig8() {
+    let pss = |res, fps| {
+        let c = cfg(DeviceProfile::nexus5(), PressureMode::None, 40.0, 11);
+        let mut abr = fixed(res, fps, 40.0);
+        run_session(&c, &mut abr).stats.mean_pss_mib()
+    };
+    let low = pss(Resolution::R240p, Fps::F30);
+    let high30 = pss(Resolution::R1080p, Fps::F30);
+    let high60 = pss(Resolution::R1080p, Fps::F60);
+    assert!(high30 > low + 25.0, "{low:.0} vs {high30:.0}");
+    assert!(high60 > high30, "{high30:.0} vs {high60:.0}");
+}
+
+/// The ExoPlayer client drops far fewer frames than Firefox under pressure
+/// (Appendix B) but is not crash-immune.
+#[test]
+fn exoplayer_drops_less_than_firefox() {
+    let run = |player| {
+        let mut c = cfg(
+            DeviceProfile::nokia1(),
+            PressureMode::None,
+            30.0,
+            12,
+        );
+        c.player = player;
+        let mut abr = fixed(Resolution::R1080p, Fps::F60, 30.0);
+        let out = run_session(&c, &mut abr);
+        out.stats.drop_pct()
+    };
+    let firefox = run(PlayerKind::Firefox);
+    let exo = run(PlayerKind::ExoPlayer);
+    assert!(
+        exo < firefox * 0.5,
+        "ExoPlayer ({exo:.1}%) must drop far less than Firefox ({firefox:.1}%)"
+    );
+}
+
+/// The kernel daemons show the paper's §5 signature under pressure:
+/// kswapd and mmcqd both work much harder.
+#[test]
+fn daemons_work_harder_under_pressure() {
+    let run = |pressure| {
+        let c = cfg(DeviceProfile::nokia1(), pressure, 40.0, 13);
+        let mut abr = fixed(Resolution::R480p, Fps::F60, 40.0);
+        let out = run_session(&c, &mut abr);
+        let m = &out.machine;
+        (
+            m.sched.thread(m.kswapd_thread()).times.running.as_secs_f64(),
+            m.sched.thread(m.mmcqd_thread()).times.running.as_secs_f64(),
+        )
+    };
+    let (kswapd_n, mmcqd_n) = run(PressureMode::None);
+    let (kswapd_m, mmcqd_m) = run(PressureMode::Synthetic(TrimLevel::Moderate));
+    assert!(
+        kswapd_m > kswapd_n * 3.0 + 0.2,
+        "kswapd {kswapd_n:.2}s → {kswapd_m:.2}s must explode"
+    );
+    assert!(
+        mmcqd_m > mmcqd_n,
+        "mmcqd {mmcqd_n:.2}s → {mmcqd_m:.2}s must grow"
+    );
+}
+
+/// Sessions are deterministic per seed across the whole stack.
+#[test]
+fn end_to_end_determinism() {
+    let run = || {
+        let c = cfg(
+            DeviceProfile::nexus5(),
+            PressureMode::Synthetic(TrimLevel::Moderate),
+            30.0,
+            99,
+        );
+        let mut abr = fixed(Resolution::R720p, Fps::F60, 30.0);
+        let out = run_session(&c, &mut abr);
+        (
+            out.stats.frames_rendered,
+            out.stats.frames_dropped,
+            out.stats.crashed_at,
+            out.machine.mm.vmstat().lmkd_kills,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Memory accounting holds after a full pressured session.
+#[test]
+fn page_accounting_survives_a_session() {
+    let c = cfg(
+        DeviceProfile::nokia1(),
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        30.0,
+        14,
+    );
+    let mut abr = fixed(Resolution::R480p, Fps::F60, 30.0);
+    let out = run_session(&c, &mut abr);
+    assert_eq!(
+        out.machine.mm.accounted_pages(),
+        out.machine.mm.config().usable()
+    );
+}
