@@ -1,0 +1,91 @@
+//! Serial vs parallel experiment-engine wall-clock on a quick-scale grid.
+//!
+//! Measures the same cell grid through `run_cells_parallel` at one worker
+//! (the serial degenerate case runs on the calling thread) and at a pool of
+//! workers, then writes the speedup ratio to `BENCH_parallel.json` at the
+//! workspace root so the perf trajectory is tracked across commits. On a
+//! single-core host the ratio is ~1.0 by construction; the engine's win
+//! scales with available CPUs because experiment cells share no state.
+
+use criterion::{black_box, Criterion};
+use mvqoe_abr::FixedAbr;
+use mvqoe_core::{run_cells_parallel, CellSpec, PressureMode, SessionConfig};
+use mvqoe_device::DeviceProfile;
+use mvqoe_kernel::TrimLevel;
+use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+use std::time::Instant;
+
+/// A quick-scale grid: 6 cells × 2 repetitions of 12 s sessions.
+fn grid() -> Vec<CellSpec<'static>> {
+    let mut specs = Vec::new();
+    for device in [DeviceProfile::nokia1(), DeviceProfile::nexus5()] {
+        for pressure in [
+            PressureMode::None,
+            PressureMode::Synthetic(TrimLevel::Moderate),
+            PressureMode::Synthetic(TrimLevel::Critical),
+        ] {
+            let mut cfg = SessionConfig::paper_default(device.clone(), pressure, 42);
+            cfg.video_secs = 12.0;
+            specs.push(CellSpec::new(cfg, 2, || {
+                let m = Manifest::full_ladder(Genre::Travel, 12.0);
+                let rep = m.representation(Resolution::R480p, Fps::F60).unwrap();
+                Box::new(FixedAbr::new(rep))
+            }));
+        }
+    }
+    specs
+}
+
+/// Median-of-N wall-clock for the grid at a worker count.
+fn time_grid(workers: usize, samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let specs = grid();
+            let start = Instant::now();
+            black_box(run_cells_parallel("bench-parallel", &specs, workers));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let samples = if test_mode { 1 } else { 5 };
+    let pool = std::thread::available_parallelism().map_or(4, |p| p.get().max(2));
+
+    // Criterion-shaped reporting for the two paths.
+    let mut c = Criterion::default();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(samples);
+    g.bench_function("grid_serial_1_worker", |b| {
+        b.iter(|| run_cells_parallel("bench-parallel", &grid(), 1))
+    });
+    g.bench_function(&format!("grid_parallel_{pool}_workers"), |b| {
+        b.iter(|| run_cells_parallel("bench-parallel", &grid(), pool))
+    });
+    g.finish();
+
+    // The tracked ratio: serial wall-clock over parallel wall-clock.
+    let serial_secs = time_grid(1, samples);
+    let parallel_secs = time_grid(pool, samples);
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    println!(
+        "engine speedup at {pool} workers: {speedup:.2}x ({serial_secs:.3} s -> {parallel_secs:.3} s)"
+    );
+
+    if !test_mode {
+        // crates/bench -> workspace root.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+        let json = format!(
+            "{{\n  \"bench\": \"parallel_engine_quick_grid\",\n  \"workers\": {pool},\n  \
+             \"serial_secs\": {serial_secs:.4},\n  \"parallel_secs\": {parallel_secs:.4},\n  \
+             \"speedup\": {speedup:.3}\n}}\n"
+        );
+        match std::fs::write(path, json) {
+            Ok(()) => println!("[json] {path}"),
+            Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+        }
+    }
+}

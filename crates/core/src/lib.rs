@@ -20,10 +20,12 @@
 //! fault stalls behind `mmcqd`, or preemption — the causal chain §5 of the
 //! paper establishes.
 
+pub mod parallel;
 pub mod pressure;
 pub mod qoe;
 pub mod session;
 
+pub use parallel::{parallel_map, run_cell_at, run_cells_parallel, AbrFactory, CellSpec};
 pub use pressure::PressureMode;
-pub use qoe::{run_cell, CellResult};
+pub use qoe::{aggregate_runs, run_cell, CellResult};
 pub use session::{run_session, SessionConfig, SessionOutcome};

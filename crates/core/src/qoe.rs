@@ -6,7 +6,7 @@
 //! 100% frame drop, matching how the paper presents Critical-state cells
 //! ("the video was either unplayable or the video client crashed").
 
-use crate::session::{run_session, SessionConfig};
+use crate::session::SessionConfig;
 use mvqoe_abr::Abr;
 use mvqoe_sim::stats::Summary;
 use serde::{Deserialize, Serialize};
@@ -41,29 +41,10 @@ pub struct CellResult {
     pub runs: Vec<RunDigest>,
 }
 
-/// Run `n_runs` sessions of `cfg` (varying the seed) with a fresh ABR from
-/// `make_abr` per run.
-pub fn run_cell(
-    cfg: &SessionConfig,
-    n_runs: u64,
-    make_abr: &mut dyn FnMut() -> Box<dyn Abr>,
-) -> CellResult {
-    let mut runs = Vec::with_capacity(n_runs as usize);
-    for i in 0..n_runs {
-        let mut run_cfg = cfg.clone();
-        run_cfg.seed = cfg.seed.wrapping_add(i.wrapping_mul(7919));
-        let mut abr = make_abr();
-        let out = run_session(&run_cfg, abr.as_mut());
-        let crashed = out.stats.crashed();
-        runs.push(RunDigest {
-            seed: run_cfg.seed,
-            drop_pct: if crashed { 100.0 } else { out.stats.drop_pct() },
-            crashed,
-            mean_pss_mib: out.stats.mean_pss_mib(),
-            mean_fps: out.stats.mean_fps(),
-            frames_total: out.stats.frames_total(),
-        });
-    }
+/// Aggregate per-run digests into a cell result. Factored out so the serial
+/// path and the parallel engine produce byte-identical aggregates from the
+/// same digests (repetition order must already be stable).
+pub fn aggregate_runs(runs: Vec<RunDigest>) -> CellResult {
     let drops: Vec<f64> = runs.iter().map(|r| r.drop_pct).collect();
     let psses: Vec<f64> = runs.iter().map(|r| r.mean_pss_mib).collect();
     let crash_pct =
@@ -74,6 +55,21 @@ pub fn run_cell(
         pss_mib: Summary::of(&psses),
         runs,
     }
+}
+
+/// Run `n_runs` sessions of `cfg` (varying the seed) with a fresh ABR from
+/// `make_abr` per run.
+///
+/// This is the anonymous-cell serial entry point: it seeds repetitions at
+/// coordinates `("cell", 0, rep)`. Experiments that name their cells should
+/// use [`crate::parallel::run_cell_at`] or the parallel engine, which seed
+/// by full grid coordinates.
+pub fn run_cell(
+    cfg: &SessionConfig,
+    n_runs: u64,
+    make_abr: &mut dyn FnMut() -> Box<dyn Abr>,
+) -> CellResult {
+    crate::parallel::run_cell_at("cell", 0, cfg, n_runs, make_abr)
 }
 
 #[cfg(test)]

@@ -8,9 +8,10 @@
 //! no-pressure control column.
 
 use crate::report;
+use crate::runner;
 use crate::scale::Scale;
 use mvqoe_abr::{Abr, Bola, BufferBased, FixedAbr, MemoryAware, ThroughputBased};
-use mvqoe_core::{run_cell, PressureMode, SessionConfig};
+use mvqoe_core::{CellSpec, PressureMode, SessionConfig};
 use mvqoe_device::DeviceProfile;
 use mvqoe_kernel::TrimLevel;
 use mvqoe_video::{Fps, Genre, Manifest, Resolution};
@@ -65,31 +66,47 @@ pub const ALGORITHMS: [&str; 5] = [
     "memory-aware",
 ];
 
-/// Run the ablation on a device.
+/// Run the ablation on a device: every (pressure, algorithm) cell is one
+/// engine cell of the `abr-ablation/<device>` grid.
 pub fn run_on(device: DeviceProfile, scale: &Scale) -> Ablation {
-    let mut rows = Vec::new();
     let manifest = Manifest::full_ladder(Genre::Travel, scale.video_secs);
+    let mut coords = Vec::new();
     for pressure in [
         PressureMode::None,
         PressureMode::Synthetic(TrimLevel::Moderate),
     ] {
         for &alg in &ALGORITHMS {
+            coords.push((pressure, alg));
+        }
+    }
+    let specs: Vec<CellSpec> = coords
+        .iter()
+        .map(|&(pressure, alg)| {
             let mut cfg = SessionConfig::paper_default(device.clone(), pressure, scale.seed);
             cfg.video_secs = scale.video_secs;
-            let cell = run_cell(&cfg, scale.runs, &mut || make_abr(alg, &manifest));
+            let manifest = &manifest;
+            CellSpec::new(cfg, scale.runs, move || make_abr(alg, manifest))
+        })
+        .collect();
+    let experiment = format!("abr-ablation/{}", device.name);
+    let cells = runner::run_cells(&experiment, &specs, scale);
+    let rows = coords
+        .iter()
+        .zip(cells)
+        .map(|(&(pressure, alg), cell)| {
             let mean_fps = mvqoe_sim::stats::mean(
                 &cell.runs.iter().map(|r| r.mean_fps).collect::<Vec<_>>(),
             );
-            rows.push(AblationRow {
+            AblationRow {
                 algorithm: alg.into(),
                 pressure: pressure.label(),
                 drop_mean: cell.drop_pct.mean,
                 drop_ci95: cell.drop_pct.ci95,
                 crash_pct: cell.crash_pct,
                 mean_fps,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Ablation {
         device: device.name.clone(),
         rows,

@@ -2,9 +2,10 @@
 use mvqoe_experiments::{framedrops, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let grid = framedrops::nexus6p_grid(&scale);
     report::banner("§4.3", "frame drops on the Nexus 6P");
     grid.print_drops(&["Normal", "Moderate", "Critical"]);
     println!("paper: drops only at ≥720p; highest ≈9% at 1080p60");
-    report::write_json("nexus6p", &grid);
+    timer.write_json("nexus6p", &grid);
 }

@@ -2,7 +2,8 @@
 use mvqoe_experiments::{abr_ablation, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let a = abr_ablation::run(&scale);
     a.print();
-    report::write_json("abr_ablation", &a);
+    timer.write_json("abr_ablation", &a);
 }

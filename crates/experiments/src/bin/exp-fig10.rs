@@ -2,7 +2,8 @@
 use mvqoe_experiments::{fig10, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let f = fig10::run(&scale);
     f.print();
-    report::write_json("fig10", &f);
+    timer.write_json("fig10", &f);
 }

@@ -2,6 +2,7 @@
 use mvqoe_experiments::{framedrops, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let grid = framedrops::nexus5_grid(&scale);
     report::banner("Fig 11", "frame drops on the Nexus 5 (mean ± 95% CI)");
     grid.print_drops(&["Normal", "Moderate", "Critical"]);
@@ -12,5 +13,5 @@ fn main() {
         &["Normal", "Moderate", "Critical"],
     );
     println!("paper: Normal 0/0/0/0; Moderate 10/100/0/100; Critical 100/100/70/100");
-    report::write_json("fig11_table3", &grid);
+    timer.write_json("fig11_table3", &grid);
 }

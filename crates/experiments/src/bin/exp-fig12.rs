@@ -2,6 +2,7 @@
 use mvqoe_experiments::{framedrops, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let grids = framedrops::genre_grids(&scale);
     for grid in &grids {
         let genre = grid.cells.first().map(|c| c.genre.clone()).unwrap_or_default();
@@ -9,5 +10,5 @@ fn main() {
         grid.print_drops(&["Normal", "Moderate", "Critical"]);
     }
     println!("paper: same trend across genres — low drops at 30 FPS, significant at 60 FPS, rising with pressure/resolution");
-    report::write_json("fig12_genres", &grids);
+    timer.write_json("fig12_genres", &grids);
 }

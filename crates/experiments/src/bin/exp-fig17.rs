@@ -2,7 +2,8 @@
 use mvqoe_experiments::{report, session_figs, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let f = session_figs::fig17(&scale);
     f.print();
-    report::write_json("fig17", &f);
+    timer.write_json("fig17", &f);
 }

@@ -3,6 +3,7 @@ use mvqoe_experiments::{framedrops, report, Scale};
 use mvqoe_video::PlayerKind;
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let grid = framedrops::appendix_grid(PlayerKind::ExoPlayer, &scale);
     report::banner("Fig 18", "ExoPlayer on the Nexus 5");
     grid.print_drops(&["Normal", "Moderate", "Critical"]);
@@ -11,5 +12,5 @@ fn main() {
         &["Normal", "Moderate", "Critical"],
     );
     println!("paper: far fewer drops than Firefox, but still significant crashes at high pressure");
-    report::write_json("fig18_exoplayer", &grid);
+    timer.write_json("fig18_exoplayer", &grid);
 }

@@ -3,6 +3,7 @@ use mvqoe_experiments::{framedrops, report, Scale};
 use mvqoe_video::PlayerKind;
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let grid = framedrops::appendix_grid(PlayerKind::Chrome, &scale);
     report::banner("Fig 19", "Chrome on the Nexus 5");
     grid.print_drops(&["Normal", "Moderate", "Critical"]);
@@ -11,5 +12,5 @@ fn main() {
         &["Normal", "Moderate", "Critical"],
     );
     println!("paper: fewer drops than Firefox (smaller footprint), but crashes persist");
-    report::write_json("fig19_chrome", &grid);
+    timer.write_json("fig19_chrome", &grid);
 }

@@ -2,7 +2,8 @@
 use mvqoe_experiments::{fig8, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let f = fig8::run(&scale);
     f.print();
-    report::write_json("fig8", &f);
+    timer.write_json("fig8", &f);
 }

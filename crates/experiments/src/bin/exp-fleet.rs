@@ -2,7 +2,8 @@
 use mvqoe_experiments::{fleet_figs, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let figs = fleet_figs::run(&scale);
     figs.print();
-    report::write_json("fleet_figs1-6", &figs);
+    timer.write_json("fleet_figs1-6", &figs);
 }

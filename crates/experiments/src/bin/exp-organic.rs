@@ -2,7 +2,8 @@
 use mvqoe_experiments::{organic_check, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let c = organic_check::run(&scale);
     c.print();
-    report::write_json("organic_check", &c);
+    timer.write_json("organic_check", &c);
 }

@@ -2,7 +2,8 @@
 use mvqoe_experiments::{os_ablation, report, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let a = os_ablation::run(&scale);
     a.print();
-    report::write_json("os_ablation", &a);
+    timer.write_json("os_ablation", &a);
 }

@@ -2,7 +2,8 @@
 use mvqoe_experiments::{report, table1, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let t = table1::run(&scale);
     t.print();
-    report::write_json("table1", &t);
+    timer.write_json("table1", &t);
 }

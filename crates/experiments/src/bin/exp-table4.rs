@@ -2,7 +2,8 @@
 use mvqoe_experiments::{report, trace_exp, Scale};
 fn main() {
     let scale = Scale::from_args();
+    let timer = report::MetaTimer::start(&scale);
     let t = trace_exp::run(&scale);
     t.print();
-    report::write_json("table4_table5_fig13", &t);
+    timer.write_json("table4_table5_fig13", &t);
 }

@@ -8,7 +8,7 @@
 //!   Nokia 1, Normal vs Moderate), measure the drop rates our simulator
 //!   produces, and survey those.
 
-use crate::framedrops::run_one_cell;
+use crate::framedrops::run_cells;
 use crate::report;
 use crate::scale::Scale;
 use mvqoe_core::PressureMode;
@@ -63,30 +63,28 @@ fn survey_row(mode: &str, reference: f64, test: f64, seed: u64) -> SurveyRow {
 pub fn run(scale: &Scale) -> Fig10 {
     let mut rows = vec![survey_row("as-published (3% vs 35%)", 3.0, 35.0, scale.seed)];
 
-    // End-to-end: measure the two clips ourselves.
+    // End-to-end: measure the two clips ourselves (both cells in one
+    // engine grid named `fig10`).
     let device = DeviceProfile::nokia1();
-    let normal = run_one_cell(
+    let cells = run_cells(
         &device,
         PlayerKind::Firefox,
         Genre::Travel,
-        Resolution::R240p,
-        Fps::F60,
-        PressureMode::None,
-        scale,
-    );
-    let moderate = run_one_cell(
-        &device,
-        PlayerKind::Firefox,
-        Genre::Travel,
-        Resolution::R240p,
-        Fps::F60,
-        PressureMode::Synthetic(TrimLevel::Moderate),
+        &[
+            (Resolution::R240p, Fps::F60, PressureMode::None),
+            (
+                Resolution::R240p,
+                Fps::F60,
+                PressureMode::Synthetic(TrimLevel::Moderate),
+            ),
+        ],
+        "fig10",
         scale,
     );
     rows.push(survey_row(
         "end-to-end (measured clips)",
-        normal.drop_mean,
-        moderate.drop_mean,
+        cells[0].drop_mean,
+        cells[1].drop_mean,
         scale.seed,
     ));
     Fig10 { rows }

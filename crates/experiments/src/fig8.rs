@@ -1,6 +1,6 @@
 //! Fig. 8: client PSS vs resolution × frame rate (Nexus 5, no pressure).
 
-use crate::framedrops::run_one_cell;
+use crate::framedrops::run_cells;
 use crate::report;
 use crate::scale::Scale;
 use mvqoe_core::PressureMode;
@@ -30,7 +30,8 @@ pub struct Fig8 {
     pub delta_30_to_60_mib: f64,
 }
 
-/// Run Fig. 8.
+/// Run Fig. 8: all ten (fps, resolution) cells go through the parallel
+/// engine as one grid named `fig8`.
 pub fn run(scale: &Scale) -> Fig8 {
     let device = DeviceProfile::nexus5();
     // Longer sessions let the 60 s buffer matter; use at least 100 s.
@@ -43,25 +44,28 @@ pub fn run(scale: &Scale) -> Fig8 {
         Resolution::R720p,
         Resolution::R1080p,
     ];
-    let mut points = Vec::new();
+    let mut coords = Vec::new();
     for fps in [Fps::F30, Fps::F60] {
         for res in resolutions {
-            let cell = run_one_cell(
-                &device,
-                PlayerKind::Firefox,
-                Genre::Travel,
-                res,
-                fps,
-                PressureMode::None,
-                &scale,
-            );
-            points.push(PssPoint {
-                resolution: res.to_string(),
-                fps: fps.value(),
-                pss_mib: cell.pss_mean,
-            });
+            coords.push((res, fps, PressureMode::None));
         }
     }
+    let cells = run_cells(
+        &device,
+        PlayerKind::Firefox,
+        Genre::Travel,
+        &coords,
+        "fig8",
+        &scale,
+    );
+    let points: Vec<PssPoint> = cells
+        .iter()
+        .map(|cell| PssPoint {
+            resolution: cell.resolution.clone(),
+            fps: cell.fps,
+            pss_mib: cell.pss_mean,
+        })
+        .collect();
     let get = |res: &str, fps: u32| {
         points
             .iter()

@@ -4,7 +4,7 @@ use crate::report;
 use crate::scale::Scale;
 use mvqoe_kernel::TrimLevel;
 use mvqoe_sim::stats;
-use mvqoe_study::{run_fleet, FleetConfig, FleetResults};
+use mvqoe_study::{assemble_fleet, simulate_user, FleetConfig, FleetResults};
 use serde::{Deserialize, Serialize};
 
 /// Everything the §3 figures need, extracted from a fleet run.
@@ -95,14 +95,19 @@ pub struct Fig6 {
     pub dwell_p75: [f64; 4],
 }
 
-/// Run the fleet and extract every figure.
+/// Run the fleet and extract every figure. Users are independently seeded
+/// by index, so they fan out over `scale.jobs` workers with identical
+/// results to the serial [`mvqoe_study::run_fleet`] path.
 pub fn run(scale: &Scale) -> FleetFigures {
-    let fleet = run_fleet(&FleetConfig {
+    let cfg = FleetConfig {
         n_users: scale.fleet_users,
         seed: scale.seed.wrapping_add(2022),
         median_hours: scale.fleet_hours,
         min_interactive_hours: (scale.fleet_hours * 0.1).min(10.0),
-    });
+    };
+    let indices: Vec<u32> = (0..cfg.n_users).collect();
+    let users = crate::runner::map(scale, &indices, |&i| simulate_user(&cfg, i));
+    let fleet = assemble_fleet(&cfg, users);
     extract(&fleet)
 }
 

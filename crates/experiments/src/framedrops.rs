@@ -2,9 +2,10 @@
 //! Nexus 6P summary, and Appendix B's ExoPlayer/Chrome runs.
 
 use crate::report;
+use crate::runner;
 use crate::scale::Scale;
 use mvqoe_abr::FixedAbr;
-use mvqoe_core::{run_cell, CellResult, PressureMode, SessionConfig};
+use mvqoe_core::{CellSpec, PressureMode, SessionConfig};
 use mvqoe_device::DeviceProfile;
 use mvqoe_kernel::TrimLevel;
 use mvqoe_video::{Fps, Genre, Manifest, PlayerKind, Resolution};
@@ -49,6 +50,54 @@ pub struct DropGrid {
     pub cells: Vec<GridCell>,
 }
 
+/// The experiment id under which a device/player/genre grid derives its
+/// session seeds. Stable across callers so `exp-fig9` and `exp-all` write
+/// identical artifacts.
+pub fn grid_experiment_id(device: &DeviceProfile, player: PlayerKind, genre: Genre) -> String {
+    format!("framedrops/{}/{player}/{genre}", device.name)
+}
+
+/// Run an explicit list of `(resolution, fps, pressure)` cells of one
+/// device/player/genre grid through the parallel engine, in input order.
+pub fn run_cells(
+    device: &DeviceProfile,
+    player: PlayerKind,
+    genre: Genre,
+    cells: &[(Resolution, Fps, PressureMode)],
+    experiment: &str,
+    scale: &Scale,
+) -> Vec<GridCell> {
+    let specs: Vec<CellSpec> = cells
+        .iter()
+        .map(|&(res, fps, pressure)| {
+            let mut cfg = SessionConfig::paper_default(device.clone(), pressure, scale.seed);
+            cfg.player = player;
+            cfg.genre = genre;
+            cfg.video_secs = scale.video_secs;
+            let manifest = Manifest::full_ladder(genre, cfg.video_secs);
+            let rep = manifest
+                .representation(res, fps)
+                .expect("ladder covers all cells");
+            CellSpec::new(cfg, scale.runs, move || Box::new(FixedAbr::new(rep)))
+        })
+        .collect();
+    let results = runner::run_cells(experiment, &specs, scale);
+    cells
+        .iter()
+        .zip(results)
+        .map(|(&(res, fps, pressure), cell)| GridCell {
+            resolution: res.to_string(),
+            fps: fps.value(),
+            pressure: pressure.label(),
+            genre: genre.to_string(),
+            drop_mean: cell.drop_pct.mean,
+            drop_ci95: cell.drop_pct.ci95,
+            crash_pct: cell.crash_pct,
+            pss_mean: cell.pss_mib.mean,
+        })
+        .collect()
+}
+
 /// Run the drop/crash grid for a device.
 pub fn run_grid(
     device: &DeviceProfile,
@@ -59,15 +108,16 @@ pub fn run_grid(
     pressures: &[PressureMode],
     scale: &Scale,
 ) -> DropGrid {
-    let mut cells = Vec::new();
+    let mut coords = Vec::new();
     for &fps in fps_list {
         for &res in resolutions {
             for &pressure in pressures {
-                let cell = run_one_cell(device, player, genre, res, fps, pressure, scale);
-                cells.push(cell);
+                coords.push((res, fps, pressure));
             }
         }
     }
+    let experiment = grid_experiment_id(device, player, genre);
+    let cells = run_cells(device, player, genre, &coords, &experiment, scale);
     DropGrid {
         device: device.name.clone(),
         player: player.to_string(),
@@ -75,7 +125,9 @@ pub fn run_grid(
     }
 }
 
-/// Run one (device, player, genre, rep, pressure) cell.
+/// Run one (device, player, genre, rep, pressure) cell on its own. The cell
+/// is seeded as a single-cell grid named by its full coordinates, so the
+/// result does not depend on what else the caller runs.
 pub fn run_one_cell(
     device: &DeviceProfile,
     player: PlayerKind,
@@ -85,25 +137,14 @@ pub fn run_one_cell(
     pressure: PressureMode,
     scale: &Scale,
 ) -> GridCell {
-    let mut cfg = SessionConfig::paper_default(device.clone(), pressure, scale.seed);
-    cfg.player = player;
-    cfg.genre = genre;
-    cfg.video_secs = scale.video_secs;
-    let manifest = Manifest::full_ladder(genre, cfg.video_secs);
-    let rep = manifest
-        .representation(res, fps)
-        .expect("ladder covers all cells");
-    let cell: CellResult = run_cell(&cfg, scale.runs, &mut || Box::new(FixedAbr::new(rep)));
-    GridCell {
-        resolution: res.to_string(),
-        fps: fps.value(),
-        pressure: pressure.label(),
-        genre: genre.to_string(),
-        drop_mean: cell.drop_pct.mean,
-        drop_ci95: cell.drop_pct.ci95,
-        crash_pct: cell.crash_pct,
-        pss_mean: cell.pss_mib.mean,
-    }
+    let experiment = format!(
+        "{}/{res}@{}/{}",
+        grid_experiment_id(device, player, genre),
+        fps.value(),
+        pressure.label()
+    );
+    let mut cells = run_cells(device, player, genre, &[(res, fps, pressure)], &experiment, scale);
+    cells.remove(0)
 }
 
 impl DropGrid {
@@ -259,6 +300,7 @@ mod tests {
             fleet_users: 2,
             fleet_hours: 2.0,
             seed: 42,
+            jobs: 1,
         }
     }
 

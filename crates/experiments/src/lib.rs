@@ -28,6 +28,7 @@ pub mod framedrops;
 pub mod organic_check;
 pub mod os_ablation;
 pub mod report;
+pub mod runner;
 pub mod scale;
 pub mod session_figs;
 pub mod table1;

@@ -2,9 +2,10 @@
 //! Normal vs 8 background apps (paper: 11.7% → 30.6% drops).
 
 use crate::report;
+use crate::runner;
 use crate::scale::Scale;
 use mvqoe_abr::FixedAbr;
-use mvqoe_core::{run_cell, PressureMode, SessionConfig};
+use mvqoe_core::{CellSpec, PressureMode, SessionConfig};
 use mvqoe_device::DeviceProfile;
 use mvqoe_video::{Fps, Genre, Manifest, Resolution};
 use serde::{Deserialize, Serialize};
@@ -20,24 +21,27 @@ pub struct OrganicCheck {
     pub organic_crash_pct: f64,
 }
 
-/// Run the spot check.
+/// Run the spot check: both pressure states are cells of one
+/// `organic-check` engine grid.
 pub fn run(scale: &Scale) -> OrganicCheck {
     let manifest = Manifest::full_ladder(Genre::Travel, scale.video_secs);
     let rep = manifest
         .representation(Resolution::R480p, Fps::F60)
         .unwrap();
-    let run_mode = |pressure| {
-        let mut cfg =
-            SessionConfig::paper_default(DeviceProfile::nokia1(), pressure, scale.seed);
-        cfg.video_secs = scale.video_secs;
-        run_cell(&cfg, scale.runs, &mut || Box::new(FixedAbr::new(rep)))
-    };
-    let normal = run_mode(PressureMode::None);
-    let organic = run_mode(PressureMode::Organic(8));
+    let specs: Vec<CellSpec> = [PressureMode::None, PressureMode::Organic(8)]
+        .into_iter()
+        .map(|pressure| {
+            let mut cfg =
+                SessionConfig::paper_default(DeviceProfile::nokia1(), pressure, scale.seed);
+            cfg.video_secs = scale.video_secs;
+            CellSpec::new(cfg, scale.runs, move || Box::new(FixedAbr::new(rep)))
+        })
+        .collect();
+    let cells = runner::run_cells("organic-check", &specs, scale);
     OrganicCheck {
-        normal_drop: normal.drop_pct.mean,
-        organic_drop: organic.drop_pct.mean,
-        organic_crash_pct: organic.crash_pct,
+        normal_drop: cells[0].drop_pct.mean,
+        organic_drop: cells[1].drop_pct.mean,
+        organic_crash_pct: cells[1].crash_pct,
     }
 }
 

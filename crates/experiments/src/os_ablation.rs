@@ -7,9 +7,10 @@
 //! directly testable in the simulator.
 
 use crate::report;
+use crate::runner;
 use crate::scale::Scale;
 use mvqoe_abr::FixedAbr;
-use mvqoe_core::{run_cell, PressureMode, SessionConfig};
+use mvqoe_core::{CellSpec, PressureMode, SessionConfig};
 use mvqoe_device::DeviceProfile;
 use mvqoe_kernel::TrimLevel;
 use mvqoe_video::{Fps, Genre, Manifest, Resolution};
@@ -42,12 +43,7 @@ pub struct OsAblation {
     pub sched_ablation: Vec<OsAblationRow>,
 }
 
-fn run_variant(
-    device: DeviceProfile,
-    mmcqd_fair: bool,
-    label: &str,
-    scale: &Scale,
-) -> OsAblationRow {
+fn variant_cfg(device: DeviceProfile, mmcqd_fair: bool, scale: &Scale) -> SessionConfig {
     let mut cfg = SessionConfig::paper_default(
         device,
         PressureMode::Synthetic(TrimLevel::Moderate),
@@ -55,74 +51,100 @@ fn run_variant(
     );
     cfg.video_secs = scale.video_secs;
     cfg.mmcqd_fair = mmcqd_fair;
-    let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
-    // 480p60: pressured but survivable, so the CPU/scheduling effect on
-    // frame drops is not drowned by capacity-driven crashes.
-    let rep = manifest
-        .representation(Resolution::R480p, Fps::F60)
-        .unwrap();
-    let cell = run_cell(&cfg, scale.runs, &mut || Box::new(FixedAbr::new(rep)));
-    let survivors: Vec<f64> = cell
-        .runs
-        .iter()
-        .filter(|r| !r.crashed)
-        .map(|r| r.drop_pct)
-        .collect();
-    let s = mvqoe_sim::stats::Summary::of(&survivors);
-    // One traced run for the interference statistics.
-    let mut traced_cfg = cfg.clone();
-    traced_cfg.record_trace = true;
-    let mut abr = FixedAbr::new(rep);
-    let out = mvqoe_core::run_session(&traced_cfg, &mut abr);
-    let p = mvqoe_trace::analysis::preemption_stats(
-        &out.machine.trace,
-        out.machine.mmcqd_thread(),
-        &out.client_threads,
-    );
-    OsAblationRow {
-        variant: label.into(),
-        drop_mean: s.mean,
-        drop_ci95: s.ci95,
-        crash_pct: cell.crash_pct,
-        mmcqd_preemptions: p.count,
-        victim_wait_s: p.victim_wait.as_secs_f64(),
-    }
+    cfg
 }
 
-/// Run both ablations.
+/// Run both ablations. All six variants (four CPU points + two scheduling
+/// classes) are cells of one `os-ablation` engine grid; the per-variant
+/// traced run for the interference statistics fans out over the same pool.
 pub fn run(scale: &Scale) -> OsAblation {
-    // --- CPU sweep: same 1 GB memory system, more CPU.
-    let mut cpu_sweep = Vec::new();
-    let variants: [(&str, usize, f64); 4] = [
+    let cpu_points: [(&str, usize, f64); 4] = [
         ("stock: 4 × 1.1 GHz", 4, 0.47),
         ("faster: 4 × 1.7 GHz", 4, 0.73),
         ("wider: 8 × 1.1 GHz", 8, 0.47),
         ("flagship: 8 × 2.0 GHz", 8, 0.86),
     ];
-    for (label, cores, speed) in variants {
-        let mut device = DeviceProfile::nokia1();
-        device.core_speeds = vec![speed; cores];
-        cpu_sweep.push(run_variant(device, false, label, scale));
-    }
-
+    // --- CPU sweep: same 1 GB memory system, more CPU.
+    let mut variants: Vec<(DeviceProfile, bool, String)> = cpu_points
+        .iter()
+        .map(|&(label, cores, speed)| {
+            let mut device = DeviceProfile::nokia1();
+            device.core_speeds = vec![speed; cores];
+            (device, false, label.to_string())
+        })
+        .collect();
     // --- Scheduling ablation: mmcqd's priority class.
-    let sched_ablation = vec![
-        run_variant(
-            DeviceProfile::nokia1(),
-            false,
-            "mmcqd real-time (stock Android)",
-            scale,
-        ),
-        run_variant(
-            DeviceProfile::nokia1(),
-            true,
-            "mmcqd fair (no foreground preemption)",
-            scale,
-        ),
-    ];
+    variants.push((
+        DeviceProfile::nokia1(),
+        false,
+        "mmcqd real-time (stock Android)".into(),
+    ));
+    variants.push((
+        DeviceProfile::nokia1(),
+        true,
+        "mmcqd fair (no foreground preemption)".into(),
+    ));
 
+    let manifest = Manifest::full_ladder(Genre::Travel, scale.video_secs);
+    // 480p60: pressured but survivable, so the CPU/scheduling effect on
+    // frame drops is not drowned by capacity-driven crashes.
+    let rep = manifest
+        .representation(Resolution::R480p, Fps::F60)
+        .unwrap();
+
+    let specs: Vec<CellSpec> = variants
+        .iter()
+        .map(|(device, mmcqd_fair, _)| {
+            let cfg = variant_cfg(device.clone(), *mmcqd_fair, scale);
+            CellSpec::new(cfg, scale.runs, move || Box::new(FixedAbr::new(rep)))
+        })
+        .collect();
+    let cells = runner::run_cells("os-ablation", &specs, scale);
+
+    // One traced run per variant for the interference statistics, seeded at
+    // its own coordinates so tracing never perturbs the grid above.
+    let indices: Vec<u64> = (0..variants.len() as u64).collect();
+    let traces = runner::map(scale, &indices, |&i| {
+        let (device, mmcqd_fair, _) = &variants[i as usize];
+        let mut traced_cfg = variant_cfg(device.clone(), *mmcqd_fair, scale);
+        traced_cfg.record_trace = true;
+        traced_cfg.seed = runner::seed_at(scale, "os-ablation/trace", i, 0);
+        let mut abr = FixedAbr::new(rep);
+        let out = mvqoe_core::run_session(&traced_cfg, &mut abr);
+        let p = mvqoe_trace::analysis::preemption_stats(
+            &out.machine.trace,
+            out.machine.mmcqd_thread(),
+            &out.client_threads,
+        );
+        (p.count, p.victim_wait.as_secs_f64())
+    });
+
+    let mut rows: Vec<OsAblationRow> = variants
+        .iter()
+        .zip(cells)
+        .zip(traces)
+        .map(|(((_, _, label), cell), (preemptions, victim_wait_s))| {
+            let survivors: Vec<f64> = cell
+                .runs
+                .iter()
+                .filter(|r| !r.crashed)
+                .map(|r| r.drop_pct)
+                .collect();
+            let s = mvqoe_sim::stats::Summary::of(&survivors);
+            OsAblationRow {
+                variant: label.clone(),
+                drop_mean: s.mean,
+                drop_ci95: s.ci95,
+                crash_pct: cell.crash_pct,
+                mmcqd_preemptions: preemptions,
+                victim_wait_s,
+            }
+        })
+        .collect();
+
+    let sched_ablation = rows.split_off(cpu_points.len());
     OsAblation {
-        cpu_sweep,
+        cpu_sweep: rows,
         sched_ablation,
     }
 }

@@ -1,8 +1,10 @@
 //! Output helpers: aligned tables on stdout, JSON in `results/`.
 
+use crate::scale::Scale;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Print a header banner for an experiment.
 pub fn banner(id: &str, title: &str) {
@@ -73,6 +75,60 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
             }
         }
         Err(e) => eprintln!("[json] failed to serialize {name}: {e}"),
+    }
+}
+
+/// Run metadata written next to an experiment's data JSON.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMeta {
+    /// Worker threads used by the parallel engine.
+    pub jobs: usize,
+    /// Wall-clock seconds from timer start to the write.
+    pub wall_secs: f64,
+    /// Repetitions per cell at this scale.
+    pub runs_per_cell: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// Times one experiment and writes its results with a `<name>.meta.json`
+/// sidecar recording wall-clock and worker count. The sidecar keeps the
+/// data JSON itself byte-identical across `--jobs` settings: only the meta
+/// file (which nothing diffs against golden outputs) varies run to run.
+pub struct MetaTimer {
+    start: Instant,
+    jobs: usize,
+    runs_per_cell: u64,
+    seed: u64,
+}
+
+impl MetaTimer {
+    /// Start timing an experiment run at this scale.
+    pub fn start(scale: &Scale) -> MetaTimer {
+        MetaTimer {
+            start: Instant::now(),
+            jobs: scale.jobs,
+            runs_per_cell: scale.runs,
+            seed: scale.seed,
+        }
+    }
+
+    /// Wall-clock seconds elapsed since [`MetaTimer::start`].
+    pub fn wall_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Write `<name>.json` (the data) plus `<name>.meta.json` (this run's
+    /// wall clock and job count).
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
+        write_json(name, value);
+        let meta = RunMeta {
+            jobs: self.jobs,
+            wall_secs: self.wall_secs(),
+            runs_per_cell: self.runs_per_cell,
+            seed: self.seed,
+        };
+        write_json(&format!("{name}.meta"), &meta);
     }
 }
 

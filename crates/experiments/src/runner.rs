@@ -1,0 +1,67 @@
+//! Bridge between [`Scale`] and the parallel experiment engine.
+//!
+//! Experiment modules describe their grids as [`CellSpec`] lists (or plain
+//! job slices) and hand them to this module, which fans the work out over
+//! `scale.jobs` worker threads via [`mvqoe_core::run_cells_parallel`] /
+//! [`mvqoe_core::parallel_map`]. Results come back in input order, and every
+//! session is seeded by its grid coordinates through
+//! [`mvqoe_sim::derive_seed`], so the outputs are identical at any worker
+//! count — `--jobs` only changes wall-clock time.
+
+use crate::scale::Scale;
+use mvqoe_core::{run_cells_parallel, CellResult, CellSpec};
+
+/// Run an experiment's cells with `scale.jobs` workers. `experiment` names
+/// the grid for seed derivation: two experiments with the same base seed
+/// but different names draw from unrelated random streams.
+pub fn run_cells(experiment: &str, specs: &[CellSpec<'_>], scale: &Scale) -> Vec<CellResult> {
+    run_cells_parallel(experiment, specs, scale.jobs)
+}
+
+/// Map `f` over `items` with `scale.jobs` workers, returning results in
+/// input order. For experiment stages that run whole sessions (or other
+/// independent jobs) outside the cell/repetition shape.
+pub fn map<T, R, F>(scale: &Scale, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
+    mvqoe_core::parallel_map(items, scale.jobs, f)
+}
+
+/// The session seed for coordinates `(experiment, cell, rep)` under this
+/// scale's base seed. Single-session figures use this directly so that their
+/// seeds live in the same derived-coordinate space as engine-run cells.
+pub fn seed_at(scale: &Scale, experiment: &str, cell: u64, rep: u64) -> u64 {
+    mvqoe_sim::derive_seed(scale.seed, experiment, cell, rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs_scale(jobs: usize) -> Scale {
+        let mut s = Scale::quick();
+        s.jobs = jobs;
+        s
+    }
+
+    #[test]
+    fn map_is_order_stable_at_any_worker_count() {
+        let items: Vec<u64> = (0..40).collect();
+        let serial = map(&jobs_scale(1), &items, |&x| x * x);
+        for jobs in [2, 3, 8] {
+            assert_eq!(map(&jobs_scale(jobs), &items, |&x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn seed_at_depends_on_all_coordinates() {
+        let s = jobs_scale(1);
+        let base = seed_at(&s, "exp", 0, 0);
+        assert_ne!(base, seed_at(&s, "exp", 1, 0));
+        assert_ne!(base, seed_at(&s, "exp", 0, 1));
+        assert_ne!(base, seed_at(&s, "other", 0, 0));
+    }
+}

@@ -15,6 +15,9 @@ pub struct Scale {
     pub fleet_hours: f64,
     /// Base seed.
     pub seed: u64,
+    /// Worker threads for the parallel experiment engine. Never affects
+    /// results — sessions are seeded by grid coordinates — only wall-clock.
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -26,6 +29,7 @@ impl Scale {
             fleet_users: 80,
             fleet_hours: 100.0,
             seed: 42,
+            jobs: 1,
         }
     }
 
@@ -37,17 +41,44 @@ impl Scale {
             fleet_users: 14,
             fleet_hours: 16.0,
             seed: 42,
+            jobs: 1,
         }
     }
 
-    /// Parse from CLI args: `--quick` selects the reduced pass.
+    /// Parse from CLI args: `--quick` selects the reduced pass, and
+    /// `--jobs N` (or `--jobs=N` / `-j N`) sets the worker-pool size
+    /// (`--jobs 0` means one worker per available CPU).
     pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--quick" || a == "-q") {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = if args.iter().any(|a| a == "--quick" || a == "-q") {
             Scale::quick()
         } else {
             Scale::full()
+        };
+        scale.jobs = parse_jobs(&args).unwrap_or(scale.jobs);
+        scale
+    }
+}
+
+/// Extract a worker count from CLI args. `0` expands to the number of
+/// available CPUs.
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut requested: Option<usize> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--jobs" || arg == "-j" {
+            requested = iter.peek().and_then(|v| v.parse().ok());
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            requested = value.parse().ok();
         }
     }
+    requested.map(|n| {
+        if n == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            n
+        }
+    })
 }
 
 #[cfg(test)]
@@ -68,5 +99,18 @@ mod tests {
         assert!(q.runs < f.runs);
         assert!(q.fleet_users < f.fleet_users);
         assert!(q.video_secs < f.video_secs);
+    }
+
+    #[test]
+    fn jobs_flag_parses_in_every_form() {
+        let to_args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs(&to_args(&["exp", "--jobs", "4"])), Some(4));
+        assert_eq!(parse_jobs(&to_args(&["exp", "--jobs=8", "--quick"])), Some(8));
+        assert_eq!(parse_jobs(&to_args(&["exp", "-j", "2"])), Some(2));
+        assert_eq!(parse_jobs(&to_args(&["exp", "--quick"])), None);
+        // --jobs 0 expands to the CPU count (at least one).
+        assert!(parse_jobs(&to_args(&["exp", "--jobs", "0"])).unwrap() >= 1);
+        // Later flags win.
+        assert_eq!(parse_jobs(&to_args(&["exp", "-j", "2", "--jobs", "6"])), Some(6));
     }
 }

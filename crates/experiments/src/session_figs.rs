@@ -1,6 +1,7 @@
 //! Instantaneous session figures: Figs. 14–17.
 
 use crate::report;
+use crate::runner;
 use crate::scale::Scale;
 use mvqoe_abr::{FixedAbr, ScheduledFps};
 use mvqoe_core::{run_session, PressureMode, SessionConfig, SessionOutcome};
@@ -65,24 +66,31 @@ pub struct Fig14 {
 pub fn fig14(scale: &Scale) -> Fig14 {
     let mut best: Option<SessionOutcome> = None;
     // Search seeds × configurations for a crash landing well into
-    // playback (the paper's example dies at t ≈ 85 s).
+    // playback (the paper's example dies at t ≈ 85 s). Each wave evaluates
+    // one seed's three candidate configurations in parallel; the keep /
+    // early-stop logic then replays over the wave in input order, so the
+    // selected session is the same at any worker count.
     let candidates = [
         (Resolution::R720p, Fps::F60),
         (Resolution::R1080p, Fps::F30),
         (Resolution::R720p, Fps::F30),
     ];
+    let wave_jobs: Vec<u64> = (0..candidates.len() as u64).collect();
     'search: for i in 0..12 {
-        for (res, fps) in candidates {
+        let wave = runner::map(scale, &wave_jobs, |&cell| {
+            let (res, fps) = candidates[cell as usize];
             let mut cfg = SessionConfig::paper_default(
                 DeviceProfile::nokia1(),
                 PressureMode::Synthetic(TrimLevel::Moderate),
-                scale.seed + i * 977,
+                runner::seed_at(scale, "fig14", cell, i),
             );
             cfg.video_secs = scale.video_secs;
             let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
             let rep = manifest.representation(res, fps).unwrap();
             let mut abr = FixedAbr::new(rep);
-            let out = run_session(&cfg, &mut abr);
+            run_session(&cfg, &mut abr)
+        });
+        for out in wave {
             let frames = out.stats.frames_total();
             let crashed = out.stats.crashed();
             let keep = match &best {
@@ -159,9 +167,13 @@ pub struct Fig15 {
 
 /// Run Fig. 15 (Nokia 1, 480p @ 60 FPS, organic background apps).
 pub fn fig15(scale: &Scale) -> Fig15 {
-    let run = |pressure: PressureMode| {
-        let mut cfg =
-            SessionConfig::paper_default(DeviceProfile::nokia1(), pressure, scale.seed);
+    let modes = [PressureMode::None, PressureMode::Organic(8)];
+    let mut outcomes = runner::map(scale, &[0u64, 1], |&cell| {
+        let mut cfg = SessionConfig::paper_default(
+            DeviceProfile::nokia1(),
+            modes[cell as usize],
+            runner::seed_at(scale, "fig15", cell, 0),
+        );
         cfg.video_secs = scale.video_secs;
         let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
         let rep = manifest
@@ -169,9 +181,9 @@ pub fn fig15(scale: &Scale) -> Fig15 {
             .unwrap();
         let mut abr = FixedAbr::new(rep);
         run_session(&cfg, &mut abr)
-    };
-    let normal = run(PressureMode::None);
-    let organic = run(PressureMode::Organic(8));
+    });
+    let organic = outcomes.pop().expect("two sessions ran");
+    let normal = outcomes.pop().expect("two sessions ran");
     let sum = |s: &Series| s.points.iter().map(|&(_, v)| v).sum::<f64>();
     let normal_kills = series_of("kills", normal.kill_series.samples());
     let organic_kills = series_of("kills", organic.kill_series.samples());
@@ -230,35 +242,38 @@ pub struct Fig16 {
 /// Run Fig. 16: on the organically pressured Nokia 1 (the §6 setting),
 /// sweep encoded FPS ∈ {24, 48, 60} at 480p/720p/1080p.
 pub fn fig16(scale: &Scale) -> Fig16 {
-    let mut cells = Vec::new();
+    let mut coords = Vec::new();
     for res in [Resolution::R480p, Resolution::R720p, Resolution::R1080p] {
         for fps in [Fps::F24, Fps::F48, Fps::F60] {
-            let mut cfg = SessionConfig::paper_default(
-                DeviceProfile::nokia1(),
-                PressureMode::Organic(8),
-                scale.seed,
-            );
-            cfg.video_secs = scale.video_secs;
-            let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
-            let rep = manifest.representation(res, fps).unwrap();
-            let mut abr = FixedAbr::new(rep);
-            let out = run_session(&cfg, &mut abr);
-            cells.push(Fig16Cell {
-                resolution: res.to_string(),
-                fps: fps.value(),
-                rendered_fps: if out.stats.crashed() {
-                    0.0
-                } else {
-                    out.stats.mean_fps()
-                },
-                drop_pct: if out.stats.crashed() {
-                    100.0
-                } else {
-                    out.stats.drop_pct()
-                },
-            });
+            coords.push((coords.len() as u64, res, fps));
         }
     }
+    let cells = runner::map(scale, &coords, |&(cell, res, fps)| {
+        let mut cfg = SessionConfig::paper_default(
+            DeviceProfile::nokia1(),
+            PressureMode::Organic(8),
+            runner::seed_at(scale, "fig16", cell, 0),
+        );
+        cfg.video_secs = scale.video_secs;
+        let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+        let rep = manifest.representation(res, fps).unwrap();
+        let mut abr = FixedAbr::new(rep);
+        let out = run_session(&cfg, &mut abr);
+        Fig16Cell {
+            resolution: res.to_string(),
+            fps: fps.value(),
+            rendered_fps: if out.stats.crashed() {
+                0.0
+            } else {
+                out.stats.mean_fps()
+            },
+            drop_pct: if out.stats.crashed() {
+                100.0
+            } else {
+                out.stats.drop_pct()
+            },
+        }
+    });
     Fig16 { cells }
 }
 

@@ -10,6 +10,7 @@
 //! * top running threads (kswapd rises from 14th to 1st; mmcqd 50th→6th).
 
 use crate::report;
+use crate::runner;
 use crate::scale::Scale;
 use mvqoe_abr::FixedAbr;
 use mvqoe_core::{run_session, PressureMode, SessionConfig};
@@ -64,77 +65,117 @@ pub struct TraceExperiment {
     pub moderate: StateAggregate,
 }
 
+/// One traced run's extracted statistics (the per-run slice of Tables 4/5
+/// and Fig. 13).
+struct TracedRun {
+    running_s: f64,
+    runnable_s: f64,
+    preempted_s: f64,
+    io_wait_s: f64,
+    pre_count: f64,
+    pre_run_after: f64,
+    pre_wait: f64,
+    kswapd_pct: [f64; 5],
+    kswapd_rank: f64,
+    mmcqd_rank: f64,
+    kswapd_run: f64,
+    mmcqd_run: f64,
+    migrations: f64,
+}
+
+fn traced_run(pressure: PressureMode, run: u64, scale: &Scale) -> TracedRun {
+    let mut cfg = SessionConfig::paper_default(
+        DeviceProfile::nokia1(),
+        pressure,
+        runner::seed_at(scale, "trace", pressure_cell(pressure), run),
+    );
+    cfg.video_secs = scale.video_secs;
+    cfg.record_trace = true;
+    let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+    let rep = manifest
+        .representation(Resolution::R480p, Fps::F60)
+        .unwrap();
+    cfg.player = PlayerKind::Firefox;
+    let mut abr = FixedAbr::new(rep);
+    let out = run_session(&cfg, &mut abr);
+    let m = &out.machine;
+
+    // Table 4: sum across the client's threads.
+    let mut run_s = 0.0;
+    let mut runn_s = 0.0;
+    let mut pre_s = 0.0;
+    let mut io_s = 0.0;
+    for tid in out.client_threads {
+        let t = m.sched.thread(tid);
+        run_s += t.times.running.as_secs_f64();
+        runn_s += t.times.runnable.as_secs_f64();
+        pre_s += t.times.preempted.as_secs_f64();
+        io_s += t.times.io_wait.as_secs_f64();
+    }
+
+    // Table 5.
+    let p = preemption_stats(&m.trace, m.mmcqd_thread(), &out.client_threads);
+
+    // Fig. 13.
+    let kswapd = m.sched.thread(m.kswapd_thread());
+    let total = kswapd.times.total();
+    let mut kswapd_pct = [0.0f64; 5];
+    for (j, (_, pct)) in state_percentages(&kswapd.times, total).iter().enumerate() {
+        // state order: Running, Runnable, Preempted, Sleeping, IoWait
+        kswapd_pct[j] = *pct;
+    }
+    // Sanity: the ranking is non-empty whenever events were recorded.
+    debug_assert!(!running_time_ranking(&m.trace).is_empty());
+
+    TracedRun {
+        running_s: run_s,
+        runnable_s: runn_s,
+        preempted_s: pre_s,
+        io_wait_s: io_s,
+        pre_count: p.count as f64,
+        pre_run_after: p.preempter_run_after.as_secs_f64(),
+        pre_wait: p.victim_wait.as_secs_f64(),
+        kswapd_pct,
+        kswapd_rank: rank_of(&m.trace, "kswapd0").unwrap_or(usize::MAX) as f64,
+        mmcqd_rank: rank_of(&m.trace, "mmcqd/0").unwrap_or(usize::MAX) as f64,
+        kswapd_run: kswapd.times.running.as_secs_f64(),
+        mmcqd_run: m.sched.thread(m.mmcqd_thread()).times.running.as_secs_f64(),
+        migrations: kswapd.migrations as f64,
+    }
+}
+
+/// Seed-space cell index for a pressure state (the `trace` experiment's
+/// first grid coordinate).
+fn pressure_cell(pressure: PressureMode) -> u64 {
+    match pressure {
+        PressureMode::None => 0,
+        _ => 1,
+    }
+}
+
 fn aggregate(pressure: PressureMode, scale: &Scale) -> StateAggregate {
     let n_runs = scale.runs.min(3).max(2);
-    let mut running = Vec::new();
-    let mut runnable = Vec::new();
-    let mut preempted = Vec::new();
-    let mut iowait = Vec::new();
-    let mut pre_count = Vec::new();
-    let mut pre_run_after = Vec::new();
-    let mut pre_wait = Vec::new();
+    let reps: Vec<u64> = (0..n_runs).collect();
+    let runs = runner::map(scale, &reps, |&i| traced_run(pressure, i, scale));
+
+    let col = |f: &dyn Fn(&TracedRun) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
+    let running = col(&|r| r.running_s);
+    let runnable = col(&|r| r.runnable_s);
+    let preempted = col(&|r| r.preempted_s);
+    let iowait = col(&|r| r.io_wait_s);
+    let pre_count = col(&|r| r.pre_count);
+    let pre_run_after = col(&|r| r.pre_run_after);
+    let pre_wait = col(&|r| r.pre_wait);
+    let kswapd_rank = col(&|r| r.kswapd_rank);
+    let mmcqd_rank = col(&|r| r.mmcqd_rank);
+    let kswapd_run = col(&|r| r.kswapd_run);
+    let mmcqd_run = col(&|r| r.mmcqd_run);
+    let migrations = col(&|r| r.migrations);
     let mut kswapd_pct = [0.0f64; 5];
-    let mut kswapd_rank = Vec::new();
-    let mut mmcqd_rank = Vec::new();
-    let mut kswapd_run = Vec::new();
-    let mut mmcqd_run = Vec::new();
-    let mut migrations = Vec::new();
-
-    for i in 0..n_runs {
-        let mut cfg = SessionConfig::paper_default(
-            DeviceProfile::nokia1(),
-            pressure,
-            scale.seed + i * 7919,
-        );
-        cfg.video_secs = scale.video_secs;
-        cfg.record_trace = true;
-        let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
-        let rep = manifest
-            .representation(Resolution::R480p, Fps::F60)
-            .unwrap();
-        cfg.player = PlayerKind::Firefox;
-        let mut abr = FixedAbr::new(rep);
-        let out = run_session(&cfg, &mut abr);
-        let m = &out.machine;
-
-        // Table 4: sum across the client's threads.
-        let mut run_s = 0.0;
-        let mut runn_s = 0.0;
-        let mut pre_s = 0.0;
-        let mut io_s = 0.0;
-        for tid in out.client_threads {
-            let t = m.sched.thread(tid);
-            run_s += t.times.running.as_secs_f64();
-            runn_s += t.times.runnable.as_secs_f64();
-            pre_s += t.times.preempted.as_secs_f64();
-            io_s += t.times.io_wait.as_secs_f64();
-        }
-        running.push(run_s);
-        runnable.push(runn_s);
-        preempted.push(pre_s);
-        iowait.push(io_s);
-
-        // Table 5.
-        let p = preemption_stats(&m.trace, m.mmcqd_thread(), &out.client_threads);
-        pre_count.push(p.count as f64);
-        pre_run_after.push(p.preempter_run_after.as_secs_f64());
-        pre_wait.push(p.victim_wait.as_secs_f64());
-
-        // Fig. 13.
-        let kswapd = m.sched.thread(m.kswapd_thread());
-        let total = kswapd.times.total();
-        for (j, (_, pct)) in state_percentages(&kswapd.times, total).iter().enumerate() {
-            // state order: Running, Runnable, Preempted, Sleeping, IoWait
+    for r in &runs {
+        for (j, pct) in r.kswapd_pct.iter().enumerate() {
             kswapd_pct[j] += pct / n_runs as f64;
         }
-        kswapd_run.push(kswapd.times.running.as_secs_f64());
-        mmcqd_run.push(m.sched.thread(m.mmcqd_thread()).times.running.as_secs_f64());
-        migrations.push(kswapd.migrations as f64);
-
-        kswapd_rank.push(rank_of(&m.trace, "kswapd0").unwrap_or(usize::MAX) as f64);
-        mmcqd_rank.push(rank_of(&m.trace, "mmcqd/0").unwrap_or(usize::MAX) as f64);
-        // Sanity: the ranking is non-empty whenever events were recorded.
-        debug_assert!(!running_time_ranking(&m.trace).is_empty());
     }
 
     StateAggregate {

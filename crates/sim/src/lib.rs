@@ -28,6 +28,6 @@ pub mod stats;
 pub mod time;
 
 pub use events::EventQueue;
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

@@ -9,6 +9,51 @@
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// Golden-ratio increment used by splitmix64.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64 finalizer: a bijective avalanche mix on `u64`.
+fn splitmix_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Derive the seed for one session from its experiment coordinates.
+///
+/// Every run of every experiment cell is identified by the tuple
+/// `(base seed, experiment id, cell index, repetition)`. The seed is a pure
+/// splitmix64-style hash of that tuple, so it depends only on *where* the
+/// session sits in the experiment grid — never on which worker executes it
+/// or in what order. This is what makes parallel experiment execution
+/// bit-identical to serial execution.
+///
+/// Each coordinate is absorbed through the splitmix64 finalizer (a bijection
+/// on `u64`), so two tuples differing in a single coordinate always produce
+/// different seeds, and tuples differing in several coordinates collide only
+/// with ~2^-64 probability.
+pub fn derive_seed(base: u64, experiment_id: &str, cell_index: u64, rep: u64) -> u64 {
+    let mut state = base;
+    for (i, word) in [fnv1a(experiment_id), cell_index, rep].into_iter().enumerate() {
+        state = splitmix_mix(
+            state
+                .wrapping_add(GAMMA.wrapping_mul(i as u64 + 1))
+                .wrapping_add(word),
+        );
+    }
+    state
+}
+
 /// A deterministic random source for one simulation component or run.
 #[derive(Debug, Clone)]
 pub struct SimRng {

@@ -43,39 +43,52 @@ pub struct FleetResults {
     pub total_hours: f64,
 }
 
-/// Run the fleet study.
-pub fn run_fleet(cfg: &FleetConfig) -> FleetResults {
+/// Simulate one fleet user. Every draw comes from streams split off the
+/// root seed by the user's index, so users are independent of each other
+/// and of the order they are simulated in — callers may fan users out over
+/// threads and assemble with [`assemble_fleet`].
+pub fn simulate_user(cfg: &FleetConfig, i: u32) -> (DeviceObservation, f64) {
     let root = SimRng::new(cfg.seed);
-    let mut devices = Vec::new();
-    let mut total_hours = 0.0;
-    for i in 0..cfg.n_users {
-        let mut hours_rng = root.split(&format!("hours-{i}"));
-        // Observation length: heavy-tailed, 1–18 days.
-        let hours = hours_rng
-            .lognormal(cfg.median_hours, 0.9)
-            .clamp(24.0, 432.0);
-        total_hours += hours;
-        let mut user = FleetUser::new(i, &root);
-        let mut obs = DeviceObservation::new(
-            user.device.name.clone(),
-            user.device.manufacturer.clone(),
-            user.device.ram_mib,
-            user.pattern,
-        );
-        let seconds = (hours * 3600.0) as u64;
-        for s in 0..seconds {
-            let sample = user.step_1s(SimTime::from_secs(s));
-            obs.record(&sample);
-        }
-        devices.push(obs);
+    let mut hours_rng = root.split(&format!("hours-{i}"));
+    // Observation length: heavy-tailed, 1–18 days.
+    let hours = hours_rng
+        .lognormal(cfg.median_hours, 0.9)
+        .clamp(24.0, 432.0);
+    let mut user = FleetUser::new(i, &root);
+    let mut obs = DeviceObservation::new(
+        user.device.name.clone(),
+        user.device.manufacturer.clone(),
+        user.device.ram_mib,
+        user.pattern,
+    );
+    let seconds = (hours * 3600.0) as u64;
+    for s in 0..seconds {
+        let sample = user.step_1s(SimTime::from_secs(s));
+        obs.record(&sample);
     }
-    let recruited = cfg.n_users;
+    (obs, hours)
+}
+
+/// Apply the cleaning rule and aggregate per-user observations (in user-index
+/// order) into fleet results.
+pub fn assemble_fleet(
+    cfg: &FleetConfig,
+    users: Vec<(DeviceObservation, f64)>,
+) -> FleetResults {
+    let total_hours = users.iter().map(|(_, h)| h).sum();
+    let mut devices: Vec<DeviceObservation> = users.into_iter().map(|(d, _)| d).collect();
     devices.retain(|d| d.interactive_hours > cfg.min_interactive_hours);
     FleetResults {
         devices,
-        recruited,
+        recruited: cfg.n_users,
         total_hours,
     }
+}
+
+/// Run the fleet study serially.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetResults {
+    let users = (0..cfg.n_users).map(|i| simulate_user(cfg, i)).collect();
+    assemble_fleet(cfg, users)
 }
 
 impl FleetResults {

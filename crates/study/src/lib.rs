@@ -18,6 +18,6 @@ pub mod fleet_study;
 pub mod observation;
 pub mod survey;
 
-pub use fleet_study::{run_fleet, FleetConfig, FleetResults};
+pub use fleet_study::{assemble_fleet, run_fleet, simulate_user, FleetConfig, FleetResults};
 pub use observation::DeviceObservation;
 pub use survey::{run_survey, SurveyConfig, SurveyResults};

@@ -68,11 +68,12 @@ pub mod prelude {
         ThroughputBased,
     };
     pub use mvqoe_core::{
-        run_cell, run_session, CellResult, PressureMode, SessionConfig, SessionOutcome,
+        parallel_map, run_cell, run_cell_at, run_cells_parallel, run_session, AbrFactory,
+        CellResult, CellSpec, PressureMode, SessionConfig, SessionOutcome,
     };
     pub use mvqoe_device::{DeviceProfile, Machine};
     pub use mvqoe_kernel::{MemoryManager, Pages, ProcKind, TrimLevel};
-    pub use mvqoe_sim::{SimDuration, SimRng, SimTime};
+    pub use mvqoe_sim::{derive_seed, SimDuration, SimRng, SimTime};
     pub use mvqoe_video::{
         Fps, Genre, Manifest, PlayerKind, Representation, Resolution, SessionStats,
     };

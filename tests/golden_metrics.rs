@@ -1,0 +1,125 @@
+//! Golden-metrics regression test: three paper-critical cells at quick
+//! scale, compared against a checked-in fixture with zero tolerance.
+//!
+//! The simulation is fully deterministic for a fixed base seed, so any
+//! diff here means the metric pipeline changed behaviour — a refactor that
+//! was supposed to be equivalence-preserving was not. To re-bless after an
+//! intentional change: `GOLDEN_BLESS=1 cargo test --test golden_metrics`
+//! and commit the updated fixture.
+//!
+//! The three cells pin the paper's headline claims:
+//! * the Nokia 1 cannot survive Critical pressure (crash),
+//! * the Nexus 5 degrades but survives Moderate pressure (drop rate),
+//! * memory-aware ABR beats a network-only baseline under pressure.
+
+use mvqoe::prelude::*;
+use mvqoe_experiments::{framedrops, Scale};
+use serde_json::to_string_pretty;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.json")
+}
+
+/// One golden record: the metrics we pin, rounded nowhere — zero tolerance.
+#[derive(serde::Serialize)]
+struct Golden {
+    nokia1_critical: framedrops::GridCell,
+    nexus5_moderate: framedrops::GridCell,
+    memory_aware_drop_pct: f64,
+    buffer_based_drop_pct: f64,
+}
+
+fn measure() -> Golden {
+    let scale = Scale::quick();
+
+    // Cell 1 — Nokia 1, 720p60 under Critical: the paper's "unplayable or
+    // crashed" regime.
+    let nokia1_critical = framedrops::run_one_cell(
+        &DeviceProfile::nokia1(),
+        PlayerKind::Firefox,
+        Genre::Travel,
+        Resolution::R720p,
+        Fps::F60,
+        PressureMode::Synthetic(TrimLevel::Critical),
+        &scale,
+    );
+
+    // Cell 2 — Nexus 5, 1080p60 under Moderate: degraded but alive.
+    let nexus5_moderate = framedrops::run_one_cell(
+        &DeviceProfile::nexus5(),
+        PlayerKind::Firefox,
+        Genre::Travel,
+        Resolution::R1080p,
+        Fps::F60,
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        &scale,
+    );
+
+    // Cell 3 — memory-aware ABR vs the buffer-based baseline on the
+    // pressured Nokia 1 (the §6 opportunity).
+    let mut cfg = SessionConfig::paper_default(
+        DeviceProfile::nokia1(),
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        scale.seed,
+    );
+    cfg.video_secs = scale.video_secs;
+    let memory_aware = run_cell_at("golden/abr", 0, &cfg, scale.runs, &mut || {
+        Box::new(MemoryAware::new(BufferBased::new(Fps::F60), Fps::F60))
+    });
+    let buffer_based = run_cell_at("golden/abr", 1, &cfg, scale.runs, &mut || {
+        Box::new(BufferBased::new(Fps::F60))
+    });
+
+    Golden {
+        nokia1_critical,
+        nexus5_moderate,
+        memory_aware_drop_pct: memory_aware.drop_pct.mean,
+        buffer_based_drop_pct: buffer_based.drop_pct.mean,
+    }
+}
+
+#[test]
+fn golden_metrics_match_fixture_exactly() {
+    let golden = measure();
+
+    // The qualitative claims must hold regardless of the fixture.
+    assert!(
+        golden.nokia1_critical.crash_pct > 0.0,
+        "Nokia 1 must crash under Critical: {:?}",
+        golden.nokia1_critical
+    );
+    assert!(
+        golden.nexus5_moderate.crash_pct < 100.0
+            && golden.nexus5_moderate.drop_mean > 0.0
+            && golden.nexus5_moderate.drop_mean < 100.0,
+        "Nexus 5 must degrade but survive Moderate: {:?}",
+        golden.nexus5_moderate
+    );
+    assert!(
+        golden.memory_aware_drop_pct < golden.buffer_based_drop_pct,
+        "memory-aware ABR must beat the network-only baseline: {} vs {}",
+        golden.memory_aware_drop_pct,
+        golden.buffer_based_drop_pct
+    );
+
+    let serialized = to_string_pretty(&golden).unwrap();
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &serialized).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run GOLDEN_BLESS=1 cargo test --test golden_metrics",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected.trim(),
+        serialized.trim(),
+        "golden metrics diverged from {} — if intentional, re-bless with GOLDEN_BLESS=1",
+        path.display()
+    );
+}

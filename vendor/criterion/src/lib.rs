@@ -1,0 +1,184 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness with criterion's API shape: `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros. Each benchmark runs a small
+//! fixed number of timed samples and prints mean/min/max per iteration. When
+//! invoked by `cargo test` (cargo passes `--test` to `harness = false` bench
+//! targets) every benchmark runs exactly one iteration as a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. Only the API shape matters here:
+/// every variant runs setup once per timed routine call.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Opaque measurement sink handed to benchmark closures.
+pub struct Bencher {
+    samples: u32,
+    /// Per-iteration durations collected by `iter`/`iter_batched`.
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Self {
+        Bencher { samples, timings: Vec::new() }
+    }
+
+    /// Time `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup call.
+        let _ = black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.timings.push(start.elapsed());
+            black_box(out);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.timings.push(start.elapsed());
+            black_box(out);
+        }
+    }
+}
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u32,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 10, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Run and report one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        report(name, &bencher.timings);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u32>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u32);
+        self
+    }
+
+    /// Run and report one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, name), &bencher.timings);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, timings: &[Duration]) {
+    if timings.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let total: Duration = timings.iter().sum();
+    let mean = total / timings.len() as u32;
+    let min = timings.iter().min().unwrap();
+    let max = timings.iter().max().unwrap();
+    println!(
+        "{name}: mean {} min {} max {} ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(*min),
+        fmt_duration(*max),
+        timings.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,54 @@
+//! `any::<T>()` support for primitive types.
+
+use crate::strategy::{AnyStrategy, Strategy};
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one value from the full domain.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.bits() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.bits() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Finite values only: scale a unit draw into a wide symmetric range.
+        (rng.unit_f64() - 0.5) * 2e12
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps failure messages readable.
+        (b' ' + rng.below(95) as u8) as char
+    }
+}

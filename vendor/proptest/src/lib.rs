@@ -1,0 +1,174 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API this workspace uses: the
+//! [`Strategy`] trait with `prop_map`, range/tuple/collection/option/sample
+//! strategies, a mini-regex string strategy, `prop_oneof!`, `proptest!`,
+//! `prop_assert*!`, `prop_assume!`, and a deterministic [`test_runner`].
+//!
+//! Two deliberate departures from upstream: there is **no shrinking** (a
+//! failing case reports its inputs via the assertion message and its case
+//! seed, not a minimized counterexample), and case generation is seeded from
+//! a hash of the test name, so runs are fully reproducible with no
+//! `proptest-regressions` files.
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespaced strategy constructors (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange};
+    }
+    /// `Option` strategies.
+    pub mod option {
+        pub use crate::strategy::of;
+    }
+    /// Sampling from fixed sets.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by test functions whose
+/// arguments are drawn from strategies: `fn name(x in strat, ...) { ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategy = ($($strat,)+);
+                $crate::test_runner::run_property_test(
+                    stringify!($name),
+                    &__config,
+                    |__rng| {
+                        let ($($arg,)+) =
+                            $crate::strategy::Strategy::generate(&__strategy, __rng);
+                        let __outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        __outcome
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Assert inside a property test; failure reports the case instead of
+/// panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}` ({:?} vs {:?}): {}",
+            stringify!($left), stringify!($right), __l, __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}` (both {:?}): {}",
+            stringify!($left), stringify!($right), __l,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discard the current case (it does not count toward the case total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Choose among strategies, optionally weighted (`3 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+}

@@ -1,0 +1,207 @@
+//! Deserialization from a [`Value`] tree.
+
+use crate::ser::Value;
+use std::fmt;
+
+/// Deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(want: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!("expected {want}, found {got:?}")))
+}
+
+// ---- primitives ------------------------------------------------------------
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_u64() {
+                    Some(n) => <$t>::try_from(n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    None => type_err("unsigned integer", v),
+                }
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_i64() {
+                    Some(n) => <$t>::try_from(n)
+                        .map_err(|_| Error::custom(format!("{n} out of range"))),
+                    None => type_err("integer", v),
+                }
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(f64::NAN), // non-finite floats serialize as null
+            _ => v.as_f64().ok_or_else(|| Error::custom("expected number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => type_err("bool", v),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => type_err("string", v),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---- containers ------------------------------------------------------------
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq() {
+            Some(items) => items.iter().map(T::from_value).collect(),
+            None => type_err("array", v),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = match v.as_seq() {
+            Some(items) if items.len() == N => items,
+            _ => return type_err(&format!("array of {N}"), v),
+        };
+        let parsed: Result<Vec<T>, Error> = items.iter().map(T::from_value).collect();
+        parsed?
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(Into::into)
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = match v.as_map() {
+            Some(entries) => entries,
+            None => return type_err("map", v),
+        };
+        entries
+            .iter()
+            .map(|(key, val)| {
+                // Keys arrive as JSON strings; re-wrap so integer-keyed maps
+                // round-trip (serde_json renders integer keys as strings).
+                let key_value = match key.parse::<u64>() {
+                    Ok(n) => Value::U64(n),
+                    Err(_) => match key.parse::<i64>() {
+                        Ok(n) => Value::I64(n),
+                        Err(_) => Value::Str(key.clone()),
+                    },
+                };
+                let k = K::from_value(&key_value)
+                    .or_else(|_| K::from_value(&Value::Str(key.clone())))?;
+                Ok((k, V::from_value(val)?))
+            })
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = match v.as_seq() {
+                    Some(items) if items.len() == $len => items,
+                    _ => return type_err(&format!("tuple of {}", $len), v),
+                };
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A.0 ; 1)
+    (A.0, B.1 ; 2)
+    (A.0, B.1, C.2 ; 3)
+    (A.0, B.1, C.2, D.3 ; 4)
+    (A.0, B.1, C.2, D.3, E.4 ; 5)
+    (A.0, B.1, C.2, D.3, E.4, F.5 ; 6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6 ; 7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7 ; 8)
+}

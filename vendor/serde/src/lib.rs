@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate supplies the subset of serde's surface the workspace actually
+//! uses: `Serialize`/`Deserialize` traits (routed through an owned JSON-like
+//! [`ser::Value`] tree instead of serde's visitor machinery) and the
+//! `#[derive(Serialize, Deserialize)]` macros re-exported from the companion
+//! `serde_derive` proc-macro crate. The derive output mirrors serde's
+//! externally-tagged data model so JSON written by `serde_json` looks the
+//! same as upstream's for the shapes this workspace serializes.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Value};
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,467 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by walking
+//! the raw `proc_macro::TokenStream` (syn/quote are unavailable offline) and
+//! emitting impls of the vendored serde's value-tree traits. Supported input
+//! shapes — the only ones this workspace uses — are non-generic structs with
+//! named fields, tuple structs, unit structs, and enums whose variants are
+//! unit, tuple, or struct-like. The emitted JSON model mirrors upstream
+//! serde's externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed input type.
+enum Input {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("derive stand-in does not support generics on {name}"));
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Input::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Ok(Input::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Input::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for {other}")),
+    }
+}
+
+/// Advance past attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // (crate) / (super) / ...
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists (doc comments/attrs allowed).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match &tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after {name}, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past a type, stopping at a top-level (angle-depth 0) comma.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count fields of a tuple struct/variant by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) up to the trailing comma.
+        while i < tokens.len()
+            && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+        {
+            i += 1;
+        }
+        i += 1; // ','
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---- codegen: Serialize ----------------------------------------------------
+
+const V: &str = "::serde::ser::Value";
+const SER: &str = "::serde::ser::Serialize";
+const DE: &str = "::serde::de::Deserialize";
+const ERR: &str = "::serde::de::Error";
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(::std::string::String::from({f:?}), {SER}::to_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl {SER} for {name} {{\n\
+                   fn to_value(&self) -> {V} {{\n\
+                     {V}::Map(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("{SER}::to_value(&self.0)")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("{SER}::to_value(&self.{k})"))
+                    .collect();
+                format!("{V}::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl {SER} for {name} {{\n\
+                   fn to_value(&self) -> {V} {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl {SER} for {name} {{\n\
+               fn to_value(&self) -> {V} {{ {V}::Null }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => {V}::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let inner = if *arity == 1 {
+                                format!("{SER}::to_value(__f0)")
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("{SER}::to_value({b})"))
+                                    .collect();
+                                format!("{V}::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => {V}::Map(::std::vec![\
+                                   (::std::string::String::from({vn:?}), {inner})])",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), {SER}::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => {V}::Map(::std::vec![\
+                                   (::std::string::String::from({vn:?}), \
+                                    {V}::Map(::std::vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl {SER} for {name} {{\n\
+                   fn to_value(&self) -> {V} {{\n\
+                     match self {{ {} }}\n\
+                   }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+// ---- codegen: Deserialize --------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let body = match input {
+        Input::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: {DE}::from_value(::serde::ser::get_field(__m, {f:?})\
+                           .ok_or_else(|| {ERR}::custom(\
+                             ::std::format!(\"missing field `{f}` in {name}\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| {ERR}::custom(\
+                   \"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Input::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!("::std::result::Result::Ok({name}({DE}::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|k| format!("{DE}::from_value(&__s[{k}])?"))
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| {ERR}::custom(\
+                       \"expected seq for {name}\"))?;\n\
+                     if __s.len() != {arity} {{ \
+                       return ::std::result::Result::Err({ERR}::custom(\
+                         \"wrong tuple arity for {name}\")); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        Input::UnitStruct { name } => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{})", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(arity) => Some(if *arity == 1 {
+                            format!(
+                                "{vn:?} => ::std::result::Result::Ok(\
+                                   {name}::{vn}({DE}::from_value(__inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| format!("{DE}::from_value(&__s[{k}])?"))
+                                .collect();
+                            format!(
+                                "{vn:?} => {{ \
+                                   let __s = __inner.as_seq().ok_or_else(|| {ERR}::custom(\
+                                     \"expected seq for {name}::{vn}\"))?;\n\
+                                   if __s.len() != {arity} {{ \
+                                     return ::std::result::Result::Err({ERR}::custom(\
+                                       \"wrong arity for {name}::{vn}\")); }}\n\
+                                   ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        }),
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: {DE}::from_value(::serde::ser::get_field(__fm, {f:?})\
+                                           .ok_or_else(|| {ERR}::custom(\
+                                             \"missing field `{f}` in {name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ \
+                                   let __fm = __inner.as_map().ok_or_else(|| {ERR}::custom(\
+                                     \"expected map for {name}::{vn}\"))?;\n\
+                                   ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                   {V}::Str(__s) => match __s.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err({ERR}::custom(\
+                       ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                   }},\n\
+                   {V}::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__m[0];\n\
+                     match __tag.as_str() {{\n\
+                       {}\n\
+                       __other => ::std::result::Result::Err({ERR}::custom(\
+                         ::std::format!(\"unknown variant {{__other}} of {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   __other => ::std::result::Result::Err({ERR}::custom(\
+                     ::std::format!(\"cannot deserialize {name} from {{__other:?}}\"))),\n\
+                 }}",
+                if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    tagged_arms.join(",\n") + ","
+                }
+            )
+        }
+    };
+    let name = match input {
+        Input::NamedStruct { name, .. }
+        | Input::TupleStruct { name, .. }
+        | Input::UnitStruct { name }
+        | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "impl {DE} for {name} {{\n\
+           fn from_value(__v: &{V}) -> ::std::result::Result<Self, {ERR}> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}
