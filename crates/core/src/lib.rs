@@ -25,7 +25,10 @@ pub mod pressure;
 pub mod qoe;
 pub mod session;
 
-pub use parallel::{parallel_map, run_cell_at, run_cells_parallel, AbrFactory, CellSpec};
+pub use parallel::{
+    parallel_map, parallel_map_stats, run_cell_at, run_cells_parallel,
+    run_cells_parallel_metrics, run_rep_with, AbrFactory, CellSpec, WorkerStat,
+};
 pub use pressure::PressureMode;
 pub use qoe::{aggregate_runs, run_cell, CellResult};
-pub use session::{run_session, SessionConfig, SessionOutcome};
+pub use session::{run_session, run_session_with, SessionConfig, SessionOutcome};

@@ -15,12 +15,26 @@
 //! with [`run_cell_at`], at any worker count.
 
 use crate::qoe::{aggregate_runs, CellResult, RunDigest};
-use crate::session::{run_session, SessionConfig};
+use crate::session::{run_session_with, SessionConfig};
 use mvqoe_abr::Abr;
+use mvqoe_metrics::{MetricsSnapshot, Telemetry};
 use mvqoe_sim::derive_seed;
+use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What one worker thread did during a parallel run: how many jobs it
+/// claimed and how long it spent inside them. Never affects results — this
+/// is sidecar metadata for the `meta.json` the experiment runner writes.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct WorkerStat {
+    /// Jobs (cells × repetitions, or map items) this worker executed.
+    pub jobs: u64,
+    /// Wall-clock seconds spent executing them.
+    pub busy_secs: f64,
+}
 
 /// Factory producing a fresh ABR controller per session. Shared across
 /// worker threads, so it must be callable concurrently.
@@ -59,9 +73,21 @@ pub fn run_rep(
     cfg: &SessionConfig,
     abr: &mut dyn Abr,
 ) -> RunDigest {
+    run_rep_with(experiment, cell_index, rep, cfg, abr, None)
+}
+
+/// [`run_rep`] with an optional metrics handle threaded into the session.
+pub fn run_rep_with(
+    experiment: &str,
+    cell_index: u64,
+    rep: u64,
+    cfg: &SessionConfig,
+    abr: &mut dyn Abr,
+    telemetry: Option<&mut Telemetry>,
+) -> RunDigest {
     let mut run_cfg = cfg.clone();
     run_cfg.seed = derive_seed(cfg.seed, experiment, cell_index, rep);
-    let out = run_session(&run_cfg, abr);
+    let out = run_session_with(&run_cfg, abr, telemetry);
     let crashed = out.stats.crashed();
     RunDigest {
         seed: run_cfg.seed,
@@ -101,6 +127,19 @@ pub fn run_cells_parallel(
     specs: &[CellSpec<'_>],
     workers: usize,
 ) -> Vec<CellResult> {
+    run_cells_parallel_metrics(experiment, specs, workers, false).0
+}
+
+/// [`run_cells_parallel`], optionally collecting one merged
+/// [`MetricsSnapshot`] per cell (repetition snapshots merged in repetition
+/// order, so the output is identical at any worker count). Also returns
+/// per-worker job counts and busy time for the runner's meta sidecar.
+pub fn run_cells_parallel_metrics(
+    experiment: &str,
+    specs: &[CellSpec<'_>],
+    workers: usize,
+    collect_metrics: bool,
+) -> (Vec<CellResult>, Option<Vec<MetricsSnapshot>>, Vec<WorkerStat>) {
     // Expand the grid to a flat job list: (cell, rep) in lexicographic
     // order. Job index == position in this list, which is what keeps the
     // regrouping below order-stable.
@@ -110,10 +149,17 @@ pub fn run_cells_parallel(
         .flat_map(|(cell, spec)| (0..spec.n_runs).map(move |rep| (cell as u64, rep)))
         .collect();
 
-    let digests = parallel_map(&jobs, workers, |&(cell, rep)| {
+    let (results, stats) = parallel_map_stats(&jobs, workers, |&(cell, rep)| {
         let spec = &specs[cell as usize];
         let mut abr = (spec.make_abr)();
-        run_rep(experiment, cell, rep, &spec.cfg, abr.as_mut())
+        if collect_metrics {
+            let mut tele = Telemetry::enabled();
+            let digest =
+                run_rep_with(experiment, cell, rep, &spec.cfg, abr.as_mut(), Some(&mut tele));
+            (digest, Some(tele.snapshot()))
+        } else {
+            (run_rep(experiment, cell, rep, &spec.cfg, abr.as_mut()), None)
+        }
     });
 
     // Regroup per cell; jobs were expanded rep-ascending per cell, so each
@@ -122,10 +168,17 @@ pub fn run_cells_parallel(
         .iter()
         .map(|spec| Vec::with_capacity(spec.n_runs as usize))
         .collect();
-    for (&(cell, _), digest) in jobs.iter().zip(digests) {
+    let mut metrics_per_cell: Vec<MetricsSnapshot> =
+        vec![MetricsSnapshot::default(); specs.len()];
+    for (&(cell, _), (digest, snap)) in jobs.iter().zip(results) {
         per_cell[cell as usize].push(digest);
+        if let Some(snap) = snap {
+            metrics_per_cell[cell as usize].merge(&snap);
+        }
     }
-    per_cell.into_iter().map(aggregate_runs).collect()
+    let cells = per_cell.into_iter().map(aggregate_runs).collect();
+    let metrics = collect_metrics.then_some(metrics_per_cell);
+    (cells, metrics, stats)
 }
 
 /// Map `f` over `items` with a fixed-size worker pool, returning results in
@@ -139,30 +192,57 @@ where
     R: Send,
     F: Fn(&T) -> R + Send + Sync,
 {
+    parallel_map_stats(items, workers, f).0
+}
+
+/// [`parallel_map`] that also reports what each worker did (job count and
+/// busy seconds). The serial path reports itself as one worker.
+pub fn parallel_map_stats<T, R, F>(items: &[T], workers: usize, f: F) -> (Vec<R>, Vec<WorkerStat>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Send + Sync,
+{
     let n = items.len();
     let workers = workers.max(1).min(n.max(1));
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let t0 = Instant::now();
+        let out: Vec<R> = items.iter().map(f).collect();
+        let stat = WorkerStat {
+            jobs: n as u64,
+            busy_secs: t0.elapsed().as_secs_f64(),
+        };
+        return (out, vec![stat]);
     }
 
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let stats = Mutex::new(vec![WorkerStat::default(); workers]);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let stats = &stats;
+            scope.spawn(move || {
+                let mut mine = WorkerStat::default();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    let result = f(&items[i]);
+                    mine.jobs += 1;
+                    mine.busy_secs += t0.elapsed().as_secs_f64();
+                    // A send failure means the receiver is gone, which only
+                    // happens if the collector below panicked; stop quietly.
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
                 }
-                // A send failure means the receiver is gone, which only
-                // happens if the collector below panicked; stop quietly.
-                if tx.send((i, f(&items[i]))).is_err() {
-                    break;
-                }
+                stats.lock().unwrap()[w] = mine;
             });
         }
         drop(tx);
@@ -170,10 +250,11 @@ where
             slots[i] = Some(result);
         }
     });
-    slots
+    let out = slots
         .into_iter()
         .map(|slot| slot.expect("worker pool completed every job"))
-        .collect()
+        .collect();
+    (out, stats.into_inner().unwrap())
 }
 
 #[cfg(test)]
@@ -229,6 +310,55 @@ mod tests {
                 "cell {cell_index} differs"
             );
         }
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_job() {
+        let items: Vec<u64> = (0..37).collect();
+        let (out, stats) = parallel_map_stats(&items, 4, |&x| x + 1);
+        assert_eq!(out.len(), 37);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 37);
+        // Serial path reports itself as one worker.
+        let (_, serial) = parallel_map_stats(&items, 1, |&x| x + 1);
+        assert_eq!(serial.len(), 1);
+        assert_eq!(serial[0].jobs, 37);
+    }
+
+    #[test]
+    fn metrics_snapshots_are_identical_at_any_worker_count() {
+        let specs: Vec<CellSpec> = (0..2)
+            .map(|_| CellSpec {
+                cfg: quick_cfg(7),
+                n_runs: 2,
+                make_abr: fixed_factory(),
+            })
+            .collect();
+        let (cells1, m1, _) = run_cells_parallel_metrics("unit-test", &specs, 1, true);
+        let (cells4, m4, _) = run_cells_parallel_metrics("unit-test", &specs, 4, true);
+        assert_eq!(format!("{cells1:?}"), format!("{cells4:?}"));
+        let (m1, m4) = (m1.unwrap(), m4.unwrap());
+        assert_eq!(m1, m4, "per-cell metrics must not depend on worker count");
+        // The sessions really were instrumented.
+        assert!(m1[0].counters.get("video.frames_rendered").copied().unwrap_or(0) > 0);
+        assert!(m1[0].counters.contains_key("sched.ctx_switches"));
+        assert!(m1[0].histograms.get("video.decode_us").unwrap().count > 0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_results() {
+        let specs: Vec<CellSpec> = vec![CellSpec {
+            cfg: quick_cfg(3),
+            n_runs: 2,
+            make_abr: fixed_factory(),
+        }];
+        let plain = run_cells_parallel("unit-test", &specs, 1);
+        let (with_metrics, _, _) = run_cells_parallel_metrics("unit-test", &specs, 1, true);
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{with_metrics:?}"),
+            "recording metrics must never perturb the simulation"
+        );
     }
 
     #[test]

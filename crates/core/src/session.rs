@@ -14,6 +14,7 @@ use crate::pressure::{PressureDriver, PressureMode};
 use mvqoe_abr::{Abr, AbrContext};
 use mvqoe_device::{DeviceProfile, Machine};
 use mvqoe_kernel::manager::KillSource;
+use mvqoe_metrics::{CounterId, HistogramId, Telemetry};
 use mvqoe_kernel::{Pages, ProcKind, ProcessId, TrimLevel};
 use mvqoe_net::{Link, LinkParams, SegmentServer};
 use mvqoe_sched::{SchedClass, ThreadId};
@@ -104,11 +105,55 @@ enum Ev {
     Vsync,
 }
 
+/// Pre-registered metric ids for the session's hot paths.
+struct Instruments {
+    decode_us: HistogramId,
+    frames_rendered: CounterId,
+    frames_dropped: CounterId,
+    frames_late: CounterId,
+    segments: CounterId,
+    abr_switches: CounterId,
+    rebuffer_events: CounterId,
+}
+
+impl Instruments {
+    fn register(t: &mut Telemetry) -> Instruments {
+        let m = &mut t.metrics;
+        Instruments {
+            decode_us: m.histogram("video.decode_us"),
+            frames_rendered: m.counter("video.frames_rendered"),
+            frames_dropped: m.counter("video.frames_dropped"),
+            frames_late: m.counter("video.frames_late"),
+            segments: m.counter("video.segments_downloaded"),
+            abr_switches: m.counter("abr.switches"),
+            rebuffer_events: m.counter("video.rebuffer_events"),
+        }
+    }
+}
+
+/// Consecutive missed vsyncs before the session counts as rebuffering (a
+/// visible stall, not an isolated dropped frame).
+const REBUFFER_STREAK: u32 = 30;
+
 /// Run one streaming session.
 pub fn run_session(cfg: &SessionConfig, abr: &mut dyn Abr) -> SessionOutcome {
+    run_session_with(cfg, abr, None)
+}
+
+/// Run one streaming session, optionally recording cross-layer metrics
+/// into a [`Telemetry`] handle. With `telemetry` `None` (or a disabled
+/// handle) the session behaves byte-identically to [`run_session`] before
+/// telemetry existed: recording never draws randomness and never feeds
+/// back into scheduling or memory decisions.
+pub fn run_session_with(
+    cfg: &SessionConfig,
+    abr: &mut dyn Abr,
+    telemetry: Option<&mut Telemetry>,
+) -> SessionOutcome {
     let rng = SimRng::new(cfg.seed);
     let mut m = Machine::new(cfg.device.clone(), &mut rng.split("machine"));
     m.sched.set_record_events(cfg.record_trace);
+    m.trace.set_detail(cfg.record_trace);
     if cfg.mmcqd_fair {
         let tid = m.mmcqd_thread();
         m.sched.set_class(tid, SchedClass::NORMAL);
@@ -137,6 +182,10 @@ pub fn run_session(cfg: &SessionConfig, abr: &mut dyn Abr) -> SessionOutcome {
     let dec = m.add_thread(pid, "MediaCodec", SchedClass::NORMAL);
     let rend = m.add_thread(pid, "SurfaceFlinger", SchedClass::NORMAL);
 
+    let tele = telemetry.map(|t| {
+        let ins = Instruments::register(t);
+        (t, ins)
+    });
     let mut server = SegmentServer::new(Link::new(cfg.link.clone()));
     let mut runner = Runner {
         cfg,
@@ -179,9 +228,20 @@ pub fn run_session(cfg: &SessionConfig, abr: &mut dyn Abr) -> SessionOutcome {
         startup_remaining: profile.base_anon.mul_f64(0.7),
         render_deadlines: VecDeque::new(),
         oom_streak: 0,
+        missed_streak: 0,
+        streak_started: None,
+        stall_started: None,
+        tele,
     };
 
     runner.run(&mut m, &mut pressure, &mut server);
+
+    // Fold the kernel and scheduler totals into the metrics registry; these
+    // counters accumulate inside the substrates regardless, so absorbing
+    // them here costs nothing on the hot path.
+    if let Some((t, _)) = runner.tele.take() {
+        absorb_machine_metrics(t, &m, &runner.stats);
+    }
 
     let stats = runner.stats;
     let final_trim = m.mm.trim_level();
@@ -197,6 +257,48 @@ pub fn run_session(cfg: &SessionConfig, abr: &mut dyn Abr) -> SessionOutcome {
         client_pid: pid,
         machine: m,
     }
+}
+
+/// Absorb end-of-run kernel/scheduler/client totals into the registry.
+fn absorb_machine_metrics(t: &mut Telemetry, m: &Machine, stats: &SessionStats) {
+    let reg = &mut t.metrics;
+    let vm = m.mm.vmstat();
+    reg.add_counter("kernel.pgscan_kswapd", vm.pgscan_kswapd);
+    reg.add_counter("kernel.pgscan_direct", vm.pgscan_direct);
+    reg.add_counter("kernel.pgsteal_kswapd", vm.pgsteal_kswapd);
+    reg.add_counter("kernel.pgsteal_direct", vm.pgsteal_direct);
+    reg.add_counter("kernel.pgfault_zram", vm.pgfault_zram);
+    reg.add_counter("kernel.pgfault_major", vm.pgfault_major);
+    reg.add_counter("kernel.zram_stores", vm.zram_stores);
+    reg.add_counter("kernel.writeback", vm.writeback);
+    reg.add_counter("kernel.refaults", vm.refaults);
+    reg.add_counter("kernel.kswapd_batches", vm.kswapd_batches);
+    reg.add_counter("kernel.direct_reclaims", vm.direct_reclaims);
+    reg.add_counter("kernel.lmkd_kills", vm.lmkd_kills);
+    reg.add_counter("kernel.oom_kills", vm.oom_kills);
+    reg.add_counter("sched.ctx_switches", m.sched.ctx_switches());
+    let preemptions = m.trace.preemptions();
+    reg.add_counter("sched.preemptions", preemptions.len() as u64);
+    let mmcqd = m.mmcqd_thread();
+    reg.add_counter(
+        "sched.preemptions_by_mmcqd",
+        preemptions.iter().filter(|p| p.preempter == mmcqd).count() as u64,
+    );
+    reg.set_gauge("video.mean_fps", stats.mean_fps());
+    reg.set_gauge(
+        "mem.pss_peak_mib",
+        stats
+            .pss_series
+            .samples()
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max),
+    );
+    reg.set_gauge(
+        "video.rebuffer_s",
+        stats.rebuffer_time.as_micros() as f64 / 1e6,
+    );
+    reg.set_gauge("session.crashed", if stats.crashed() { 1.0 } else { 0.0 });
 }
 
 struct Runner<'a> {
@@ -249,6 +351,14 @@ struct Runner<'a> {
     render_deadlines: VecDeque<SimTime>,
     /// Consecutive allocation shortfalls (sustained ⇒ kernel OOM kill).
     oom_streak: u32,
+    /// Consecutive vsyncs with no surface to present.
+    missed_streak: u32,
+    /// When the current missed-vsync streak began.
+    streak_started: Option<SimTime>,
+    /// When the current rebuffer stall was declared (streak ≥ threshold).
+    stall_started: Option<SimTime>,
+    /// Metrics handle + pre-registered ids (None ⇒ single-branch no-ops).
+    tele: Option<(&'a mut Telemetry, Instruments)>,
 }
 
 impl Runner<'_> {
@@ -300,6 +410,12 @@ impl Runner<'_> {
             }
 
             self.check_end(m);
+        }
+        // A stall still open when the session ends (crash included) counts
+        // up to the end of the run.
+        if let Some(start) = self.stall_started.take() {
+            self.stats.rebuffer_time += m.now().saturating_since(start);
+            m.trace.instant("rebuffer_end", m.now(), None);
         }
         self.stats.ended_at = m.now();
     }
@@ -355,11 +471,26 @@ impl Runner<'_> {
         self.buffer.push_segment(rep, bytes, self.manifest.segment_seconds);
         self.stats.segments_downloaded += 1;
         self.downloading = false;
+        if let Some((t, ins)) = self.tele.as_mut() {
+            t.metrics.inc(ins.segments, 1);
+        }
         if self
             .rep_history
             .last()
             .map_or(true, |&(_, r)| r != rep)
         {
+            // A representation change after the first segment is an ABR
+            // quality switch — mark it on the trace timeline.
+            if !self.rep_history.is_empty() {
+                m.trace.instant(
+                    format!("quality_switch:{}@{}", rep.resolution, rep.fps.value()),
+                    m.now(),
+                    None,
+                );
+                if let Some((t, ins)) = self.tele.as_mut() {
+                    t.metrics.inc(ins.abr_switches, 1);
+                }
+            }
             self.rep_history.push((m.now(), rep));
         }
         if self.last_rep != Some(rep) {
@@ -438,6 +569,9 @@ impl Runner<'_> {
             self.cfg.device.video_accel,
             &mut self.rng,
         );
+        if let Some((t, ins)) = self.tele.as_mut() {
+            t.metrics.observe(ins.decode_us, decode_us);
+        }
         m.push_work(self.dec, decode_us, TAG_DECODE);
         self.decoding = true;
         // Remember which rep this surface belongs to (pushed on completion).
@@ -451,6 +585,7 @@ impl Runner<'_> {
             return;
         }
         if let Some(rep) = self.surfaces.pop_front() {
+            self.end_stall(m, now);
             let period = SimDuration::from_micros(rep.fps.frame_period_us());
             // The composited frame must reach the display well inside the
             // frame period or the user sees a skipped frame.
@@ -461,8 +596,35 @@ impl Runner<'_> {
             self.stats.frames_dropped += 1;
             self.frames_owed += 1;
             self.drop_window.push_back((now, true));
+            if let Some((t, ins)) = self.tele.as_mut() {
+                t.metrics.inc(ins.frames_dropped, 1);
+            }
+            // A run of starved vsyncs is a visible stall — the paper's
+            // rebuffering QoE dimension, distinct from isolated drops.
+            if self.missed_streak == 0 {
+                self.streak_started = Some(now);
+            }
+            self.missed_streak += 1;
+            if self.missed_streak == REBUFFER_STREAK {
+                let at = self.streak_started.unwrap_or(now);
+                self.stall_started = Some(at);
+                m.trace.instant("rebuffer_start", at, None);
+                if let Some((t, ins)) = self.tele.as_mut() {
+                    t.metrics.inc(ins.rebuffer_events, 1);
+                }
+            }
         }
         self.events.push(now + self.last_period, Ev::Vsync);
+    }
+
+    /// Close an open rebuffer stall (a surface made it to the display).
+    fn end_stall(&mut self, m: &mut Machine, now: SimTime) {
+        self.missed_streak = 0;
+        self.streak_started = None;
+        if let Some(start) = self.stall_started.take() {
+            self.stats.rebuffer_time += now.saturating_since(start);
+            m.trace.instant("rebuffer_end", now, None);
+        }
     }
 
     fn on_completion(&mut self, m: &mut Machine, thread: ThreadId, tag: u64) {
@@ -487,10 +649,17 @@ impl Runner<'_> {
                     // Composited too late: the vsync slot was missed.
                     self.stats.frames_dropped += 1;
                     self.drop_window.push_back((m.now(), true));
+                    if let Some((t, ins)) = self.tele.as_mut() {
+                        t.metrics.inc(ins.frames_dropped, 1);
+                        t.metrics.inc(ins.frames_late, 1);
+                    }
                 } else {
                     self.stats.frames_rendered += 1;
                     self.rendered_this_sec += 1;
                     self.drop_window.push_back((m.now(), false));
+                    if let Some((t, ins)) = self.tele.as_mut() {
+                        t.metrics.inc(ins.frames_rendered, 1);
+                    }
                 }
             }
             _ => {}
@@ -623,6 +792,11 @@ impl Runner<'_> {
         let pct = delta.as_micros() as f64 / 1_000_000.0 * 100.0;
         self.lmkd_cpu_series.push(now, pct);
         m.trace.counter("lmkd_cpu_pct", now, pct);
+
+        // Memory counter tracks for the Perfetto export: free pages and
+        // zRAM occupancy, the two sides of the paper's reclaim story.
+        m.trace.counter("free_mib", now, m.mm.free().mib());
+        m.trace.counter("zram_mib", now, m.mm.zram_stored().mib());
 
         self.trim_series
             .push(now, m.mm.trim_level().severity() as f64);

@@ -293,6 +293,7 @@ impl Machine {
                 .submit_read(now, out.disk_read_pages, Some(tid.0 as u64));
             self.io_waiters.insert(id, tid);
             self.sched.block_io(tid);
+            self.trace.instant_detail("major_fault", now, Some(tid));
             true
         } else {
             false
@@ -396,12 +397,18 @@ impl Machine {
 
         // 7. Surface memory events; mirror kills.
         for (at, e) in self.mm.drain_events() {
-            if let MemEvent::Killed { pid, source, .. } = &e {
+            if let MemEvent::Killed { pid, name, source, .. } = &e {
                 // Threads may still be alive if the kill came from inside
                 // the memory manager (not via kill_process).
                 for tid in self.proc_threads.remove(pid).unwrap_or_default() {
                     self.sched.kill_thread(tid);
                 }
+                let label = match source {
+                    KillSource::Lmkd => "lmkd_kill",
+                    KillSource::OomKiller => "oom_kill",
+                    KillSource::Exit => "exit",
+                };
+                self.trace.instant(format!("{label}:{name}"), at, None);
                 out.killed.push((*pid, *source));
             }
             out.mem_events.push((at, e));

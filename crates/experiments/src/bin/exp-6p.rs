@@ -1,5 +1,6 @@
 //! §4.3's Nexus 6P summary grid.
-use mvqoe_experiments::{framedrops, report, Scale};
+use mvqoe_device::DeviceProfile;
+use mvqoe_experiments::{framedrops, report, telemetry, Scale};
 fn main() {
     let scale = Scale::from_args();
     let timer = report::MetaTimer::start(&scale);
@@ -7,5 +8,6 @@ fn main() {
     report::banner("§4.3", "frame drops on the Nexus 6P");
     grid.print_drops(&["Normal", "Moderate", "Critical"]);
     println!("paper: drops only at ≥720p; highest ≈9% at 1080p60");
+    telemetry::showcase("nexus6p", &DeviceProfile::nexus6p(), &scale);
     timer.write_json("nexus6p", &grid);
 }

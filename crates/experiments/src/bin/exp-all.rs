@@ -1,6 +1,7 @@
 //! Regenerate every table and figure (use --quick for a fast pass and
 //! --jobs N to fan sessions over N worker threads; results are identical
 //! at any worker count).
+use mvqoe_device::DeviceProfile;
 use mvqoe_experiments::*;
 use mvqoe_video::PlayerKind;
 
@@ -16,6 +17,7 @@ fn main() {
     let t = report::MetaTimer::start(&scale);
     let f8 = fig8::run(&scale);
     f8.print();
+    telemetry::showcase("fig8", &DeviceProfile::nexus5(), &scale);
     t.write_json("fig8", &f8);
 
     let t = report::MetaTimer::start(&scale);
@@ -26,6 +28,7 @@ fn main() {
         &[(30, "480p"), (30, "720p"), (60, "480p"), (60, "720p")],
         &["Normal", "Moderate", "Critical"],
     );
+    telemetry::showcase("fig9_table2", &DeviceProfile::nokia1(), &scale);
     t.write_json("fig9_table2", &g9);
 
     let t = report::MetaTimer::start(&scale);
@@ -41,12 +44,14 @@ fn main() {
         &[(30, "720p"), (30, "1080p"), (60, "480p"), (60, "720p")],
         &["Normal", "Moderate", "Critical"],
     );
+    telemetry::showcase("fig11_table3", &DeviceProfile::nexus5(), &scale);
     t.write_json("fig11_table3", &g11);
 
     let t = report::MetaTimer::start(&scale);
     let g6p = framedrops::nexus6p_grid(&scale);
     report::banner("§4.3", "Nexus 6P");
     g6p.print_drops(&["Normal", "Moderate", "Critical"]);
+    telemetry::showcase("nexus6p", &DeviceProfile::nexus6p(), &scale);
     t.write_json("nexus6p", &g6p);
 
     let t = report::MetaTimer::start(&scale);
@@ -61,6 +66,7 @@ fn main() {
     let t = report::MetaTimer::start(&scale);
     let tr = trace_exp::run(&scale);
     tr.print();
+    telemetry::showcase("table4_table5_fig13", &DeviceProfile::nokia1(), &scale);
     t.write_json("table4_table5_fig13", &tr);
 
     let t = report::MetaTimer::start(&scale);

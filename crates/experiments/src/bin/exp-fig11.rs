@@ -1,5 +1,6 @@
 //! Figure 11 + Table 3: frame drops and crash rates on the Nexus 5.
-use mvqoe_experiments::{framedrops, report, Scale};
+use mvqoe_device::DeviceProfile;
+use mvqoe_experiments::{framedrops, report, telemetry, Scale};
 fn main() {
     let scale = Scale::from_args();
     let timer = report::MetaTimer::start(&scale);
@@ -13,5 +14,6 @@ fn main() {
         &["Normal", "Moderate", "Critical"],
     );
     println!("paper: Normal 0/0/0/0; Moderate 10/100/0/100; Critical 100/100/70/100");
+    telemetry::showcase("fig11_table3", &DeviceProfile::nexus5(), &scale);
     timer.write_json("fig11_table3", &grid);
 }

@@ -1,5 +1,6 @@
 //! Figure 9 + Table 2: frame drops and crash rates on the Nokia 1.
-use mvqoe_experiments::{framedrops, report, Scale};
+use mvqoe_device::DeviceProfile;
+use mvqoe_experiments::{framedrops, report, telemetry, Scale};
 fn main() {
     let scale = Scale::from_args();
     let timer = report::MetaTimer::start(&scale);
@@ -13,5 +14,6 @@ fn main() {
         &["Normal", "Moderate", "Critical"],
     );
     println!("paper: Normal 0/0/0/0; Moderate 40/100/40/100; Critical 100/100/100/100");
+    telemetry::showcase("fig9_table2", &DeviceProfile::nokia1(), &scale);
     timer.write_json("fig9_table2", &grid);
 }

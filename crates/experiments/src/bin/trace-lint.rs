@@ -1,0 +1,162 @@
+//! Validate exported observability artifacts.
+//!
+//! `trace-lint <file>...` checks each argument:
+//!
+//! - `*.trace.json` — must be a Chrome trace-event file: valid JSON with a
+//!   non-empty `traceEvents` array, at least one `thread_name` metadata
+//!   event, at least three distinct counter tracks, and non-decreasing
+//!   timestamps.
+//! - `*.metrics.json` — must be a map from experiment id to a non-empty
+//!   list of metrics snapshots whose histogram bucket counts sum to their
+//!   `count` field.
+//!
+//! Exits non-zero on the first malformed file, so the CI smoke recipe can
+//! gate on it.
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+fn fail(path: &str, why: &str) -> String {
+    format!("{path}: {why}")
+}
+
+fn lint_trace(path: &str, v: &Value) -> Result<(), String> {
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| fail(path, "no traceEvents array"))?;
+    if events.is_empty() {
+        return Err(fail(path, "traceEvents is empty"));
+    }
+    let mut thread_names = 0u64;
+    let mut counters = std::collections::BTreeSet::new();
+    let mut instants = 0u64;
+    let mut last_ts = -1.0f64;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| fail(path, &format!("event {i} has no numeric ts")))?;
+        if ts < last_ts {
+            return Err(fail(
+                path,
+                &format!("event {i} ts {ts} goes backwards (prev {last_ts})"),
+            ));
+        }
+        last_ts = ts;
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    thread_names += 1;
+                }
+            }
+            "C" => {
+                if let Some(name) = ev.get("name").and_then(Value::as_str) {
+                    counters.insert(name.to_string());
+                }
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| fail(path, &format!("counter event {i} has no args.value")))?;
+            }
+            "X" => {
+                ev.get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| fail(path, &format!("slice event {i} has no dur")))?;
+            }
+            "i" => instants += 1,
+            _ => {}
+        }
+    }
+    if thread_names == 0 {
+        return Err(fail(path, "no thread_name metadata"));
+    }
+    if counters.len() < 3 {
+        return Err(fail(
+            path,
+            &format!("only {} counter track(s), need >= 3", counters.len()),
+        ));
+    }
+    println!(
+        "[ok] {path}: {} events, {} threads, {} counter tracks, {} instants",
+        events.len(),
+        thread_names,
+        counters.len(),
+        instants
+    );
+    Ok(())
+}
+
+fn lint_metrics(path: &str, v: &Value) -> Result<(), String> {
+    let map = v
+        .as_map()
+        .ok_or_else(|| fail(path, "not a map of experiment id -> snapshots"))?;
+    if map.is_empty() {
+        return Err(fail(path, "no experiments recorded"));
+    }
+    for (exp, snaps) in map {
+        let snaps = snaps
+            .as_seq()
+            .ok_or_else(|| fail(path, &format!("{exp}: snapshots is not an array")))?;
+        if snaps.is_empty() {
+            return Err(fail(path, &format!("{exp}: no snapshots")));
+        }
+        for (i, snap) in snaps.iter().enumerate() {
+            for key in ["counters", "gauges", "histograms"] {
+                if snap.get(key).and_then(Value::as_map).is_none() {
+                    return Err(fail(path, &format!("{exp}[{i}]: missing {key} map")));
+                }
+            }
+            let hists = snap.get("histograms").and_then(Value::as_map).unwrap();
+            for (name, h) in hists {
+                let count = h.get("count").and_then(Value::as_u64).unwrap_or(0);
+                let bucket_sum: u64 = h
+                    .get("buckets")
+                    .and_then(Value::as_seq)
+                    .map(|b| {
+                        b.iter()
+                            .filter_map(|pair| {
+                                pair.as_seq().and_then(|p| p.get(1)).and_then(Value::as_u64)
+                            })
+                            .sum()
+                    })
+                    .unwrap_or(0);
+                if bucket_sum != count {
+                    return Err(fail(
+                        path,
+                        &format!("{exp}[{i}].{name}: bucket sum {bucket_sum} != count {count}"),
+                    ));
+                }
+            }
+        }
+        println!("[ok] {path}: {exp}: {} snapshot(s)", snaps.len());
+    }
+    Ok(())
+}
+
+fn lint(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| fail(path, &format!("unreadable: {e}")))?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| fail(path, &format!("invalid JSON: {e}")))?;
+    if path.ends_with(".metrics.json") {
+        lint_metrics(path, &v)
+    } else {
+        lint_trace(path, &v)
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-lint <file.trace.json|file.metrics.json>...");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        if let Err(e) = lint(path) {
+            eprintln!("[trace-lint] {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -35,7 +35,7 @@ pub struct Fig8 {
 pub fn run(scale: &Scale) -> Fig8 {
     let device = DeviceProfile::nexus5();
     // Longer sessions let the 60 s buffer matter; use at least 100 s.
-    let mut scale = *scale;
+    let mut scale = scale.clone();
     scale.video_secs = scale.video_secs.max(100.0);
     let resolutions = [
         Resolution::R240p,

@@ -301,6 +301,8 @@ mod tests {
             fleet_hours: 2.0,
             seed: 42,
             jobs: 1,
+            perfetto: None,
+            metrics: false,
         }
     }
 

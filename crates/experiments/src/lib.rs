@@ -32,6 +32,7 @@ pub mod runner;
 pub mod scale;
 pub mod session_figs;
 pub mod table1;
+pub mod telemetry;
 pub mod trace_exp;
 
 pub use scale::Scale;

@@ -1,6 +1,8 @@
 //! Output helpers: aligned tables on stdout, JSON in `results/`.
 
+use crate::runner;
 use crate::scale::Scale;
+use mvqoe_core::WorkerStat;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -89,6 +91,9 @@ pub struct RunMeta {
     pub runs_per_cell: u64,
     /// Base seed.
     pub seed: u64,
+    /// Per-worker jobs completed and busy seconds for this experiment's
+    /// engine invocations.
+    pub workers: Vec<WorkerStat>,
 }
 
 /// Times one experiment and writes its results with a `<name>.meta.json`
@@ -119,16 +124,24 @@ impl MetaTimer {
     }
 
     /// Write `<name>.json` (the data) plus `<name>.meta.json` (this run's
-    /// wall clock and job count).
+    /// wall clock, job count, and per-worker utilization). When the runner
+    /// stashed per-cell metrics snapshots (`--metrics`), they land in a
+    /// third sidecar, `<name>.metrics.json`, keyed by experiment id — the
+    /// data JSON itself never changes.
     pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
         write_json(name, value);
+        let stash = runner::drain_stash();
         let meta = RunMeta {
             jobs: self.jobs,
             wall_secs: self.wall_secs(),
             runs_per_cell: self.runs_per_cell,
             seed: self.seed,
+            workers: stash.workers,
         };
         write_json(&format!("{name}.meta"), &meta);
+        if !stash.metrics.is_empty() {
+            write_json(&format!("{name}.metrics"), &stash.metrics);
+        }
     }
 }
 

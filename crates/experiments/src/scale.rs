@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How big to run an experiment.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scale {
     /// Repetitions per cell (the paper uses 5).
     pub runs: u64,
@@ -18,6 +18,14 @@ pub struct Scale {
     /// Worker threads for the parallel experiment engine. Never affects
     /// results — sessions are seeded by grid coordinates — only wall-clock.
     pub jobs: usize,
+    /// When set, export a Chrome/Perfetto trace of one showcase session per
+    /// experiment into this directory (`--perfetto <dir>`). Observation
+    /// only: the data JSONs stay byte-identical.
+    pub perfetto: Option<String>,
+    /// Collect cross-layer metrics snapshots per cell and write them to a
+    /// `results/<name>.metrics.json` sidecar (`--metrics`). Observation
+    /// only: the data JSONs stay byte-identical.
+    pub metrics: bool,
 }
 
 impl Scale {
@@ -30,6 +38,8 @@ impl Scale {
             fleet_hours: 100.0,
             seed: 42,
             jobs: 1,
+            perfetto: None,
+            metrics: false,
         }
     }
 
@@ -42,12 +52,16 @@ impl Scale {
             fleet_hours: 16.0,
             seed: 42,
             jobs: 1,
+            perfetto: None,
+            metrics: false,
         }
     }
 
-    /// Parse from CLI args: `--quick` selects the reduced pass, and
-    /// `--jobs N` (or `--jobs=N` / `-j N`) sets the worker-pool size
-    /// (`--jobs 0` means one worker per available CPU).
+    /// Parse from CLI args: `--quick` selects the reduced pass, `--jobs N`
+    /// (or `--jobs=N` / `-j N`) sets the worker-pool size (`--jobs 0` means
+    /// one worker per available CPU), `--perfetto <dir>` exports a showcase
+    /// trace per experiment, and `--metrics` writes per-cell metrics
+    /// snapshot sidecars.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         let mut scale = if args.iter().any(|a| a == "--quick" || a == "-q") {
@@ -56,8 +70,29 @@ impl Scale {
             Scale::full()
         };
         scale.jobs = parse_jobs(&args).unwrap_or(scale.jobs);
+        scale.perfetto = parse_perfetto(&args);
+        scale.metrics = args.iter().any(|a| a == "--metrics");
         scale
     }
+
+    /// Whether any observability output was requested.
+    pub fn telemetry_requested(&self) -> bool {
+        self.perfetto.is_some() || self.metrics
+    }
+}
+
+/// Extract the `--perfetto <dir>` / `--perfetto=<dir>` output directory.
+fn parse_perfetto(args: &[String]) -> Option<String> {
+    let mut dir: Option<String> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--perfetto" {
+            dir = iter.peek().map(|v| v.to_string());
+        } else if let Some(value) = arg.strip_prefix("--perfetto=") {
+            dir = Some(value.to_string());
+        }
+    }
+    dir
 }
 
 /// Extract a worker count from CLI args. `0` expands to the number of
@@ -112,5 +147,31 @@ mod tests {
         assert!(parse_jobs(&to_args(&["exp", "--jobs", "0"])).unwrap() >= 1);
         // Later flags win.
         assert_eq!(parse_jobs(&to_args(&["exp", "-j", "2", "--jobs", "6"])), Some(6));
+    }
+
+    #[test]
+    fn perfetto_flag_parses_in_every_form() {
+        let to_args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_perfetto(&to_args(&["exp", "--perfetto", "out"])),
+            Some("out".into())
+        );
+        assert_eq!(
+            parse_perfetto(&to_args(&["exp", "--perfetto=traces", "--quick"])),
+            Some("traces".into())
+        );
+        assert_eq!(parse_perfetto(&to_args(&["exp", "--quick"])), None);
+    }
+
+    #[test]
+    fn telemetry_is_off_by_default() {
+        let s = Scale::full();
+        assert!(!s.telemetry_requested());
+        let mut s = Scale::quick();
+        s.metrics = true;
+        assert!(s.telemetry_requested());
+        let mut s = Scale::quick();
+        s.perfetto = Some("out".into());
+        assert!(s.telemetry_requested());
     }
 }

@@ -384,6 +384,7 @@ impl MemoryManager {
     pub fn kswapd_batch(&mut self, now: SimTime) -> ReclaimStats {
         let target = self.cfg.watermark_high;
         let budget = self.cfg.kswapd_batch;
+        self.vm.kswapd_batches += 1;
         let mut stats = self.reclaim(now, target, budget, false);
         stats.cpu_us += self.cfg.costs.kswapd_wakeup_us;
         if !stats.made_progress() && !self.kswapd_target_met() {
@@ -654,6 +655,9 @@ impl MemoryManager {
         }
 
         if direct {
+            if scanned > 0 {
+                self.vm.direct_reclaims += 1;
+            }
             self.vm.pgscan_direct += scanned;
             self.vm.pgsteal_direct += reclaimed;
         } else {

@@ -36,6 +36,10 @@ pub struct VmStat {
     pub oom_kills: u64,
     /// File pages refaulted soon after eviction (the thrashing signal).
     pub refaults: u64,
+    /// kswapd reclaim batches run (each one a `kswapd_batch` pass).
+    pub kswapd_batches: u64,
+    /// Direct-reclaim passes that actually scanned (allocation-path stalls).
+    pub direct_reclaims: u64,
 }
 
 impl VmStat {

@@ -1,0 +1,208 @@
+//! A deterministic log-bucketed histogram.
+//!
+//! Buckets are powers of two: bucket `i` holds values `v` with
+//! `2^(i-1) < v <= 2^i` (bucket 0 holds `v <= 1`). Bucketing goes through
+//! integer `leading_zeros`, not floating-point `log2`, so the layout is
+//! identical on every platform — a histogram of the same run always
+//! serializes to the same bytes.
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Number of power-of-two buckets: enough for any `u64` magnitude.
+pub const N_BUCKETS: usize = 65;
+
+/// A fixed-layout log₂ histogram of non-negative values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// The bucket index for a value (negative values clamp to bucket 0).
+fn bucket_of(v: f64) -> usize {
+    let n = if v.is_finite() && v > 1.0 { v.ceil() as u64 } else { 0 };
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of a bucket.
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_finite() { v.max(0.0) } else { return };
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate quantile `q` in `[0, 1]` as the upper bound of the bucket
+    /// where the cumulative count crosses `q · count` (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i) as f64;
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one (bucket-wise; rep-order
+    /// independent, so merging per-repetition snapshots is deterministic).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// A serializable snapshot (only non-empty buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect();
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(1.0), 0);
+        assert_eq!(bucket_of(2.0), 1);
+        assert_eq!(bucket_of(3.0), 2);
+        assert_eq!(bucket_of(4.0), 2);
+        assert_eq!(bucket_of(5.0), 3);
+        assert_eq!(bucket_of(1024.0), 10);
+        assert_eq!(bucket_of(1025.0), 11);
+    }
+
+    #[test]
+    fn observes_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 106.0).abs() < 1e-9);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+        let s = h.snapshot();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        // Buckets: 1→0, 2→1, 3→2, 100→7 (64<100<=128).
+        assert_eq!(s.buckets, vec![(1, 1), (2, 1), (4, 1), (128, 1)]);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(10.0); // bucket upper 16
+        }
+        h.observe(1000.0); // bucket upper 1024
+        assert_eq!(h.quantile(0.5), 16.0);
+        assert_eq!(h.quantile(0.99), 16.0);
+        assert_eq!(h.quantile(1.0), 1024.0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1.0, 5.0, 9.0] {
+            a.observe(v);
+        }
+        for v in [2.0, 700.0] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(format!("{:?}", ab.snapshot()), format!("{:?}", ba.snapshot()));
+        assert_eq!(ab.count(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        let s = h.snapshot();
+        assert_eq!((s.min, s.max, s.count), (0.0, 0.0, 0));
+        assert!(s.buckets.is_empty());
+    }
+}

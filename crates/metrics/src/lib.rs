@@ -1,0 +1,54 @@
+//! Cross-layer metrics for the simulator: deterministic counters, gauges,
+//! and log-bucketed histograms.
+//!
+//! The paper's diagnosis (§5) and the KPI monitors it cites live on
+//! per-layer time series and distributions, not just end-of-run aggregates.
+//! This crate is the registry those numbers flow through: the kernel counts
+//! reclaim passes and faults by class, the scheduler counts context
+//! switches and preemptions, the video pipeline records decode-time
+//! distributions and dropped/late frames, and the ABR counts quality
+//! switches.
+//!
+//! **Determinism.** Metrics never feed back into the simulation: recording
+//! draws no randomness and takes no locks, and a snapshot of the same run
+//! is identical every time. A [`MetricsRegistry`] built with
+//! [`MetricsRegistry::disabled`] turns every record call into a single
+//! branch on a `bool`, so golden outputs stay byte-identical whether or not
+//! the telemetry plumbing is compiled into a caller.
+
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+
+pub use histogram::Histogram;
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+/// The telemetry handle a session carries: today just the metrics registry,
+/// later the place tracing/export switches hang off.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// The metrics registry for this run.
+    pub metrics: MetricsRegistry,
+}
+
+impl Telemetry {
+    /// A handle that records everything.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A handle whose record calls are single-branch no-ops.
+    pub fn disabled() -> Telemetry {
+        Telemetry {
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Snapshot the current metric values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+}

@@ -1,0 +1,227 @@
+//! The metric registry: names are registered once up front, then the hot
+//! paths record through small integer ids — no hashing, no allocation.
+
+use crate::histogram::Histogram;
+use crate::snapshot::MetricsSnapshot;
+use std::collections::BTreeMap;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Registered metrics for one run. When built with
+/// [`MetricsRegistry::disabled`], registration hands out dummy ids and every
+/// record call is a single branch — cheap enough to leave in hot paths.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+    by_name: BTreeMap<String, (Kind, usize)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricsRegistry {
+    /// A recording registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// A no-op registry: ids come back as dummies and recording does
+    /// nothing beyond testing one `bool`.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Whether this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or look up) a monotone counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if !self.enabled {
+            return CounterId(0);
+        }
+        if let Some(&(Kind::Counter, i)) = self.by_name.get(name) {
+            return CounterId(i);
+        }
+        let i = self.counters.len();
+        self.counters.push((name.to_string(), 0));
+        self.by_name.insert(name.to_string(), (Kind::Counter, i));
+        CounterId(i)
+    }
+
+    /// Register (or look up) a gauge (last value wins within a run; merges
+    /// across runs keep the maximum).
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if !self.enabled {
+            return GaugeId(0);
+        }
+        if let Some(&(Kind::Gauge, i)) = self.by_name.get(name) {
+            return GaugeId(i);
+        }
+        let i = self.gauges.len();
+        self.gauges.push((name.to_string(), 0.0));
+        self.by_name.insert(name.to_string(), (Kind::Gauge, i));
+        GaugeId(i)
+    }
+
+    /// Register (or look up) a log₂-bucketed histogram.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if !self.enabled {
+            return HistogramId(0);
+        }
+        if let Some(&(Kind::Histogram, i)) = self.by_name.get(name) {
+            return HistogramId(i);
+        }
+        let i = self.histograms.len();
+        self.histograms.push((name.to_string(), Histogram::new()));
+        self.by_name.insert(name.to_string(), (Kind::Histogram, i));
+        HistogramId(i)
+    }
+
+    /// Add `n` to a counter.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        if self.enabled {
+            self.counters[id.0].1 += n;
+        }
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: f64) {
+        if self.enabled {
+            self.gauges[id.0].1 = v;
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, v: f64) {
+        if self.enabled {
+            self.histograms[id.0].1.observe(v);
+        }
+    }
+
+    /// Register-and-add in one call, for cold paths that fold in totals at
+    /// the end of a run (e.g. absorbing `/proc/vmstat`-style counters).
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        if self.enabled {
+            let id = self.counter(name);
+            self.counters[id.0].1 += n;
+        }
+    }
+
+    /// Register-and-set in one call (cold paths).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        if self.enabled {
+            let id = self.gauge(name);
+            self.gauges[id.0].1 = v;
+        }
+    }
+
+    /// Current value of a counter by name (None when absent or disabled).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.by_name.get(name) {
+            Some(&(Kind::Counter, i)) => Some(self.counters[i].1),
+            _ => None,
+        }
+    }
+
+    /// Snapshot every metric into a serializable, name-sorted form.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            gauges: self.gauges.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_records_and_snapshots() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("kernel.pgscan_kswapd");
+        let g = r.gauge("mem.pss_peak_mib");
+        let h = r.histogram("video.decode_us");
+        r.inc(c, 3);
+        r.inc(c, 2);
+        r.set(g, 141.5);
+        r.observe(h, 900.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters.get("kernel.pgscan_kswapd"), Some(&5));
+        assert_eq!(s.gauges.get("mem.pss_peak_mib"), Some(&141.5));
+        assert_eq!(s.histograms.get("video.decode_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a, 1);
+        r.inc(b, 1);
+        assert_eq!(r.counter_value("x"), Some(2));
+        assert_eq!(r.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = MetricsRegistry::disabled();
+        let c = r.counter("x");
+        r.inc(c, 10);
+        r.add_counter("y", 5);
+        r.set_gauge("z", 1.0);
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+        assert!(!r.enabled());
+        assert_eq!(r.counter_value("x"), None);
+    }
+
+    #[test]
+    fn same_name_different_kind_gets_its_own_slot() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("dual");
+        let g = r.gauge("dual");
+        r.inc(c, 1);
+        r.set(g, 2.0);
+        // Last registration of a name wins the lookup table, but both slots
+        // record; snapshot keys are per-kind maps so neither is lost.
+        let s = r.snapshot();
+        assert_eq!(s.counters.get("dual"), Some(&1));
+        assert_eq!(s.gauges.get("dual"), Some(&2.0));
+    }
+}

@@ -31,6 +31,7 @@ pub struct Scheduler {
     events: Vec<SchedEvent>,
     min_vruntime: f64,
     record_events: bool,
+    ctx_switches: u64,
 }
 
 impl Scheduler {
@@ -45,7 +46,14 @@ impl Scheduler {
             events: Vec::new(),
             min_vruntime: 0.0,
             record_events: true,
+            ctx_switches: 0,
         }
+    }
+
+    /// Total context switches so far (every placement of a thread onto a
+    /// core it was not already running on).
+    pub fn ctx_switches(&self) -> u64 {
+        self.ctx_switches
     }
 
     /// Disable per-switch event recording (keeps long runs lean; state-time
@@ -356,6 +364,9 @@ impl Scheduler {
     ) {
         self.cores[core].running = Some(tid);
         let record = self.record_events;
+        if self.threads[tid.0 as usize].state != ThreadState::Running {
+            self.ctx_switches += 1;
+        }
         let th = &mut self.threads[tid.0 as usize];
         let was_running = th.state == ThreadState::Running;
         th.state = ThreadState::Running;

@@ -11,7 +11,9 @@
 //! the queries the paper's IPython notebooks run over Perfetto output.
 
 pub mod analysis;
+pub mod chrome_trace;
 pub mod trace;
 
 pub use analysis::{PreemptionSummary, ThreadRunTime};
-pub use trace::Trace;
+pub use chrome_trace::{chrome_trace_json, write_chrome_trace};
+pub use trace::{InstantEvent, Trace};

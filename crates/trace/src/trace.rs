@@ -13,6 +13,19 @@ pub struct ThreadMeta {
     pub proc_tag: Option<u32>,
 }
 
+/// A point event on the trace timeline: an lmkd kill, a major fault, a
+/// rebuffer boundary, an ABR quality switch. Rendered as instant events in
+/// the Chrome/Perfetto export.
+#[derive(Debug, Clone)]
+pub struct InstantEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened ("lmkd_kill:bg.app3", "major_fault", …).
+    pub name: String,
+    /// The thread it concerns, if any (global otherwise).
+    pub thread: Option<ThreadId>,
+}
+
 /// A recorded trace of one run.
 #[derive(Debug, Default)]
 pub struct Trace {
@@ -20,6 +33,8 @@ pub struct Trace {
     events: Vec<SchedEvent>,
     preemptions: Vec<PreemptionRecord>,
     counters: BTreeMap<String, TimeSeries>,
+    instants: Vec<InstantEvent>,
+    detail: bool,
     end: SimTime,
 }
 
@@ -48,19 +63,71 @@ impl Trace {
         }
     }
 
-    /// Append preemption records.
+    /// Append preemption records (advances the horizon like
+    /// [`Trace::record_sched`], so a preemption after the last sched event
+    /// is not clipped by horizon-based queries).
     pub fn record_preemptions(&mut self, records: impl IntoIterator<Item = PreemptionRecord>) {
-        self.preemptions.extend(records);
+        for r in records {
+            self.end = self.end.max(r.at);
+            self.preemptions.push(r);
+        }
     }
 
     /// Push a sample onto a named counter track (lmkd CPU %, rendered FPS,
-    /// processes killed, …).
+    /// processes killed, …). Steady-state sampling hits the `get_mut` fast
+    /// path and allocates nothing; only the first sample of a track pays
+    /// for the key.
     pub fn counter(&mut self, name: &str, at: SimTime, value: f64) {
         self.end = self.end.max(at);
+        if let Some(series) = self.counters.get_mut(name) {
+            series.push(at, value);
+            return;
+        }
         self.counters
             .entry(name.to_string())
             .or_insert_with(|| TimeSeries::new(name))
             .push(at, value);
+    }
+
+    /// Enable detail recording: high-volume instant events (per-fault
+    /// markers) are only kept when this is on. Mirrors the scheduler's
+    /// `set_record_events` switch and is set from the same session flag.
+    pub fn set_detail(&mut self, on: bool) {
+        self.detail = on;
+    }
+
+    /// Whether detail recording is on.
+    pub fn detail(&self) -> bool {
+        self.detail
+    }
+
+    /// Record a point event (always kept — use for rare events like kills,
+    /// rebuffer boundaries, and quality switches).
+    pub fn instant(&mut self, name: impl Into<String>, at: SimTime, thread: Option<ThreadId>) {
+        self.end = self.end.max(at);
+        self.instants.push(InstantEvent {
+            at,
+            name: name.into(),
+            thread,
+        });
+    }
+
+    /// Record a high-volume point event (major faults); dropped unless
+    /// detail recording is on.
+    pub fn instant_detail(
+        &mut self,
+        name: impl Into<String>,
+        at: SimTime,
+        thread: Option<ThreadId>,
+    ) {
+        if self.detail {
+            self.instant(name, at, thread);
+        }
+    }
+
+    /// All recorded point events, in arrival order.
+    pub fn instants(&self) -> &[InstantEvent] {
+        &self.instants
     }
 
     /// Mark the end of the traced run.
@@ -140,6 +207,40 @@ mod tests {
         assert_eq!(tr.end(), SimTime::from_secs(3));
         tr.finish(SimTime::from_secs(10));
         assert_eq!(tr.end(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn preemptions_advance_the_horizon() {
+        let mut tr = Trace::new();
+        tr.record_sched([SchedEvent {
+            at: SimTime::from_secs(1),
+            thread: ThreadId(0),
+            kind: SchedEventKind::Wakeup,
+        }]);
+        // A preemption *after* the last sched event must extend `end`, or
+        // horizon-based queries silently clip it.
+        tr.record_preemptions([PreemptionRecord {
+            at: SimTime::from_secs(5),
+            victim: ThreadId(0),
+            preempter: ThreadId(1),
+            core: 0,
+        }]);
+        assert_eq!(tr.end(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn instants_record_and_respect_detail_gate() {
+        let mut tr = Trace::new();
+        tr.instant("lmkd_kill:bg.app0", SimTime::from_secs(2), None);
+        // Detail off: high-volume markers are dropped.
+        tr.instant_detail("major_fault", SimTime::from_secs(3), Some(ThreadId(4)));
+        assert_eq!(tr.instants().len(), 1);
+        tr.set_detail(true);
+        tr.instant_detail("major_fault", SimTime::from_secs(3), Some(ThreadId(4)));
+        assert_eq!(tr.instants().len(), 2);
+        assert_eq!(tr.instants()[1].thread, Some(ThreadId(4)));
+        // Instants advance the horizon too.
+        assert_eq!(tr.end(), SimTime::from_secs(3));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Golden-file test for the Chrome trace-event export.
+//!
+//! A small hand-built trace must serialize to *exactly* the checked-in
+//! JSON: the export format is an interchange contract with external tools
+//! (Perfetto, chrome://tracing), so even cosmetic drift should be a
+//! deliberate, reviewed change. To re-bless after an intentional change:
+//! `GOLDEN_BLESS=1 cargo test -p mvqoe-trace --test chrome_golden`.
+
+use mvqoe_sched::{PreemptionRecord, SchedEvent, SchedEventKind, ThreadId, ThreadState};
+use mvqoe_sim::SimTime;
+use mvqoe_trace::{chrome_trace_json, Trace};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace.json")
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+/// A miniature pressured-playback scenario: MediaCodec runs, is preempted
+/// by mmcqd, waits, runs again; kswapd wakes and runs; one counter track,
+/// one kill instant, one thread-scoped fault instant.
+fn build_trace() -> Trace {
+    let mut tr = Trace::new();
+    let codec = ThreadId(0);
+    let mmcqd = ThreadId(1);
+    let kswapd = ThreadId(2);
+    tr.register_thread(codec, "MediaCodec", Some(7));
+    tr.register_thread(mmcqd, "mmcqd/0", None);
+    tr.register_thread(kswapd, "kswapd0", None);
+
+    let ev = |at, thread, kind| SchedEvent { at, thread, kind };
+    tr.record_sched([
+        ev(t(1), codec, SchedEventKind::SwitchIn { core: 0 }),
+        ev(
+            t(4),
+            codec,
+            SchedEventKind::SwitchOut {
+                core: 0,
+                to_state: ThreadState::RunnablePreempted,
+            },
+        ),
+        ev(t(4), mmcqd, SchedEventKind::SwitchIn { core: 0 }),
+        ev(
+            t(6),
+            mmcqd,
+            SchedEventKind::SwitchOut {
+                core: 0,
+                to_state: ThreadState::Sleeping,
+            },
+        ),
+        ev(t(6), codec, SchedEventKind::SwitchIn { core: 0 }),
+        ev(t(7), codec, SchedEventKind::Sleep),
+        ev(t(2), kswapd, SchedEventKind::Wakeup),
+        ev(t(8), kswapd, SchedEventKind::SwitchIn { core: 1 }),
+    ]);
+    tr.record_preemptions([PreemptionRecord {
+        at: t(4),
+        victim: codec,
+        preempter: mmcqd,
+        core: 0,
+    }]);
+    tr.counter("lmkd_cpu_pct", t(1), 0.0);
+    tr.counter("lmkd_cpu_pct", t(5), 37.5);
+    tr.counter("rendered_fps", t(5), 24.0);
+    tr.instant("lmkd_kill:bg.app3", t(5), None);
+    tr.set_detail(true);
+    tr.instant_detail("major_fault", t(3), Some(codec));
+    tr.finish(t(10));
+    tr
+}
+
+#[test]
+fn hand_built_trace_matches_golden_json() {
+    let got = chrome_trace_json(&build_trace());
+    let path = fixture_path();
+    if std::env::var("GOLDEN_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run GOLDEN_BLESS=1 cargo test -p mvqoe-trace --test chrome_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "Chrome export drifted from the golden fixture; if intentional, re-bless"
+    );
+}
+
+#[test]
+fn golden_trace_is_structurally_valid() {
+    let json = chrome_trace_json(&build_trace());
+    // The export is line-structured; every data line must be an object and
+    // the whole thing must parse (vendored serde_json's Value parser).
+    let v: serde_json::Value = serde_json::from_str(&json).expect("export must be valid JSON");
+    let s = serde_json::to_string(&v).unwrap();
+    assert!(s.contains("traceEvents"));
+    // The preempted wait is visible as its own slice.
+    assert!(json.contains(r#""name":"Runnable (Preempted)""#));
+    // 3 ms preempted-wait slice: ts 4000, closed by the switch-in at 6000.
+    assert!(json.contains(r#""ts":4000,"dur":2000,"name":"Runnable (Preempted)""#));
+    // The kill is a global instant, the fault a thread-scoped one.
+    assert!(json.contains(r#""s":"g","name":"lmkd_kill:bg.app3""#));
+    assert!(json.contains(r#""s":"t","name":"major_fault""#));
+    // Wakeup→SwitchIn renders kswapd's runnable wait (2 ms → 8 ms).
+    assert!(json.contains(r#""tid":2,"ts":2000,"dur":6000,"name":"Runnable""#));
+}

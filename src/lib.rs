@@ -42,7 +42,8 @@
 //! | [`abr`] | network baselines + the memory-aware controller |
 //! | [`device`] | device profiles + the assembled machine |
 //! | [`workload`] | MP Simulator, organic apps, fleet usage model |
-//! | [`trace`] | Perfetto-like tracing + §5 queries |
+//! | [`trace`] | Perfetto-like tracing, Chrome trace export + §5 queries |
+//! | [`metrics`] | cross-layer counters/gauges/histograms registry |
 //! | [`study`] | fleet study + DMOS survey (§3, §4.3) |
 //! | [`core`] | end-to-end streaming sessions + QoE aggregation |
 //! | [`experiments`] | one regenerator per table/figure |
@@ -52,6 +53,7 @@ pub use mvqoe_core as core;
 pub use mvqoe_device as device;
 pub use mvqoe_experiments as experiments;
 pub use mvqoe_kernel as kernel;
+pub use mvqoe_metrics as metrics;
 pub use mvqoe_net as net;
 pub use mvqoe_sched as sched;
 pub use mvqoe_sim as sim;
@@ -68,11 +70,13 @@ pub mod prelude {
         ThroughputBased,
     };
     pub use mvqoe_core::{
-        parallel_map, run_cell, run_cell_at, run_cells_parallel, run_session, AbrFactory,
-        CellResult, CellSpec, PressureMode, SessionConfig, SessionOutcome,
+        parallel_map, run_cell, run_cell_at, run_cells_parallel, run_session, run_session_with,
+        AbrFactory, CellResult, CellSpec, PressureMode, SessionConfig, SessionOutcome,
     };
     pub use mvqoe_device::{DeviceProfile, Machine};
     pub use mvqoe_kernel::{MemoryManager, Pages, ProcKind, TrimLevel};
+    pub use mvqoe_metrics::{MetricsSnapshot, Telemetry};
+    pub use mvqoe_trace::{chrome_trace_json, write_chrome_trace};
     pub use mvqoe_sim::{derive_seed, SimDuration, SimRng, SimTime};
     pub use mvqoe_video::{
         Fps, Genre, Manifest, PlayerKind, Representation, Resolution, SessionStats,

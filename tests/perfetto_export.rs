@@ -1,0 +1,134 @@
+//! Structural validation of the Chrome trace export on a real session.
+//!
+//! Runs the paper's §5 scenario — 480p @ 60 FPS on the Nokia 1 under
+//! Moderate synthetic pressure, full event recording on — and checks that
+//! the exported Chrome trace-event JSON is well formed: it parses, its
+//! timestamps never go backwards, every tid that appears in an event has
+//! `thread_name` metadata, and the tracks the paper's analysis leans on
+//! (kswapd0, mmcqd, the MediaCodec decoder, the counter tracks) are all
+//! present.
+
+use mvqoe::prelude::*;
+use mvqoe_trace::chrome_trace_json;
+use serde_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn traced_session() -> SessionOutcome {
+    let mut cfg = SessionConfig::paper_default(
+        DeviceProfile::nokia1(),
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        derive_seed(42, "perfetto-export-test", 0, 0),
+    );
+    cfg.video_secs = 30.0;
+    cfg.record_trace = true;
+    let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+    let rep = manifest.representation(Resolution::R480p, Fps::F60).unwrap();
+    let mut abr = FixedAbr::new(rep);
+    run_session(&cfg, &mut abr)
+}
+
+#[test]
+fn real_session_trace_is_structurally_valid() {
+    let out = traced_session();
+    let json = chrome_trace_json(&out.machine.trace);
+    let v: Value = serde_json::from_str(&json).expect("export is valid JSON");
+
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_seq)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut last_ts = -1.0f64;
+    let mut named_tids = BTreeSet::new();
+    let mut event_tids = BTreeSet::new();
+    let mut thread_names = BTreeSet::new();
+    let mut counters = BTreeSet::new();
+    let mut phases: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("").to_string();
+        *phases.entry(ph.clone()).or_insert(0) += 1;
+        let ts = ev.get("ts").and_then(Value::as_f64).expect("numeric ts");
+        assert!(ts >= last_ts, "timestamps must be non-decreasing");
+        last_ts = ts;
+        let tid = ev.get("tid").and_then(Value::as_u64);
+        match ph.as_str() {
+            "M" => {
+                if ev.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    named_tids.insert(tid.expect("thread_name has tid"));
+                    let name = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .expect("thread_name has args.name");
+                    thread_names.insert(name.to_string());
+                }
+            }
+            "C" => {
+                let name = ev.get("name").and_then(Value::as_str).expect("counter name");
+                counters.insert(name.to_string());
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .expect("counter has args.value");
+            }
+            "X" => {
+                event_tids.insert(tid.expect("slice has tid"));
+                let dur = ev.get("dur").and_then(Value::as_f64).expect("slice dur");
+                assert!(dur >= 0.0);
+            }
+            "i" => {
+                if let Some(tid) = tid {
+                    event_tids.insert(tid);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Every tid that carries an event has thread-name metadata.
+    for tid in &event_tids {
+        assert!(named_tids.contains(tid), "tid {tid} has no thread_name");
+    }
+
+    // The §5 cast is on stage.
+    for name in ["kswapd0", "mmcqd/0", "MediaCodec", "lmkd"] {
+        assert!(thread_names.contains(name), "missing thread track {name}");
+    }
+    // The counter tracks the Perfetto view plots.
+    for name in ["lmkd_cpu_pct", "rendered_fps", "free_mib", "zram_mib"] {
+        assert!(counters.contains(name), "missing counter track {name}");
+    }
+    // Slices and counter samples are actually present in bulk.
+    assert!(phases.get("X").copied().unwrap_or(0) > 100, "{phases:?}");
+    assert!(phases.get("C").copied().unwrap_or(0) > 50, "{phases:?}");
+}
+
+#[test]
+fn detail_gate_keeps_untraced_sessions_lean() {
+    // The default config records no scheduler events, so the export should
+    // contain metadata and counter samples but no slices.
+    let mut cfg = SessionConfig::paper_default(
+        DeviceProfile::nokia1(),
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        derive_seed(42, "perfetto-export-test", 1, 0),
+    );
+    cfg.video_secs = 12.0;
+    let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+    let rep = manifest.representation(Resolution::R480p, Fps::F60).unwrap();
+    let mut abr = FixedAbr::new(rep);
+    let out = run_session(&cfg, &mut abr);
+    let json = chrome_trace_json(&out.machine.trace);
+    let v: Value = serde_json::from_str(&json).unwrap();
+    let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
+    assert!(events
+        .iter()
+        .all(|e| e.get("ph").and_then(Value::as_str) != Some("X")));
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+}
