@@ -15,7 +15,11 @@ use mvqoe_kernel::TrimLevel;
 use mvqoe_video::{Fps, Genre, Manifest, Resolution};
 use std::time::Instant;
 
-/// A quick-scale grid: 6 cells × 2 repetitions of 12 s sessions.
+/// The benchmark grid: 6 cells × 3 repetitions of 45 s sessions. Sized so
+/// one pass takes hundreds of milliseconds — the event-driven engine made
+/// individual sessions cheap enough that the original 12 s × 2 grid ran in
+/// ~20 ms, where the pool's fixed setup cost (thread spawn + channel)
+/// dominated the measurement instead of the engine.
 fn grid() -> Vec<CellSpec<'static>> {
     let mut specs = Vec::new();
     for device in [DeviceProfile::nokia1(), DeviceProfile::nexus5()] {
@@ -25,9 +29,9 @@ fn grid() -> Vec<CellSpec<'static>> {
             PressureMode::Synthetic(TrimLevel::Critical),
         ] {
             let mut cfg = SessionConfig::paper_default(device.clone(), pressure, 42);
-            cfg.video_secs = 12.0;
-            specs.push(CellSpec::new(cfg, 2, || {
-                let m = Manifest::full_ladder(Genre::Travel, 12.0);
+            cfg.video_secs = 45.0;
+            specs.push(CellSpec::new(cfg, 3, || {
+                let m = Manifest::full_ladder(Genre::Travel, 45.0);
                 let rep = m.representation(Resolution::R480p, Fps::F60).unwrap();
                 Box::new(FixedAbr::new(rep))
             }));
@@ -36,24 +40,40 @@ fn grid() -> Vec<CellSpec<'static>> {
     specs
 }
 
-/// Median-of-N wall-clock for the grid at a worker count.
-fn time_grid(workers: usize, samples: usize) -> f64 {
-    let mut times: Vec<f64> = (0..samples)
-        .map(|_| {
-            let specs = grid();
-            let start = Instant::now();
-            black_box(run_cells_parallel("bench-parallel", &specs, workers));
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
+/// Best-of-N wall-clock for the grid at each worker count. Samples for the
+/// two configurations are interleaved, alternating which goes first each
+/// round, so cache/frequency drift cannot bias either side; the minimum is
+/// the standard robust statistic on hosts with ambient scheduler noise.
+fn time_grids(serial_workers: usize, pool_workers: usize, samples: usize) -> (f64, f64) {
+    let once = |workers: usize| {
+        let specs = grid();
+        let start = Instant::now();
+        black_box(run_cells_parallel("bench-parallel", &specs, workers));
+        start.elapsed().as_secs_f64()
+    };
+    once(serial_workers); // warm-up: page in code and grow allocator arenas
+    let (mut serial_best, mut pool_best) = (f64::INFINITY, f64::INFINITY);
+    for round in 0..samples {
+        if round % 2 == 0 {
+            serial_best = serial_best.min(once(serial_workers));
+            pool_best = pool_best.min(once(pool_workers));
+        } else {
+            pool_best = pool_best.min(once(pool_workers));
+            serial_best = serial_best.min(once(serial_workers));
+        }
+    }
+    (serial_best, pool_best)
 }
 
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
-    let samples = if test_mode { 1 } else { 5 };
-    let pool = std::thread::available_parallelism().map_or(4, |p| p.get().max(2));
+    let samples = if test_mode { 1 } else { 7 };
+    // One worker per available CPU — the production `--jobs 0` setting.
+    // Forcing extra workers onto a smaller host would measure context-switch
+    // overhead (oversubscribed CPU-bound threads can only lose wall-clock),
+    // not the engine; on a single-CPU host the pool degenerates to the
+    // serial path and the tracked ratio hovers at 1.0 by construction.
+    let pool = std::thread::available_parallelism().map_or(1, |p| p.get());
 
     // Criterion-shaped reporting for the two paths.
     let mut c = Criterion::default();
@@ -68,8 +88,7 @@ fn main() {
     g.finish();
 
     // The tracked ratio: serial wall-clock over parallel wall-clock.
-    let serial_secs = time_grid(1, samples);
-    let parallel_secs = time_grid(pool, samples);
+    let (serial_secs, parallel_secs) = time_grids(1, pool, samples);
     let speedup = serial_secs / parallel_secs.max(1e-9);
     println!(
         "engine speedup at {pool} workers: {speedup:.2}x ({serial_secs:.3} s -> {parallel_secs:.3} s)"

@@ -4,7 +4,7 @@
 
 use mvqoe_device::Machine;
 use mvqoe_kernel::TrimLevel;
-use mvqoe_sim::{SimDuration, SimRng};
+use mvqoe_sim::{SimDuration, SimRng, SimTime};
 use mvqoe_workload::{BackgroundApps, MpSimulator};
 use serde::{Deserialize, Serialize};
 
@@ -45,33 +45,50 @@ pub enum PressureDriver {
 impl PressureDriver {
     /// Apply the mode on a fresh machine: run until the target state is
     /// reached (bounded), returning the driver to keep stepping during the
-    /// video.
-    pub fn apply(mode: PressureMode, m: &mut Machine, rng: &SimRng) -> PressureDriver {
+    /// video. `dense` disables the event-driven skip (for bisecting); the
+    /// outputs are byte-identical either way.
+    pub fn apply(mode: PressureMode, m: &mut Machine, rng: &SimRng, dense: bool) -> PressureDriver {
         match mode {
             PressureMode::None => PressureDriver::None,
             PressureMode::Synthetic(level) => {
                 let mut mp = MpSimulator::install(m, level);
                 // Bounded ramp: the paper's app reaches its target within
-                // minutes on real devices.
-                let max_steps = 300_000u64; // 5 simulated minutes
-                for _ in 0..max_steps {
+                // minutes on real devices (5 simulated minutes here; with
+                // 1 ms ticks this bound is the dense loop's 300k steps).
+                let ramp_end = m.now() + SimDuration::from_secs(300);
+                while m.now() < ramp_end {
                     mp.drive(m);
+                    if !dense {
+                        m.advance_until(mp.next_wakeup().min(ramp_end));
+                    }
                     m.step();
                     if mp.at_target(m) {
                         break;
                     }
                 }
                 // Let kills/writeback settle briefly.
-                m.run_idle(SimDuration::from_secs(2));
+                if dense {
+                    m.run_idle_dense(SimDuration::from_secs(2));
+                } else {
+                    m.run_idle(SimDuration::from_secs(2));
+                }
                 PressureDriver::Synthetic(mp)
             }
             PressureMode::Organic(n) => {
                 // The user opens the apps one at a time, then switches to
                 // the browser; give the system a few seconds to settle.
                 let mut bg = BackgroundApps::open(m, n, rng);
-                bg.open_all(m);
-                for _ in 0..8_000 {
+                if dense {
+                    bg.open_all_dense(m);
+                } else {
+                    bg.open_all(m);
+                }
+                let settle_end = m.now() + SimDuration::from_secs(8);
+                while m.now() < settle_end {
                     bg.drive(m);
+                    if !dense {
+                        m.advance_until(bg.next_wakeup(m).min(settle_end));
+                    }
                     m.step();
                 }
                 PressureDriver::Organic(bg)
@@ -85,6 +102,16 @@ impl PressureDriver {
             PressureDriver::None => {}
             PressureDriver::Synthetic(mp) => mp.drive(m),
             PressureDriver::Organic(bg) => bg.drive(m),
+        }
+    }
+
+    /// The next instant this driver could act, for folding into the
+    /// session's skip horizon. Valid when computed after a `drive` call.
+    pub fn next_wakeup(&self, m: &Machine) -> SimTime {
+        match self {
+            PressureDriver::None => SimTime::MAX,
+            PressureDriver::Synthetic(mp) => mp.next_wakeup(),
+            PressureDriver::Organic(bg) => bg.next_wakeup(m),
         }
     }
 }
@@ -109,7 +136,7 @@ mod tests {
         let mut rng = SimRng::new(31);
         let mut m = Machine::new(DeviceProfile::nokia1(), &mut rng);
         let driver =
-            PressureDriver::apply(PressureMode::Synthetic(TrimLevel::Moderate), &mut m, &rng);
+            PressureDriver::apply(PressureMode::Synthetic(TrimLevel::Moderate), &mut m, &rng, false);
         assert!(m.mm.trim_level() >= TrimLevel::Moderate);
         match driver {
             PressureDriver::Synthetic(mp) => assert!(mp.at_target(&m)),
@@ -121,7 +148,7 @@ mod tests {
     fn none_apply_leaves_machine_normal() {
         let mut rng = SimRng::new(32);
         let mut m = Machine::new(DeviceProfile::nexus5(), &mut rng);
-        let _driver = PressureDriver::apply(PressureMode::None, &mut m, &rng);
+        let _driver = PressureDriver::apply(PressureMode::None, &mut m, &rng, false);
         assert_eq!(m.mm.trim_level(), TrimLevel::Normal);
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::pressure::{PressureDriver, PressureMode};
 use mvqoe_abr::{Abr, AbrContext};
-use mvqoe_device::{DeviceProfile, Machine};
+use mvqoe_device::{DeviceProfile, Machine, StepOutputs};
 use mvqoe_kernel::manager::KillSource;
 use mvqoe_metrics::{CounterId, HistogramId, Telemetry};
 use mvqoe_kernel::{Pages, ProcKind, ProcessId, TrimLevel};
@@ -57,6 +57,10 @@ pub struct SessionConfig {
     /// §7 OS-developer ablation: demote `mmcqd` from real-time to the fair
     /// class, removing its license to preempt foreground threads.
     pub mmcqd_fair: bool,
+    /// Debug switch: step densely (1 ms per step) instead of skipping
+    /// provably-idle spans. Outputs are byte-identical either way; dense
+    /// mode only exists for bisecting and benchmarking the skip.
+    pub dense_ticks: bool,
 }
 
 impl SessionConfig {
@@ -74,6 +78,7 @@ impl SessionConfig {
             buffer_secs: 60.0,
             record_trace: false,
             mmcqd_fair: false,
+            dense_ticks: crate::dense_ticks_default(),
         }
     }
 }
@@ -160,7 +165,7 @@ pub fn run_session_with(
     }
 
     // Phase 1: pressure.
-    let mut pressure = PressureDriver::apply(cfg.pressure, &mut m, &rng);
+    let mut pressure = PressureDriver::apply(cfg.pressure, &mut m, &rng, cfg.dense_ticks);
 
     // Phase 2: the client starts.
     let profile = PlayerProfile::of(cfg.player);
@@ -369,6 +374,7 @@ impl Runner<'_> {
         self.last_lmkd_running = m.sched.thread(m.lmkd_thread()).times.running;
         // Hard cap well beyond nominal playback, for pathological stalls.
         let deadline = m.now() + SimDuration::from_secs_f64(self.cfg.video_secs * 2.5 + 40.0);
+        let mut out = StepOutputs::default();
 
         while !self.ended && m.now() < deadline {
             let now = m.now();
@@ -385,9 +391,25 @@ impl Runner<'_> {
             self.ui_housekeeping(m, now);
 
             pressure.drive(m);
-            let out = m.step();
+            if !self.cfg.dense_ticks {
+                // Everything this loop does before the step is gated either
+                // on machine state (which cannot change while the machine is
+                // idle) or on one of these instants — so the machine may
+                // skip straight to the earliest of them.
+                let horizon = self
+                    .events
+                    .peek_time()
+                    .unwrap_or(SimTime::MAX)
+                    .min(self.next_sample)
+                    .min(self.next_ui_tick)
+                    .min(self.next_floor_update)
+                    .min(pressure.next_wakeup(m))
+                    .min(deadline);
+                m.advance_until(horizon);
+            }
+            m.step_into(&mut out);
 
-            for c in out.completions {
+            for &c in &out.completions {
                 self.on_completion(m, c.thread, c.tag);
             }
             self.kills_this_sec += out.killed.len() as u32;

@@ -5,7 +5,7 @@ use mvqoe_kernel::manager::KillSource;
 use mvqoe_kernel::{AllocOutcome, MemEvent, MemoryManager, Pages, ProcKind, ProcessId};
 use mvqoe_sched::{Completion, SchedClass, Scheduler, ThreadId};
 use mvqoe_sim::{SimDuration, SimRng, SimTime};
-use mvqoe_storage::{Disk, IoId};
+use mvqoe_storage::{Disk, IoId, IoRequest};
 use mvqoe_trace::Trace;
 use std::collections::BTreeMap;
 
@@ -30,6 +30,18 @@ pub struct StepOutputs {
     pub unblocked: Vec<ThreadId>,
     /// Processes that died this step (from `mem_events`, convenience).
     pub killed: Vec<(ProcessId, KillSource)>,
+}
+
+impl StepOutputs {
+    /// Empty all buffers, keeping their capacity. [`Machine::step_into`]
+    /// calls this, so a driver can reuse one `StepOutputs` across every
+    /// step without allocating.
+    pub fn clear(&mut self) {
+        self.completions.clear();
+        self.mem_events.clear();
+        self.unblocked.clear();
+        self.killed.clear();
+    }
 }
 
 /// A running simulated phone.
@@ -58,6 +70,13 @@ pub struct Machine {
 
     io_waiters: BTreeMap<IoId, ThreadId>,
     proc_threads: BTreeMap<ProcessId, Vec<ThreadId>>,
+
+    // Reusable step scratch (taken/restored around each step so the hot
+    // path never allocates once capacities are warm).
+    scratch_completions: Vec<Completion>,
+    scratch_io: Vec<IoRequest>,
+    scratch_mem: Vec<(SimTime, MemEvent)>,
+    idle_out: StepOutputs,
 }
 
 impl Machine {
@@ -149,6 +168,10 @@ impl Machine {
             ambient_next: SimTime::ZERO,
             io_waiters: BTreeMap::new(),
             proc_threads: BTreeMap::new(),
+            scratch_completions: Vec::new(),
+            scratch_io: Vec::new(),
+            scratch_mem: Vec::new(),
+            idle_out: StepOutputs::default(),
         }
     }
 
@@ -323,13 +346,25 @@ impl Machine {
 
     /// Advance the machine by one tick and surface what happened.
     pub fn step(&mut self) -> StepOutputs {
+        let mut out = StepOutputs::default();
+        self.step_into(&mut out);
+        out
+    }
+
+    /// Advance the machine by one tick, writing what happened into a
+    /// caller-owned `out` (cleared first). Reusing one `StepOutputs` across
+    /// steps keeps the hot path allocation-free once capacities are warm.
+    pub fn step_into(&mut self, out: &mut StepOutputs) {
+        out.clear();
         self.sched.tick(self.tick);
         let now = self.now();
-        let mut out = StepOutputs::default();
 
         // 1. Route completions: daemons continue their loops, user tags
         //    surface to the driver.
-        for c in self.sched.drain_completions() {
+        let mut completions = std::mem::take(&mut self.scratch_completions);
+        completions.clear();
+        self.sched.drain_completions_into(&mut completions);
+        for &c in &completions {
             match c.tag {
                 TAG_KSWAPD => self.kswapd_busy = false,
                 TAG_MMCQD => {
@@ -348,14 +383,19 @@ impl Machine {
                 _ => {}
             }
         }
+        self.scratch_completions = completions;
 
         // 2. Disk completions unblock waiting threads.
-        for req in self.disk.poll(now) {
+        let mut io = std::mem::take(&mut self.scratch_io);
+        io.clear();
+        self.disk.poll_into(now, &mut io);
+        for req in &io {
             if let Some(tid) = self.io_waiters.remove(&req.id) {
                 self.sched.unblock_io(tid);
                 out.unblocked.push(tid);
             }
         }
+        self.scratch_io = io;
 
         // 3. kswapd: run reclaim batches while below the low watermark.
         if !self.kswapd_busy && self.mm.kswapd_needed(now) && !self.mm.kswapd_target_met() {
@@ -396,38 +436,127 @@ impl Machine {
         }
 
         // 7. Surface memory events; mirror kills.
-        for (at, e) in self.mm.drain_events() {
+        let mut mem_events = std::mem::take(&mut self.scratch_mem);
+        mem_events.clear();
+        self.mm.drain_events_into(&mut mem_events);
+        for (at, e) in mem_events.drain(..) {
             if let MemEvent::Killed { pid, name, source, .. } = &e {
                 // Threads may still be alive if the kill came from inside
                 // the memory manager (not via kill_process).
                 for tid in self.proc_threads.remove(pid).unwrap_or_default() {
                     self.sched.kill_thread(tid);
                 }
-                let label = match source {
-                    KillSource::Lmkd => "lmkd_kill",
-                    KillSource::OomKiller => "oom_kill",
-                    KillSource::Exit => "exit",
-                };
-                self.trace.instant(format!("{label}:{name}"), at, None);
+                // Kill markers only surface in the trace export, which
+                // requires detail recording — skip the string formatting
+                // entirely on the bulk-grid (tracing-off) path.
+                if self.trace.detail() {
+                    let label = match source {
+                        KillSource::Lmkd => "lmkd_kill",
+                        KillSource::OomKiller => "oom_kill",
+                        KillSource::Exit => "exit",
+                    };
+                    self.trace.instant(format!("{label}:{name}"), at, None);
+                }
                 out.killed.push((*pid, *source));
             }
             out.mem_events.push((at, e));
         }
+        self.scratch_mem = mem_events;
 
-        // 8. Feed the tracer.
-        self.trace.record_sched(self.sched.drain_events());
-        self.trace.record_preemptions(self.sched.drain_preemptions());
+        // 8. Feed the tracer (capacity-preserving drains).
+        self.trace.record_sched(self.sched.drain_events_iter());
+        self.trace.record_preemptions(self.sched.drain_preemptions_iter());
+    }
 
-        out
+    // ------------------------------------------------------------------
+    // Event-driven time advance
+    // ------------------------------------------------------------------
+
+    /// Round `t` up to the step grid (step ends are multiples of the tick).
+    fn ceil_to_grid(&self, t: SimTime) -> SimTime {
+        let tick = self.tick.as_micros();
+        let steps = t.as_micros().saturating_add(tick - 1) / tick;
+        SimTime(steps.saturating_mul(tick))
+    }
+
+    /// The earliest future instant at which this machine could do real
+    /// work, or `None` when it is not provably idle right now. The machine
+    /// is idle when no thread wants a CPU, every core is empty and no disk
+    /// request is pending dispatch; while that holds, the only state that
+    /// changes per step is time accounting, so the next interesting step is
+    /// the earliest of:
+    ///
+    /// - the next lmkd pressure poll (`lmkd_next_poll`, ≤ 25 ms out — polls
+    ///   may read content-dependent pressure-window state, so we never skip
+    ///   past one);
+    /// - the next ambient system-activity burst (`ambient_next`);
+    /// - the next in-flight disk completion (grid-rounded);
+    /// - kswapd's backoff expiry, when free memory is below the low
+    ///   watermark (free pages cannot drop further during an idle span, so
+    ///   backoff expiry is the only way the kswapd condition newly holds).
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        if !self.sched.is_idle() || self.disk.has_pending() {
+            return None;
+        }
+        let mut wake = self.lmkd_next_poll.min(self.ambient_next);
+        if let Some(t) = self.disk.next_completion() {
+            wake = wake.min(self.ceil_to_grid(t));
+        }
+        if !self.kswapd_busy
+            && self.mm.free() < self.mm.config().watermark_low
+            && !self.mm.kswapd_target_met()
+        {
+            wake = wake.min(self.mm.kswapd_backoff_until());
+        }
+        Some(wake)
+    }
+
+    /// If the machine is provably idle, jump simulated time forward so the
+    /// *next* [`Machine::step`] is the one that ends at the earliest
+    /// interesting instant — [`Machine::next_wakeup`] or the caller's
+    /// `horizon`, whichever is sooner. Returns `true` if time moved.
+    ///
+    /// Byte-identical to dense 1 ms stepping: every skipped tick is a
+    /// provable no-op (only additive state-time accounting), and daemon
+    /// gates fire at the *end* of a step, so the jump stops one tick short
+    /// of the wake instant and lets a real step land exactly on it.
+    pub fn advance_until(&mut self, horizon: SimTime) -> bool {
+        let Some(wake) = self.next_wakeup() else {
+            return false;
+        };
+        let wake = wake.min(self.ceil_to_grid(horizon));
+        let last_noop = SimTime(wake.as_micros().saturating_sub(self.tick.as_micros()));
+        let now = self.now();
+        if last_noop <= now {
+            return false;
+        }
+        self.sched.advance_idle(last_noop.saturating_since(now));
+        true
     }
 
     /// Run the machine for `dur`, discarding step outputs (for warm-up and
-    /// tests that only care about final state).
+    /// tests that only care about final state). Uses the event-driven skip
+    /// internally; byte-identical to [`Machine::run_idle_dense`].
     pub fn run_idle(&mut self, dur: SimDuration) {
         let steps = dur.as_micros() / self.tick.as_micros();
-        for _ in 0..steps {
-            self.step();
+        let end = SimTime(self.now().as_micros() + steps * self.tick.as_micros());
+        let mut out = std::mem::take(&mut self.idle_out);
+        while self.now() < end {
+            self.advance_until(end);
+            self.step_into(&mut out);
         }
+        self.idle_out = out;
+    }
+
+    /// Dense twin of [`Machine::run_idle`]: one step per tick, no skipping.
+    /// For bisecting skip-oracle regressions and benchmarking.
+    pub fn run_idle_dense(&mut self, dur: SimDuration) {
+        let steps = dur.as_micros() / self.tick.as_micros();
+        let mut out = std::mem::take(&mut self.idle_out);
+        for _ in 0..steps {
+            self.step_into(&mut out);
+        }
+        self.idle_out = out;
     }
 }
 

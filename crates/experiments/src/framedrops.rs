@@ -303,6 +303,7 @@ mod tests {
             jobs: 1,
             perfetto: None,
             metrics: false,
+            dense_ticks: false,
         }
     }
 

@@ -26,6 +26,10 @@ pub struct Scale {
     /// `results/<name>.metrics.json` sidecar (`--metrics`). Observation
     /// only: the data JSONs stay byte-identical.
     pub metrics: bool,
+    /// Disable the event-driven time skip and step every 1 ms tick
+    /// (`--dense-ticks`). The outputs are byte-identical either way; this
+    /// debug switch exists for bisecting suspected skip regressions.
+    pub dense_ticks: bool,
 }
 
 impl Scale {
@@ -40,6 +44,7 @@ impl Scale {
             jobs: 1,
             perfetto: None,
             metrics: false,
+            dense_ticks: false,
         }
     }
 
@@ -54,14 +59,16 @@ impl Scale {
             jobs: 1,
             perfetto: None,
             metrics: false,
+            dense_ticks: false,
         }
     }
 
     /// Parse from CLI args: `--quick` selects the reduced pass, `--jobs N`
     /// (or `--jobs=N` / `-j N`) sets the worker-pool size (`--jobs 0` means
     /// one worker per available CPU), `--perfetto <dir>` exports a showcase
-    /// trace per experiment, and `--metrics` writes per-cell metrics
-    /// snapshot sidecars.
+    /// trace per experiment, `--metrics` writes per-cell metrics snapshot
+    /// sidecars, and `--dense-ticks` disables the event-driven time skip
+    /// (byte-identical outputs, for bisecting).
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         let mut scale = if args.iter().any(|a| a == "--quick" || a == "-q") {
@@ -72,6 +79,8 @@ impl Scale {
         scale.jobs = parse_jobs(&args).unwrap_or(scale.jobs);
         scale.perfetto = parse_perfetto(&args);
         scale.metrics = args.iter().any(|a| a == "--metrics");
+        scale.dense_ticks = args.iter().any(|a| a == "--dense-ticks");
+        mvqoe_core::set_dense_ticks(scale.dense_ticks);
         scale
     }
 
@@ -161,6 +170,14 @@ mod tests {
             Some("traces".into())
         );
         assert_eq!(parse_perfetto(&to_args(&["exp", "--quick"])), None);
+    }
+
+    #[test]
+    fn dense_ticks_is_off_by_default() {
+        // The event-driven skip is the production path; dense stepping is
+        // opt-in (`--dense-ticks`) and must never be a default.
+        assert!(!Scale::full().dense_ticks);
+        assert!(!Scale::quick().dense_ticks);
     }
 
     #[test]

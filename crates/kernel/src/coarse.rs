@@ -27,12 +27,35 @@ pub struct CoarseOutcome {
     pub pressure: Option<f64>,
 }
 
+impl CoarseOutcome {
+    /// Reset for reuse across steps, keeping the kill buffer's capacity.
+    pub fn clear(&mut self) {
+        self.kswapd_ran = false;
+        self.reclaimed = 0;
+        self.kills.clear();
+        self.pressure = None;
+    }
+}
+
 /// Advance memory-management dynamics by `dt`, bounding reclaim work by the
 /// CPU one core could devote to kswapd in that span (at reference speed,
 /// assuming reclaim may use at most ~60% of one core — it shares with the
 /// rest of the system).
 pub fn coarse_step(mm: &mut MemoryManager, now: SimTime, dt: SimDuration) -> CoarseOutcome {
     let mut out = CoarseOutcome::default();
+    coarse_step_into(mm, now, dt, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`coarse_step`]: the caller owns the outcome
+/// buffer, so a 1 Hz fleet loop reuses one kill vector for its whole run.
+pub fn coarse_step_into(
+    mm: &mut MemoryManager,
+    now: SimTime,
+    dt: SimDuration,
+    out: &mut CoarseOutcome,
+) {
+    out.clear();
     let mut cpu_budget_us = dt.as_micros() as f64 * 0.6;
     // Tightness is judged *before* reclaim runs: within one coarse second
     // the kernel would have seen the shortage and lmkd the PSI stalls, even
@@ -77,7 +100,6 @@ pub fn coarse_step(mm: &mut MemoryManager, now: SimTime, dt: SimDuration) -> Coa
     }
 
     out.pressure = mm.pressure(now);
-    out
 }
 
 #[cfg(test)]

@@ -378,6 +378,13 @@ impl MemoryManager {
         self.free >= self.cfg.watermark_high
     }
 
+    /// When kswapd's post-fruitless-batch backoff ends. Together with
+    /// [`MemoryManager::kswapd_needed`] this lets an event-driven caller
+    /// compute the next instant kswapd could act without stepping to it.
+    pub fn kswapd_backoff_until(&self) -> SimTime {
+        self.kswapd_backoff_until
+    }
+
     /// Run one kswapd reclaim batch. The returned stats carry the CPU the
     /// caller must charge to the kswapd thread and any writeback I/O to
     /// enqueue. A fruitless batch puts kswapd into a 100 ms backoff.
@@ -502,6 +509,13 @@ impl MemoryManager {
     /// Drain pending events (trim changes, kills, OOMs) in emission order.
     pub fn drain_events(&mut self) -> Vec<(SimTime, MemEvent)> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drain events into a caller-provided buffer (appending), keeping the
+    /// internal buffer's capacity. The zero-alloc twin of
+    /// [`MemoryManager::drain_events`].
+    pub fn drain_events_into(&mut self, out: &mut Vec<(SimTime, MemEvent)>) {
+        out.append(&mut self.events);
     }
 
     /// Accounting invariant: free + zRAM physical + all resident pages must

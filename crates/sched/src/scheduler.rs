@@ -32,6 +32,16 @@ pub struct Scheduler {
     min_vruntime: f64,
     record_events: bool,
     ctx_switches: u64,
+    // Reusable per-tick scratch (the select hot path must not allocate).
+    scratch_ready: Vec<usize>,
+    /// Generation marker per thread: `sel_marks[i] == sel_gen` ⇔ thread `i`
+    /// was selected this tick. Replaces a per-tick `selected` Vec and its
+    /// O(n²) `contains` scans.
+    sel_marks: Vec<u64>,
+    sel_gen: u64,
+    /// `displaced_on_core[c]` is the thread displaced from core `c` this
+    /// tick (if any), consumed by [`Scheduler::place`].
+    displaced_on_core: Vec<Option<ThreadId>>,
 }
 
 impl Scheduler {
@@ -47,6 +57,10 @@ impl Scheduler {
             min_vruntime: 0.0,
             record_events: true,
             ctx_switches: 0,
+            scratch_ready: Vec::new(),
+            sel_marks: Vec::new(),
+            sel_gen: 0,
+            displaced_on_core: Vec::new(),
         }
     }
 
@@ -268,14 +282,16 @@ impl Scheduler {
     }
 
     /// Pick the best `n_cores` ready threads and place them, recording
-    /// preemptions.
+    /// preemptions. Allocation-free: works off reusable scratch buffers.
     fn select(&mut self, now: SimTime) {
         // Order: RT by priority (desc), then fair by vruntime (asc). Ties by
         // id for determinism.
-        let mut ready: Vec<usize> = (0..self.threads.len())
-            .filter(|&i| self.threads[i].wants_cpu())
-            .collect();
-        ready.sort_by(|&a, &b| {
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        ready.clear();
+        ready.extend((0..self.threads.len()).filter(|&i| self.threads[i].wants_cpu()));
+        // Ids are unique, so the comparator is a total order and unstable
+        // sort gives the same result as stable — without the merge buffer.
+        ready.sort_unstable_by(|&a, &b| {
             let ta = &self.threads[a];
             let tb = &self.threads[b];
             rank(ta)
@@ -284,7 +300,15 @@ impl Scheduler {
                 .then(ta.id.cmp(&tb.id))
         });
         ready.truncate(self.cores.len());
-        let selected: Vec<ThreadId> = ready.iter().map(|&i| self.threads[i].id).collect();
+
+        self.sel_gen += 1;
+        let gen = self.sel_gen;
+        if self.sel_marks.len() < self.threads.len() {
+            self.sel_marks.resize(self.threads.len(), 0);
+        }
+        for &i in &ready {
+            self.sel_marks[i] = gen;
+        }
 
         if !ready.is_empty() {
             self.min_vruntime = self
@@ -298,14 +322,17 @@ impl Scheduler {
         }
 
         // Phase 1: displaced threads vacate their cores.
-        let mut displaced: Vec<(ThreadId, usize)> = Vec::new();
+        if self.displaced_on_core.len() < self.cores.len() {
+            self.displaced_on_core.resize(self.cores.len(), None);
+        }
+        self.displaced_on_core.fill(None);
         for c in 0..self.cores.len() {
             if let Some(tid) = self.cores[c].running {
-                if !selected.contains(&tid) {
+                if self.sel_marks[tid.0 as usize] != gen {
                     self.cores[c].running = None;
                     let still_wants = self.threads[tid.0 as usize].wants_cpu();
                     let th = &mut self.threads[tid.0 as usize];
-                                th.on_core = None;
+                    th.on_core = None;
                     th.state = if still_wants {
                         ThreadState::RunnablePreempted
                     } else {
@@ -323,45 +350,40 @@ impl Scheduler {
                         });
                     }
                     if still_wants {
-                        displaced.push((tid, c));
+                        self.displaced_on_core[c] = Some(tid);
                     }
                 }
             }
         }
 
         // Phase 2: place newly selected threads — prefer their last core.
-        let mut to_place: Vec<ThreadId> = selected
-            .iter()
-            .copied()
-            .filter(|tid| self.threads[tid.0 as usize].on_core.is_none())
-            .collect();
-        // Affinity pass.
-        let mut placed = Vec::new();
-        for &tid in &to_place {
-            let last = self.threads[tid.0 as usize].last_core;
-            if let Some(c) = last {
+        // A thread placed in the affinity pass gets `on_core` set, which the
+        // second pass uses to skip it.
+        for &i in &ready {
+            if self.threads[i].on_core.is_some() {
+                continue;
+            }
+            if let Some(c) = self.threads[i].last_core {
                 if self.cores[c].running.is_none() {
-                    self.place(tid, c, now, &mut displaced);
-                    placed.push(tid);
+                    self.place(self.threads[i].id, c, now);
                 }
             }
         }
-        to_place.retain(|t| !placed.contains(t));
         // Remaining on any free core.
-        for tid in to_place {
+        for &i in &ready {
+            if self.threads[i].on_core.is_some() {
+                continue;
+            }
+            let tid = self.threads[i].id;
             if let Some(c) = (0..self.cores.len()).find(|&c| self.cores[c].running.is_none()) {
-                self.place(tid, c, now, &mut displaced);
+                self.place(tid, c, now);
             }
         }
+
+        self.scratch_ready = ready;
     }
 
-    fn place(
-        &mut self,
-        tid: ThreadId,
-        core: usize,
-        now: SimTime,
-        displaced: &mut Vec<(ThreadId, usize)>,
-    ) {
+    fn place(&mut self, tid: ThreadId, core: usize, now: SimTime) {
         self.cores[core].running = Some(tid);
         let record = self.record_events;
         if self.threads[tid.0 as usize].state != ThreadState::Running {
@@ -387,8 +409,7 @@ impl Scheduler {
         }
         // If this placement displaced someone from exactly this core, this
         // thread is the preempter.
-        if let Some(pos) = displaced.iter().position(|&(_, c)| c == core) {
-            let (victim, _) = displaced.remove(pos);
+        if let Some(victim) = self.displaced_on_core[core].take() {
             if victim != tid {
                 self.preemptions.push(PreemptionRecord {
                     at: now,
@@ -398,6 +419,29 @@ impl Scheduler {
                 });
             }
         }
+    }
+
+    /// True when a tick would be a pure no-op apart from state-time
+    /// accounting: no thread wants the CPU and every core is empty.
+    pub fn is_idle(&self) -> bool {
+        self.cores.iter().all(|c| c.running.is_none())
+            && self.threads.iter().all(|t| !t.wants_cpu())
+    }
+
+    /// Jump time forward across a provably-idle span. Exactly equivalent to
+    /// `span / tick` consecutive [`Scheduler::tick`] calls while
+    /// [`Scheduler::is_idle`] holds: each such tick only charges the tick
+    /// to every live thread's current state (select with an empty ready set
+    /// touches nothing — not even `min_vruntime`), and state-time
+    /// accounting is additive in integer microseconds.
+    pub fn advance_idle(&mut self, span: SimDuration) {
+        debug_assert!(self.is_idle(), "advance_idle on a non-idle scheduler");
+        for th in &mut self.threads {
+            if !th.dead {
+                th.times.add(th.state, span);
+            }
+        }
+        self.now = self.now + span;
     }
 
     // ------------------------------------------------------------------
@@ -434,14 +478,33 @@ impl Scheduler {
         std::mem::take(&mut self.completions)
     }
 
+    /// Drain completions into a caller-provided buffer (appending), keeping
+    /// the internal buffer's capacity for the next tick. The zero-alloc
+    /// twin of [`Scheduler::drain_completions`].
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
+    }
+
     /// Drain preemption records.
     pub fn drain_preemptions(&mut self) -> Vec<PreemptionRecord> {
         std::mem::take(&mut self.preemptions)
     }
 
+    /// Drain preemption records as an iterator, keeping the internal
+    /// buffer's capacity.
+    pub fn drain_preemptions_iter(&mut self) -> std::vec::Drain<'_, PreemptionRecord> {
+        self.preemptions.drain(..)
+    }
+
     /// Drain raw scheduler events.
     pub fn drain_events(&mut self) -> Vec<SchedEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drain raw scheduler events as an iterator, keeping the internal
+    /// buffer's capacity.
+    pub fn drain_events_iter(&mut self) -> std::vec::Drain<'_, SchedEvent> {
+        self.events.drain(..)
     }
 }
 

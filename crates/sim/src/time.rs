@@ -25,6 +25,10 @@ impl SimTime {
     /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far end of simulation time. Used as an "no constraint" horizon
+    /// by the event-driven skip oracles.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Construct from whole microseconds.
     pub const fn from_micros(us: u64) -> Self {
         SimTime(us)

@@ -218,6 +218,13 @@ impl Disk {
     /// Collect requests whose transfer finished by `now`.
     pub fn poll(&mut self, now: SimTime) -> Vec<IoRequest> {
         let mut done = Vec::new();
+        self.poll_into(now, &mut done);
+        done
+    }
+
+    /// Collect finished requests into a caller-provided buffer (appending).
+    /// The zero-alloc twin of [`Disk::poll`].
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<IoRequest>) {
         while let Some((_, req)) = self.inflight.pop_due(now) {
             match req.kind {
                 IoKind::Read => {
@@ -229,9 +236,8 @@ impl Disk {
                     self.stats.pages_written += req.pages;
                 }
             }
-            done.push(req);
+            out.push(req);
         }
-        done
     }
 
     /// When the next in-flight request completes, if any.

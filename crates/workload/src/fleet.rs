@@ -15,7 +15,7 @@
 
 use crate::catalog::{sample_app, AppCategory};
 use mvqoe_device::DeviceProfile;
-use mvqoe_kernel::coarse::coarse_step;
+use mvqoe_kernel::coarse::{coarse_step_into, CoarseOutcome};
 use mvqoe_kernel::manager::KillSource;
 use mvqoe_kernel::{MemoryManager, Pages, ProcKind, ProcessId, TrimLevel};
 use mvqoe_sim::{SimDuration, SimRng, SimTime};
@@ -56,9 +56,10 @@ impl UsagePattern {
         }
     }
 
-    /// App-launch category weights induced by the pattern.
-    fn category_weights(&self) -> Vec<(AppCategory, f64)> {
-        vec![
+    /// App-launch category weights induced by the pattern. A fixed array:
+    /// launches sit on the per-second path and must not allocate.
+    fn category_weights(&self) -> [(AppCategory, f64); 8] {
+        [
             (AppCategory::Video, self.videos),
             (AppCategory::Music, self.music * 0.7),
             (AppCategory::Game, self.games * 0.8),
@@ -116,6 +117,10 @@ pub struct FleetUser {
     toggle_at: SimTime,
     launch_at: SimTime,
     kills_observed: u64,
+    /// Reused outcome buffer for the 1 Hz `coarse_step_into` calls.
+    coarse_out: CoarseOutcome,
+    /// Reused scratch for cached-process candidate lists.
+    cached_scratch: Vec<ProcessId>,
 }
 
 impl FleetUser {
@@ -177,6 +182,8 @@ impl FleetUser {
             toggle_at: SimTime::ZERO,
             launch_at: SimTime::ZERO,
             kills_observed: 0,
+            coarse_out: CoarseOutcome::default(),
+            cached_scratch: Vec::new(),
         }
     }
 
@@ -273,8 +280,8 @@ impl FleetUser {
         }
 
         // Kernel dynamics.
-        let out = coarse_step(&mut self.mm, now, SimDuration::from_secs(1));
-        self.kills_observed += out.kills.len() as u64;
+        coarse_step_into(&mut self.mm, now, SimDuration::from_secs(1), &mut self.coarse_out);
+        self.kills_observed += self.coarse_out.kills.len() as u64;
         // Remove dead foreground (killed under extreme pressure).
         if let Some(fg) = &self.foreground {
             if self.mm.proc(fg.pid).dead {
@@ -311,9 +318,11 @@ impl FleetUser {
         // Launch a new app.
         if now >= self.launch_at && self.foreground.is_none() {
             let weights = self.pattern.category_weights();
-            let idx = self
-                .rng
-                .weighted_index(&weights.iter().map(|&(_, w)| w).collect::<Vec<_>>());
+            let mut ws = [0.0f64; 8];
+            for (i, &(_, w)) in weights.iter().enumerate() {
+                ws[i] = w;
+            }
+            let idx = self.rng.weighted_index(&ws);
             let category = weights[idx].0;
             let spec = sample_app(category, self.device.ram_mib, &mut self.rng);
             let (pid, _) = self.mm.spawn_sized(
@@ -371,17 +380,19 @@ impl FleetUser {
     }
 
     fn random_cached_pid(&mut self) -> Option<ProcessId> {
-        let cached: Vec<ProcessId> = self
-            .mm
-            .procs()
-            .iter()
-            .filter(|p| !p.dead && p.kind.counts_as_cached())
-            .map(|p| p.id)
-            .collect();
-        if cached.is_empty() {
+        self.cached_scratch.clear();
+        self.cached_scratch.extend(
+            self.mm
+                .procs()
+                .iter()
+                .filter(|p| !p.dead && p.kind.counts_as_cached())
+                .map(|p| p.id),
+        );
+        if self.cached_scratch.is_empty() {
             None
         } else {
-            Some(cached[self.rng.index(cached.len())])
+            let i = self.rng.index(self.cached_scratch.len());
+            Some(self.cached_scratch[i])
         }
     }
 }

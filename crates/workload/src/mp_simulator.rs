@@ -75,6 +75,17 @@ impl MpSimulator {
         m.mm.trim_level() >= self.target
     }
 
+    /// The next instant [`MpSimulator::drive`] could act, for the
+    /// event-driven skip: before that, every call is a provable no-op. At
+    /// the target the holder sleeps until `settled_until`; below it the
+    /// allocator sleeps until `next_alloc`. A `Normal` target never acts.
+    pub fn next_wakeup(&self) -> SimTime {
+        if self.target == TrimLevel::Normal {
+            return SimTime::MAX;
+        }
+        self.next_alloc.max(self.settled_until)
+    }
+
     /// Drive the simulator; call once per machine step (before or after
     /// `machine.step()`).
     pub fn drive(&mut self, m: &mut Machine) {

@@ -60,11 +60,48 @@ impl BackgroundApps {
     }
 
     /// Step the machine until every app has been opened and backgrounded.
+    /// Uses the event-driven skip across the idle stretches of each dwell;
+    /// byte-identical to dense stepping.
     pub fn open_all(&mut self, m: &mut Machine) {
+        while !self.to_open.is_empty() || self.foreground.is_some() {
+            self.drive(m);
+            m.advance_until(self.next_wakeup(m));
+            m.step();
+        }
+    }
+
+    /// Dense twin of [`BackgroundApps::open_all`]: one step per tick, no
+    /// skipping. For bisecting skip-oracle regressions.
+    pub fn open_all_dense(&mut self, m: &mut Machine) {
         while !self.to_open.is_empty() || self.foreground.is_some() {
             self.drive(m);
             m.step();
         }
+    }
+
+    /// The next instant [`BackgroundApps::drive`] could act, for the
+    /// event-driven skip. Valid when computed *after* a `drive` call (so
+    /// every dead app already has its respawn scheduled); conservative
+    /// (never later than the true next action, possibly earlier).
+    pub fn next_wakeup(&self, m: &Machine) -> SimTime {
+        // The activity timer always re-arms, even when nothing is touched.
+        let mut wake = self.next_activity;
+        if let Some((_, until)) = self.foreground {
+            wake = wake.min(until);
+        }
+        if !self.to_open.is_empty() {
+            wake = wake.min(self.open_next_at);
+        }
+        for app in &self.apps {
+            match app.respawn_at {
+                Some(at) => wake = wake.min(at),
+                // A dead app whose respawn is not yet scheduled acts on the
+                // very next drive — forbid any skip.
+                None if m.mm.proc(app.pid).dead => return m.now(),
+                None => {}
+            }
+        }
+        wake
     }
 
     /// Apps opened so far (alive or dead).

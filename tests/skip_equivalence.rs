@@ -1,0 +1,160 @@
+//! The event-driven skip must be invisible: for *any* workload schedule,
+//! jumping across provably-idle spans with `Machine::advance_until` yields
+//! exactly the state that dense 1 ms stepping yields — same `VmStat`, same
+//! per-thread state times, same trace event stream, same clock.
+//!
+//! This is the load-bearing property behind the whole engine; the golden
+//! tests check it on the paper's grids, this one checks it on randomized
+//! schedules that mix CPU bursts, allocation spikes, page touching and
+//! long gaps.
+
+use mvqoe_device::{DeviceProfile, Machine};
+use mvqoe_kernel::{Pages, ProcKind, ProcessId};
+use mvqoe_sched::{SchedClass, ThreadId};
+use mvqoe_sim::{SimDuration, SimRng};
+use proptest::prelude::*;
+
+/// One workload action, applied after a gap of quiet machine time.
+#[derive(Debug, Clone)]
+enum Op {
+    /// CPU burst on the app thread.
+    Work { us: u32 },
+    /// Heap growth (may trigger reclaim, kills, writeback).
+    Alloc { mib: u8 },
+    /// Re-touch swapped/cold pages (may trigger zRAM swap-in work).
+    Touch { mib: u8 },
+    /// Nothing: a pure gap.
+    Quiet,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (200..30_000u32).prop_map(|us| Op::Work { us }),
+        2 => (1..24u8).prop_map(|mib| Op::Alloc { mib }),
+        2 => (1..16u8).prop_map(|mib| Op::Touch { mib }),
+        2 => Just(Op::Quiet),
+    ]
+}
+
+/// A schedule: (gap in ms before the op fires, op).
+fn schedule_strategy() -> impl Strategy<Value = Vec<(u16, Op)>> {
+    prop::collection::vec((1..400u16, op_strategy()), 1..24)
+}
+
+fn build(seed: u64) -> (Machine, ProcessId, ThreadId) {
+    let mut rng = SimRng::new(seed);
+    let mut m = Machine::new(DeviceProfile::nokia1(), &mut rng);
+    let (pid, _) = m.add_process(
+        "app",
+        ProcKind::Foreground,
+        Pages::from_mib(120),
+        Pages::from_mib(80),
+        Pages::from_mib(40),
+        0.45,
+    );
+    let tid = m.add_thread(pid, "app", SchedClass::NORMAL);
+    (m, pid, tid)
+}
+
+fn apply(m: &mut Machine, pid: ProcessId, tid: ThreadId, op: &Op) {
+    match *op {
+        Op::Work { us } => m.push_work(tid, us as f64, 0),
+        Op::Alloc { mib } => {
+            m.alloc_for(tid, pid, Pages::from_mib(mib as u64));
+        }
+        Op::Touch { mib } => m.touch_anon_for(tid, pid, Pages::from_mib(mib as u64)),
+        Op::Quiet => {}
+    }
+}
+
+/// Everything observable that the skip could corrupt, as one string.
+fn fingerprint(m: &Machine) -> String {
+    let times: Vec<String> = m
+        .sched
+        .threads()
+        .iter()
+        .map(|t| format!("{}:{:?}:{:?}", t.id.0, t.state, t.times))
+        .collect();
+    format!(
+        "now={:?} vmstat={:?} free={:?} trim={:?} times={:?} events={:?} preempt={:?} instants={:?}",
+        m.now(),
+        m.mm.vmstat(),
+        m.mm.free(),
+        m.mm.trim_level(),
+        times,
+        m.trace.events(),
+        m.trace.preemptions(),
+        m.trace.instants(),
+    )
+}
+
+/// The same property at the session level, via the `dense_ticks` debug
+/// switch: a full pressured video session produces identical stats, series
+/// and kernel counters whether or not the Runner skips.
+#[test]
+fn session_dense_ticks_switch_is_invisible() {
+    use mvqoe_abr::FixedAbr;
+    use mvqoe_core::{run_session, PressureMode, SessionConfig};
+    use mvqoe_kernel::TrimLevel;
+    use mvqoe_video::{Fps, Genre, Manifest, Resolution};
+
+    let run = |dense: bool| {
+        let mut cfg = SessionConfig::paper_default(
+            DeviceProfile::nokia1(),
+            PressureMode::Synthetic(TrimLevel::Moderate),
+            42,
+        );
+        cfg.video_secs = 20.0;
+        cfg.dense_ticks = dense;
+        let manifest = Manifest::full_ladder(Genre::Travel, cfg.video_secs);
+        let rep = manifest
+            .representation(Resolution::R480p, Fps::F60)
+            .unwrap();
+        let out = run_session(&cfg, &mut FixedAbr::new(rep));
+        format!(
+            "stats={} kills={:?} trim={:?} lmkd={:?} vmstat={:?} final={:?} end={:?}",
+            serde_json::to_string(&out.stats).unwrap(),
+            out.kill_series,
+            out.trim_series,
+            out.lmkd_cpu_series,
+            out.machine.mm.vmstat(),
+            out.final_trim,
+            out.machine.now(),
+        )
+    };
+
+    assert_eq!(run(true), run(false));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dense_and_skipped_stepping_are_identical(
+        seed in 0..64u64,
+        schedule in schedule_strategy(),
+    ) {
+        // Dense twin: one step per 1 ms tick.
+        let (mut dense, pid, tid) = build(seed);
+        for (gap_ms, op) in &schedule {
+            apply(&mut dense, pid, tid, op);
+            for _ in 0..*gap_ms {
+                dense.step();
+            }
+        }
+
+        // Skipped twin: jump across provably-idle spans, bounded by the
+        // next externally-scheduled op.
+        let (mut skip, pid, tid) = build(seed);
+        for (gap_ms, op) in &schedule {
+            apply(&mut skip, pid, tid, op);
+            let target = skip.now() + SimDuration::from_millis(*gap_ms as u64);
+            while skip.now() < target {
+                skip.advance_until(target);
+                skip.step();
+            }
+        }
+
+        prop_assert_eq!(fingerprint(&dense), fingerprint(&skip));
+    }
+}
