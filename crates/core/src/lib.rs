@@ -51,3 +51,18 @@ pub fn set_dense_ticks(on: bool) {
 pub fn dense_ticks_default() -> bool {
     DENSE_TICKS.load(Ordering::Relaxed)
 }
+
+/// Peak resident-set size of this process in MiB (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. The
+/// memory-bounded fleet engine reports this and enforces
+/// `--rss-limit-mib` against it.
+pub fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib / 1024.0);
+        }
+    }
+    None
+}

@@ -1,13 +1,4 @@
 //! §4.3's Nexus 6P summary grid.
-use mvqoe_device::DeviceProfile;
-use mvqoe_experiments::{framedrops, report, telemetry, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let grid = framedrops::nexus6p_grid(&scale);
-    report::banner("§4.3", "frame drops on the Nexus 6P");
-    grid.print_drops(&["Normal", "Moderate", "Critical"]);
-    println!("paper: drops only at ≥720p; highest ≈9% at 1080p60");
-    telemetry::showcase("nexus6p", &DeviceProfile::nexus6p(), &scale);
-    timer.write_json("nexus6p", &grid);
+    mvqoe_experiments::registry::cli_main("nexus6p");
 }

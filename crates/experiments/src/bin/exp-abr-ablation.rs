@@ -1,9 +1,4 @@
 //! §6/§7: memory-aware ABR vs network-only baselines.
-use mvqoe_experiments::{abr_ablation, report, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let a = abr_ablation::run(&scale);
-    a.print();
-    timer.write_json("abr_ablation", &a);
+    mvqoe_experiments::registry::cli_main("abr-ablation");
 }

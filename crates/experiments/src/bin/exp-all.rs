@@ -1,124 +1,7 @@
-//! Regenerate every table and figure (use --quick for a fast pass and
-//! --jobs N to fan sessions over N worker threads; results are identical
-//! at any worker count).
-use mvqoe_device::DeviceProfile;
-use mvqoe_experiments::*;
-use mvqoe_video::PlayerKind;
-
+//! Regenerate every table and figure through the experiment registry
+//! (use --quick for a fast pass, --jobs N to fan sessions over N worker
+//! threads — results are identical at any worker count — and --list to
+//! see the registry).
 fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-
-    let t = report::MetaTimer::start(&scale);
-    let fleet = fleet_figs::run(&scale);
-    fleet.print();
-    t.write_json("fleet_figs1-6", &fleet);
-
-    let t = report::MetaTimer::start(&scale);
-    let f8 = fig8::run(&scale);
-    f8.print();
-    telemetry::showcase("fig8", &DeviceProfile::nexus5(), &scale);
-    t.write_json("fig8", &f8);
-
-    let t = report::MetaTimer::start(&scale);
-    let g9 = framedrops::nokia1_grid(&scale);
-    report::banner("Fig 9 / Table 2", "Nokia 1");
-    g9.print_drops(&["Normal", "Moderate", "Critical"]);
-    g9.print_crash_table(
-        &[(30, "480p"), (30, "720p"), (60, "480p"), (60, "720p")],
-        &["Normal", "Moderate", "Critical"],
-    );
-    telemetry::showcase("fig9_table2", &DeviceProfile::nokia1(), &scale);
-    t.write_json("fig9_table2", &g9);
-
-    let t = report::MetaTimer::start(&scale);
-    let f10 = fig10::run(&scale);
-    f10.print();
-    t.write_json("fig10", &f10);
-
-    let t = report::MetaTimer::start(&scale);
-    let g11 = framedrops::nexus5_grid(&scale);
-    report::banner("Fig 11 / Table 3", "Nexus 5");
-    g11.print_drops(&["Normal", "Moderate", "Critical"]);
-    g11.print_crash_table(
-        &[(30, "720p"), (30, "1080p"), (60, "480p"), (60, "720p")],
-        &["Normal", "Moderate", "Critical"],
-    );
-    telemetry::showcase("fig11_table3", &DeviceProfile::nexus5(), &scale);
-    t.write_json("fig11_table3", &g11);
-
-    let t = report::MetaTimer::start(&scale);
-    let g6p = framedrops::nexus6p_grid(&scale);
-    report::banner("§4.3", "Nexus 6P");
-    g6p.print_drops(&["Normal", "Moderate", "Critical"]);
-    telemetry::showcase("nexus6p", &DeviceProfile::nexus6p(), &scale);
-    t.write_json("nexus6p", &g6p);
-
-    let t = report::MetaTimer::start(&scale);
-    let g12 = framedrops::genre_grids(&scale);
-    for grid in &g12 {
-        let genre = grid.cells.first().map(|c| c.genre.clone()).unwrap_or_default();
-        report::banner("Fig 12", &format!("genre: {genre}"));
-        grid.print_drops(&["Normal", "Moderate", "Critical"]);
-    }
-    t.write_json("fig12_genres", &g12);
-
-    let t = report::MetaTimer::start(&scale);
-    let tr = trace_exp::run(&scale);
-    tr.print();
-    telemetry::showcase("table4_table5_fig13", &DeviceProfile::nokia1(), &scale);
-    t.write_json("table4_table5_fig13", &tr);
-
-    let t = report::MetaTimer::start(&scale);
-    let f14 = session_figs::fig14(&scale);
-    f14.print();
-    t.write_json("fig14", &f14);
-
-    let t = report::MetaTimer::start(&scale);
-    let f15 = session_figs::fig15(&scale);
-    f15.print();
-    t.write_json("fig15", &f15);
-
-    let t = report::MetaTimer::start(&scale);
-    let f16 = session_figs::fig16(&scale);
-    f16.print();
-    t.write_json("fig16", &f16);
-
-    let t = report::MetaTimer::start(&scale);
-    let f17 = session_figs::fig17(&scale);
-    f17.print();
-    t.write_json("fig17", &f17);
-
-    let t = report::MetaTimer::start(&scale);
-    let f18 = framedrops::appendix_grid(PlayerKind::ExoPlayer, &scale);
-    report::banner("Fig 18", "ExoPlayer (Nexus 5)");
-    f18.print_drops(&["Normal", "Moderate", "Critical"]);
-    t.write_json("fig18_exoplayer", &f18);
-
-    let t = report::MetaTimer::start(&scale);
-    let f19 = framedrops::appendix_grid(PlayerKind::Chrome, &scale);
-    report::banner("Fig 19", "Chrome (Nexus 5)");
-    f19.print_drops(&["Normal", "Moderate", "Critical"]);
-    t.write_json("fig19_chrome", &f19);
-
-    let t = report::MetaTimer::start(&scale);
-    let oc = organic_check::run(&scale);
-    oc.print();
-    t.write_json("organic_check", &oc);
-
-    let t = report::MetaTimer::start(&scale);
-    let ab = abr_ablation::run(&scale);
-    ab.print();
-    t.write_json("abr_ablation", &ab);
-
-    let t = report::MetaTimer::start(&scale);
-    let os = os_ablation::run(&scale);
-    os.print();
-    t.write_json("os_ablation", &os);
-
-    println!(
-        "\nall experiments regenerated in {:.1}s with {} worker thread(s)",
-        t0.elapsed().as_secs_f64(),
-        scale.jobs
-    );
+    mvqoe_experiments::registry::cli_all();
 }

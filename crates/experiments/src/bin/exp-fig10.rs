@@ -1,9 +1,4 @@
 //! Figure 10: the DMOS survey.
-use mvqoe_experiments::{fig10, report, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let f = fig10::run(&scale);
-    f.print();
-    timer.write_json("fig10", &f);
+    mvqoe_experiments::registry::cli_main("fig10");
 }

@@ -1,19 +1,4 @@
 //! Figure 11 + Table 3: frame drops and crash rates on the Nexus 5.
-use mvqoe_device::DeviceProfile;
-use mvqoe_experiments::{framedrops, report, telemetry, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let grid = framedrops::nexus5_grid(&scale);
-    report::banner("Fig 11", "frame drops on the Nexus 5 (mean ± 95% CI)");
-    grid.print_drops(&["Normal", "Moderate", "Critical"]);
-    println!("paper anchors: no drops ≤480p30; 17% at 1080p60 under Critical; up to 25%");
-    report::banner("Table 3", "crash rates on the Nexus 5");
-    grid.print_crash_table(
-        &[(30, "720p"), (30, "1080p"), (60, "480p"), (60, "720p")],
-        &["Normal", "Moderate", "Critical"],
-    );
-    println!("paper: Normal 0/0/0/0; Moderate 10/100/0/100; Critical 100/100/70/100");
-    telemetry::showcase("fig11_table3", &DeviceProfile::nexus5(), &scale);
-    timer.write_json("fig11_table3", &grid);
+    mvqoe_experiments::registry::cli_main("fig11");
 }

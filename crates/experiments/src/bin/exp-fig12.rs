@@ -1,14 +1,4 @@
 //! Figure 12: the five genres on the Nexus 5.
-use mvqoe_experiments::{framedrops, report, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let grids = framedrops::genre_grids(&scale);
-    for grid in &grids {
-        let genre = grid.cells.first().map(|c| c.genre.clone()).unwrap_or_default();
-        report::banner("Fig 12", &format!("genre: {genre} (Nexus 5)"));
-        grid.print_drops(&["Normal", "Moderate", "Critical"]);
-    }
-    println!("paper: same trend across genres — low drops at 30 FPS, significant at 60 FPS, rising with pressure/resolution");
-    timer.write_json("fig12_genres", &grids);
+    mvqoe_experiments::registry::cli_main("fig12");
 }

@@ -1,9 +1,4 @@
 //! Figure 14: FPS + lmkd CPU in a crashing session.
-use mvqoe_experiments::{report, session_figs, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let f = session_figs::fig14(&scale);
-    f.print();
-    timer.write_json("fig14", &f);
+    mvqoe_experiments::registry::cli_main("fig14");
 }

@@ -1,9 +1,4 @@
 //! Figure 15: FPS + processes killed under organic pressure.
-use mvqoe_experiments::{report, session_figs, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let f = session_figs::fig15(&scale);
-    f.print();
-    timer.write_json("fig15", &f);
+    mvqoe_experiments::registry::cli_main("fig15");
 }

@@ -1,9 +1,4 @@
 //! Figure 16: encoded frame-rate sweep across resolutions.
-use mvqoe_experiments::{report, session_figs, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let f = session_figs::fig16(&scale);
-    f.print();
-    timer.write_json("fig16", &f);
+    mvqoe_experiments::registry::cli_main("fig16");
 }

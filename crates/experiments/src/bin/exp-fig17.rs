@@ -1,9 +1,4 @@
 //! Figure 17: mid-session frame-rate switching under pressure.
-use mvqoe_experiments::{report, session_figs, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let f = session_figs::fig17(&scale);
-    f.print();
-    timer.write_json("fig17", &f);
+    mvqoe_experiments::registry::cli_main("fig17");
 }

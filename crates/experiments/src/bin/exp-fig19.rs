@@ -1,16 +1,4 @@
 //! Figure 19: Chrome on the Nexus 5 (Appendix B.2).
-use mvqoe_experiments::{framedrops, report, Scale};
-use mvqoe_video::PlayerKind;
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let grid = framedrops::appendix_grid(PlayerKind::Chrome, &scale);
-    report::banner("Fig 19", "Chrome on the Nexus 5");
-    grid.print_drops(&["Normal", "Moderate", "Critical"]);
-    grid.print_crash_table(
-        &[(30, "720p"), (30, "1080p"), (60, "720p"), (60, "1080p")],
-        &["Normal", "Moderate", "Critical"],
-    );
-    println!("paper: fewer drops than Firefox (smaller footprint), but crashes persist");
-    timer.write_json("fig19_chrome", &grid);
+    mvqoe_experiments::registry::cli_main("fig19");
 }

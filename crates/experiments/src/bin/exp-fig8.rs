@@ -1,11 +1,4 @@
 //! Figure 8: client PSS vs resolution × frame rate.
-use mvqoe_device::DeviceProfile;
-use mvqoe_experiments::{fig8, report, telemetry, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let f = fig8::run(&scale);
-    f.print();
-    telemetry::showcase("fig8", &DeviceProfile::nexus5(), &scale);
-    timer.write_json("fig8", &f);
+    mvqoe_experiments::registry::cli_main("fig8");
 }

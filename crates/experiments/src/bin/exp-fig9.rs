@@ -1,19 +1,4 @@
 //! Figure 9 + Table 2: frame drops and crash rates on the Nokia 1.
-use mvqoe_device::DeviceProfile;
-use mvqoe_experiments::{framedrops, report, telemetry, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let grid = framedrops::nokia1_grid(&scale);
-    report::banner("Fig 9", "frame drops on the Nokia 1 (mean ± 95% CI)");
-    grid.print_drops(&["Normal", "Moderate", "Critical"]);
-    println!("paper anchors: 1080p30 = 19% Normal / 53% Moderate / ~100% Critical");
-    report::banner("Table 2", "crash rates on the Nokia 1");
-    grid.print_crash_table(
-        &[(30, "480p"), (30, "720p"), (60, "480p"), (60, "720p")],
-        &["Normal", "Moderate", "Critical"],
-    );
-    println!("paper: Normal 0/0/0/0; Moderate 40/100/40/100; Critical 100/100/100/100");
-    telemetry::showcase("fig9_table2", &DeviceProfile::nokia1(), &scale);
-    timer.write_json("fig9_table2", &grid);
+    mvqoe_experiments::registry::cli_main("fig9");
 }

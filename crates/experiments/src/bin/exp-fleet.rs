@@ -1,9 +1,4 @@
-//! Figures 1–6: the §3 user study (one fleet run).
-use mvqoe_experiments::{fleet_figs, report, Scale};
+//! Figures 1–6: the §3 user study (one streamed, sharded fleet run).
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let figs = fleet_figs::run(&scale);
-    figs.print();
-    timer.write_json("fleet_figs1-6", &figs);
+    mvqoe_experiments::registry::cli_main("fleet");
 }

@@ -1,9 +1,4 @@
 //! §4.3's organic-pressure spot check.
-use mvqoe_experiments::{organic_check, report, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let c = organic_check::run(&scale);
-    c.print();
-    timer.write_json("organic_check", &c);
+    mvqoe_experiments::registry::cli_main("organic");
 }

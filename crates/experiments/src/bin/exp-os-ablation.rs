@@ -1,9 +1,4 @@
 //! §7 ablations: CPU resources and mmcqd scheduling class.
-use mvqoe_experiments::{os_ablation, report, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let a = os_ablation::run(&scale);
-    a.print();
-    timer.write_json("os_ablation", &a);
+    mvqoe_experiments::registry::cli_main("os-ablation");
 }

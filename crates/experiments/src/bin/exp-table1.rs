@@ -1,9 +1,4 @@
 //! Table 1: the key-insight digest.
-use mvqoe_experiments::{report, table1, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let t = table1::run(&scale);
-    t.print();
-    timer.write_json("table1", &t);
+    mvqoe_experiments::registry::cli_main("table1");
 }

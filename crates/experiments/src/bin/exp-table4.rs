@@ -1,11 +1,4 @@
 //! Tables 4/5 + Figure 13: the §5 trace analysis.
-use mvqoe_device::DeviceProfile;
-use mvqoe_experiments::{report, telemetry, trace_exp, Scale};
 fn main() {
-    let scale = Scale::from_args();
-    let timer = report::MetaTimer::start(&scale);
-    let t = trace_exp::run(&scale);
-    t.print();
-    telemetry::showcase("table4_table5_fig13", &DeviceProfile::nokia1(), &scale);
-    timer.write_json("table4_table5_fig13", &t);
+    mvqoe_experiments::registry::cli_main("table4");
 }

@@ -1,11 +1,22 @@
 //! The §3 user-study figures (Figs. 1–6), from one fleet run.
+//!
+//! The fleet streams: users are simulated in contiguous index shards, each
+//! shard folds into a [`FleetAggregate`] (bounded memory, no per-device
+//! `Vec`), shards fan out over `--jobs` workers through the same
+//! `parallel_map` engine as every other experiment, and the aggregates
+//! merge back byte-identically in any order. Large fleets
+//! (≥ [`CHECKPOINT_MIN_USERS`] users) checkpoint each finished shard to
+//! `results/fleet-shards/`, so an interrupted million-user run resumes
+//! from the completed shards instead of restarting.
 
 use crate::report;
 use crate::scale::Scale;
 use mvqoe_kernel::TrimLevel;
+use mvqoe_metrics::MetricsSnapshot;
 use mvqoe_sim::stats;
-use mvqoe_study::{assemble_fleet, simulate_user, FleetConfig, FleetResults};
+use mvqoe_study::{simulate_range, FleetAggregate, FleetConfig, FleetResults};
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 
 /// Everything the §3 figures need, extracted from a fleet run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -95,97 +106,275 @@ pub struct Fig6 {
     pub dwell_p75: [f64; 4],
 }
 
-/// Run the fleet and extract every figure. Users are independently seeded
-/// by index, so they fan out over `scale.jobs` workers with identical
-/// results to the serial [`mvqoe_study::run_fleet`] path.
-pub fn run(scale: &Scale) -> FleetFigures {
-    let cfg = FleetConfig {
-        n_users: scale.fleet_users,
-        seed: scale.seed.wrapping_add(2022),
-        median_hours: scale.fleet_hours,
-        min_interactive_hours: (scale.fleet_hours * 0.1).min(10.0),
+/// Fleets at least this large checkpoint finished shards to
+/// `results/fleet-shards/` and resume from them after an interruption.
+pub const CHECKPOINT_MIN_USERS: u32 = 100_000;
+
+/// Target users per shard for large fleets (bounds checkpoint file count
+/// and size), with a floor of 32 shards so small fleets still fan out over
+/// workers.
+const SHARD_TARGET_USERS: u32 = 4096;
+
+/// The fleet config this scale asks for.
+pub fn fleet_config(scale: &Scale) -> FleetConfig {
+    FleetConfig::scaled(
+        scale.fleet_users,
+        scale.seed.wrapping_add(2022),
+        scale.fleet_hours,
+        (scale.fleet_hours * 0.1).min(10.0),
+    )
+}
+
+/// Shard count for a fleet: a function of the fleet size only — never of
+/// the worker count — so checkpoints written by an interrupted run stay
+/// valid whatever `--jobs` the resuming run uses, and so the shard merge
+/// (exact by construction) has a fixed shape per fleet size.
+pub fn shard_count(n_users: u32) -> u32 {
+    n_users.div_ceil(SHARD_TARGET_USERS).max(32).min(n_users).max(1)
+}
+
+/// How a sharded fleet run went.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// The merged fleet state.
+    pub aggregate: FleetAggregate,
+    /// Shards the run was split into.
+    pub shards: u32,
+    /// Shards restored from checkpoints instead of simulated.
+    pub loaded: u32,
+}
+
+/// One checkpointed shard on disk.
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardCheckpoint {
+    /// Serialized `(FleetConfig, shard count)` — a resumed run must match
+    /// it exactly or the shard is recomputed.
+    fingerprint: String,
+    /// Shard index.
+    shard: u32,
+    /// The shard's folded state.
+    aggregate: FleetAggregate,
+}
+
+fn fingerprint(cfg: &FleetConfig, shards: u32) -> String {
+    serde_json::to_string(&(cfg, shards)).expect("config serializes")
+}
+
+fn shard_path(dir: &Path, shard: u32, shards: u32) -> PathBuf {
+    dir.join(format!("shard-{shard:05}-of-{shards:05}.json"))
+}
+
+/// Load shard `shard`'s checkpoint, if one exists and was written for
+/// exactly this config and shard layout.
+pub fn load_shard(dir: &Path, cfg: &FleetConfig, shards: u32, shard: u32) -> Option<FleetAggregate> {
+    let print = fingerprint(cfg, shards);
+    let text = std::fs::read_to_string(shard_path(dir, shard, shards)).ok()?;
+    let ckpt: ShardCheckpoint = serde_json::from_str(&text).ok()?;
+    (ckpt.fingerprint == print && ckpt.shard == shard).then_some(ckpt.aggregate)
+}
+
+/// Persist one finished shard's aggregate so an interrupted run can
+/// resume from it. Best-effort: checkpoint failures never fail the run.
+pub fn store_shard(dir: &Path, cfg: &FleetConfig, shards: u32, shard: u32, agg: &FleetAggregate) {
+    let ckpt = ShardCheckpoint {
+        fingerprint: fingerprint(cfg, shards),
+        shard,
+        aggregate: agg.clone(),
     };
-    let indices: Vec<u32> = (0..cfg.n_users).collect();
-    let users = crate::runner::map(scale, &indices, |&i| simulate_user(&cfg, i));
-    let fleet = assemble_fleet(&cfg, users);
+    if let Ok(text) = serde_json::to_string(&ckpt) {
+        // Write-then-rename so a kill mid-write never leaves a torn
+        // checkpoint for the resuming run to trip over.
+        let tmp = dir.join(format!("shard-{shard:05}.tmp"));
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, shard_path(dir, shard, shards));
+        }
+    }
+}
+
+/// The contiguous user range of `shard` when `n_users` split into
+/// `shards` near-equal pieces (earlier shards take the remainder).
+pub fn shard_range(n_users: u32, shards: u32, shard: u32) -> std::ops::Range<u32> {
+    let base = n_users / shards;
+    let extra = n_users % shards;
+    let start = shard * base + shard.min(extra);
+    let len = base + u32::from(shard < extra);
+    start..start + len
+}
+
+/// Run the fleet in `shards` contiguous index shards over `scale.jobs`
+/// workers, folding each shard into a bounded aggregate and merging in
+/// shard order. With a checkpoint directory, finished shards persist
+/// there and matching checkpoints are loaded instead of resimulated; the
+/// directory's shard files are removed once the merged run completes.
+pub fn run_fleet_sharded(
+    cfg: &FleetConfig,
+    shards: u32,
+    scale: &Scale,
+    checkpoint_dir: Option<&Path>,
+) -> ShardedRun {
+    let dir = checkpoint_dir.filter(|d| std::fs::create_dir_all(d).is_ok());
+    let indices: Vec<u32> = (0..shards).collect();
+    let results: Vec<(FleetAggregate, bool)> = crate::runner::map(scale, &indices, |&s| {
+        if let Some(d) = dir {
+            if let Some(agg) = load_shard(d, cfg, shards, s) {
+                return (agg, true);
+            }
+        }
+        let agg = simulate_range(cfg, shard_range(cfg.n_users, shards, s));
+        if let Some(d) = dir {
+            store_shard(d, cfg, shards, s, &agg);
+        }
+        (agg, false)
+    });
+
+    let loaded = results.iter().filter(|(_, l)| *l).count() as u32;
+    if scale.metrics {
+        // Reuse the metrics snapshot merge for fleet telemetry: one
+        // snapshot per shard, folded with the same associative merge the
+        // session experiments use, stashed for the .metrics.json sidecar.
+        let snaps: Vec<MetricsSnapshot> = results
+            .iter()
+            .map(|(agg, was_loaded)| {
+                let mut s = MetricsSnapshot::default();
+                s.counters
+                    .insert("fleet.users_simulated".into(), agg.recruited as u64);
+                s.counters.insert("fleet.devices_kept".into(), agg.kept);
+                s.counters
+                    .insert("fleet.shards_loaded".into(), *was_loaded as u64);
+                s
+            })
+            .collect();
+        let mut merged = MetricsSnapshot::merged(&snaps);
+        if let Some(rss) = mvqoe_core::peak_rss_mib() {
+            merged.gauges.insert("fleet.peak_rss_mib".into(), rss);
+        }
+        crate::runner::stash_snapshot("fleet_figs1-6", merged);
+    }
+
+    let mut iter = results.into_iter().map(|(agg, _)| agg);
+    let mut aggregate = iter.next().expect("at least one shard");
+    for shard_agg in iter {
+        aggregate.merge(&shard_agg);
+    }
+
+    if let Some(d) = dir {
+        for s in 0..shards {
+            let _ = std::fs::remove_file(shard_path(d, s, shards));
+        }
+        let _ = std::fs::remove_dir(d); // only if now empty
+    }
+
+    ShardedRun {
+        aggregate,
+        shards,
+        loaded,
+    }
+}
+
+/// Run the fleet and extract every figure. Shards are independently
+/// seeded contiguous index ranges, so they fan out over `scale.jobs`
+/// workers — and merge — with results identical to the serial
+/// [`mvqoe_study::run_fleet`] path at any worker or shard count.
+pub fn run(scale: &Scale) -> FleetFigures {
+    let cfg = fleet_config(scale);
+    let ckpt_dir = (cfg.n_users >= CHECKPOINT_MIN_USERS)
+        .then(|| report::results_dir().join("fleet-shards"));
+    let t0 = std::time::Instant::now();
+    let sharded = run_fleet_sharded(&cfg, shard_count(cfg.n_users), scale, ckpt_dir.as_deref());
+    let secs = t0.elapsed().as_secs_f64();
+    if sharded.loaded > 0 || cfg.n_users >= CHECKPOINT_MIN_USERS {
+        let rss = mvqoe_core::peak_rss_mib()
+            .map_or(String::new(), |m| format!(", peak RSS {m:.0} MiB"));
+        println!(
+            "fleet engine: {} users over {} shards ({} resumed from checkpoints) in {secs:.1}s \
+             ({:.0} users/s{rss})",
+            cfg.n_users,
+            sharded.shards,
+            sharded.loaded,
+            cfg.n_users as f64 / secs.max(1e-9),
+        );
+    }
+    let fleet = FleetResults {
+        aggregate: sharded.aggregate,
+    };
     extract(&fleet)
 }
 
-fn extract(fleet: &FleetResults) -> FleetFigures {
+/// Extract the §3 figures from streamed fleet state. Per-device series
+/// read the digest list (complete up to the aggregate's cap — far beyond
+/// figure scale); headline fractions come from exact counters; Figs. 5–6
+/// read the bounded top-K and pooling-ladder state.
+pub fn extract(fleet: &FleetResults) -> FleetFigures {
+    let agg = &fleet.aggregate;
+    let kept = agg.kept;
+    let frac = |count: u64| {
+        if kept == 0 {
+            0.0
+        } else {
+            count as f64 / kept as f64
+        }
+    };
+
     // Fig. 1.
-    let hist =
-        |f: &dyn Fn(&mvqoe_workload::UsagePattern) -> f64| -> [u32; 5] {
-            let mut h = [0u32; 5];
-            for d in &fleet.devices {
-                let v = f(&d.pattern).round().clamp(1.0, 5.0) as usize;
-                h[v - 1] += 1;
-            }
-            h
-        };
+    const ACTIVITIES: [&str; 5] = [
+        "playing games",
+        "listening to music",
+        "streaming videos",
+        "multitask >1 app",
+        "multitask >2 apps",
+    ];
     let fig1 = Fig1 {
-        activities: vec![
-            ("playing games".into(), hist(&|p| p.games)),
-            ("listening to music".into(), hist(&|p| p.music)),
-            ("streaming videos".into(), hist(&|p| p.videos)),
-            ("multitask >1 app".into(), hist(&|p| p.multitask_1)),
-            ("multitask >2 apps".into(), hist(&|p| p.multitask_2)),
-        ],
+        activities: ACTIVITIES
+            .iter()
+            .zip(&agg.fig1)
+            .map(|(name, hist)| (name.to_string(), *hist))
+            .collect(),
     };
 
     // Fig. 2.
-    let medians = fleet.median_utilizations();
     let fig2 = Fig2 {
-        frac_ge_60: fleet.fraction_util_at_least(60.0),
-        frac_gt_75: fleet.fraction_util_at_least(75.0),
-        medians,
+        frac_ge_60: frac(agg.counters.util_ge_60),
+        frac_gt_75: frac(agg.counters.util_gt_75),
+        medians: fleet.median_utilizations(),
     };
 
     // Fig. 3.
-    let rates: Vec<(u64, f64, f64, f64)> = fleet
-        .devices
+    let rates: Vec<(u64, f64, f64, f64)> = agg
+        .digests
         .iter()
         .map(|d| {
             (
                 d.ram_mib,
-                d.signals_per_hour(TrimLevel::Moderate),
-                d.signals_per_hour(TrimLevel::Low),
-                d.signals_per_hour(TrimLevel::Critical),
+                d.signals_per_hour[TrimLevel::Moderate.severity()],
+                d.signals_per_hour[TrimLevel::Low.severity()],
+                d.signals_per_hour[TrimLevel::Critical.severity()],
             )
         })
         .collect();
-    let crit_rates: Vec<f64> = rates.iter().map(|r| r.3).collect();
-    let total_rates: Vec<f64> = rates.iter().map(|r| r.1 + r.2 + r.3).collect();
     let fig3 = Fig3 {
-        frac_any_per_hour: stats::fraction_where(&total_rates, |r| r >= 1.0),
-        frac_crit_gt10: stats::fraction_where(&crit_rates, |r| r > 10.0),
-        frac_total_gt70: stats::fraction_where(&total_rates, |r| r > 70.0),
+        frac_any_per_hour: frac(agg.counters.signals_ge_1),
+        frac_crit_gt10: frac(agg.counters.crit_gt_10),
+        frac_total_gt70: frac(agg.counters.total_gt_70),
         rates,
     };
 
     // Fig. 4.
-    let fractions: Vec<(u64, f64, f64, f64)> = fleet
-        .devices
+    let fractions: Vec<(u64, f64, f64, f64)> = agg
+        .digests
         .iter()
         .map(|d| {
             (
                 d.ram_mib,
-                d.time_fraction(TrimLevel::Moderate) * 100.0,
-                d.time_fraction(TrimLevel::Low) * 100.0,
-                d.time_fraction(TrimLevel::Critical) * 100.0,
+                d.time_fractions[TrimLevel::Moderate.severity()] * 100.0,
+                d.time_fractions[TrimLevel::Low.severity()] * 100.0,
+                d.time_fractions[TrimLevel::Critical.severity()] * 100.0,
             )
         })
         .collect();
-    let moderate: Vec<f64> = fractions.iter().map(|f| f.1).collect();
-    let critical: Vec<f64> = fractions.iter().map(|f| f.3).collect();
-    let pressure: Vec<f64> = fleet
-        .devices
-        .iter()
-        .map(|d| d.pressure_time_fraction() * 100.0)
-        .collect();
     let fig4 = Fig4 {
-        frac_moderate_ge2pct: stats::fraction_where(&moderate, |f| f >= 2.0),
-        frac_critical_gt4pct: stats::fraction_where(&critical, |f| f > 4.0),
-        frac_pressure_ge2pct: stats::fraction_where(&pressure, |f| f >= 2.0),
+        frac_moderate_ge2pct: frac(agg.counters.moderate_ge_2pct),
+        frac_critical_gt4pct: frac(agg.counters.critical_gt_4pct),
+        frac_pressure_ge2pct: frac(agg.counters.pressure_ge_2pct),
         fractions,
     };
 
@@ -210,40 +399,35 @@ fn extract(fleet: &FleetResults) -> FleetFigures {
     }
     let fig5 = Fig5 { spreads };
 
-    // Fig. 6: pool devices spending > 30% out of Normal; relax the
-    // threshold if the fleet is too healthy for any to qualify.
-    let mut threshold = 0.30;
-    let mut pooled = fleet.devices_above_pressure_fraction(threshold);
-    while pooled.len() < 2 && threshold > 0.001 {
-        threshold /= 2.0;
-        pooled = fleet.devices_above_pressure_fraction(threshold);
-    }
+    // Fig. 6: pool devices spending > 30% out of Normal; the aggregate's
+    // threshold ladder relaxes exactly like the original halving loop if
+    // the fleet is too healthy for any to qualify.
+    let pool = fleet.fig6_pool();
     let mut transition_probs = Vec::new();
     for from in TrimLevel::ALL {
         let mut row = [0.0f64; 4];
         for to in TrimLevel::ALL {
-            row[to.severity()] =
-                FleetResults::pooled_transition_prob(&pooled, from, to) * 100.0;
+            row[to.severity()] = pool.transition_prob(from, to) * 100.0;
         }
         transition_probs.push((from.to_string(), row));
     }
     let dwell_p75 = [
-        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Normal, 75.0),
-        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Moderate, 75.0),
-        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Low, 75.0),
-        FleetResults::pooled_dwell_percentile(&pooled, TrimLevel::Critical, 75.0),
+        pool.dwell_percentile(TrimLevel::Normal, 75.0),
+        pool.dwell_percentile(TrimLevel::Moderate, 75.0),
+        pool.dwell_percentile(TrimLevel::Low, 75.0),
+        pool.dwell_percentile(TrimLevel::Critical, 75.0),
     ];
     let fig6 = Fig6 {
-        pooled_devices: pooled.len(),
-        pool_threshold: threshold,
+        pooled_devices: pool.devices as usize,
+        pool_threshold: pool.threshold,
         transition_probs,
         dwell_p75,
     };
 
     FleetFigures {
-        recruited: fleet.recruited,
-        kept: fleet.devices.len(),
-        total_hours: fleet.total_hours,
+        recruited: fleet.recruited(),
+        kept: kept as usize,
+        total_hours: fleet.total_hours(),
         fig1,
         fig2,
         fig3,
@@ -356,5 +540,42 @@ impl FleetFigures {
             self.fig6.dwell_p75[2],
             self.fig6.dwell_p75[3]
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_the_fleet() {
+        for (n, shards) in [(80u32, 32u32), (14, 14), (100_000, 25), (7, 3)] {
+            let mut next = 0;
+            for s in 0..shards {
+                let r = shard_range(n, shards, s);
+                assert_eq!(r.start, next, "shard {s} of {shards} over {n}");
+                next = r.end;
+            }
+            assert_eq!(next, n);
+        }
+    }
+
+    #[test]
+    fn shard_count_ignores_workers_and_scales_with_users() {
+        assert_eq!(shard_count(1), 1);
+        assert_eq!(shard_count(14), 14);
+        assert_eq!(shard_count(80), 32);
+        assert_eq!(shard_count(200_000), 200_000u32.div_ceil(4096));
+        assert_eq!(shard_count(1_000_000), 1_000_000u32.div_ceil(4096));
+    }
+
+    #[test]
+    fn fleet_config_preserves_paper_parameters() {
+        let cfg = fleet_config(&Scale::full());
+        assert_eq!(cfg.n_users, 80);
+        assert_eq!(cfg.seed, 42u64.wrapping_add(2022));
+        assert_eq!(cfg.median_hours, 100.0);
+        assert_eq!(cfg.min_interactive_hours, 10.0);
+        assert_eq!((cfg.hours_lo, cfg.hours_hi), (24.0, 432.0));
     }
 }

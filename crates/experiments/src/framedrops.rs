@@ -294,17 +294,11 @@ mod tests {
     use super::*;
 
     fn tiny_scale() -> Scale {
-        Scale {
-            runs: 1,
-            video_secs: 16.0,
-            fleet_users: 2,
-            fleet_hours: 2.0,
-            seed: 42,
-            jobs: 1,
-            perfetto: None,
-            metrics: false,
-            dense_ticks: false,
-        }
+        Scale::quick()
+            .runs(1)
+            .video_secs(16.0)
+            .fleet_users(2)
+            .fleet_hours(2.0)
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod fig8;
 pub mod fleet_figs;
 pub mod framedrops;
 pub mod organic_check;
+pub mod registry;
 pub mod os_ablation;
 pub mod report;
 pub mod runner;

@@ -1,0 +1,438 @@
+//! The experiment registry: one name → runner table for every figure and
+//! table in the paper's evaluation.
+//!
+//! Each experiment is an [`Experiment`] implementation that runs at a
+//! [`Scale`], prints its report (banners, paper anchors, telemetry
+//! showcase) and returns its data as a [`serde_json::Value`]. The
+//! `exp-*` binaries are one-line dispatchers through [`cli_main`], so
+//! every binary shares the same CLI surface (`--quick`, `--jobs`,
+//! `--fleet-users`, `--rss-limit-mib`, `--perfetto`, `--metrics`,
+//! `--dense-ticks`, `--list`) and the same artifact plumbing
+//! (`results/<artifact>.json` + `.meta.json` / `.metrics.json`
+//! sidecars). `exp-all` is [`cli_all`] over the same table.
+
+use crate::scale::Scale;
+use crate::{
+    abr_ablation, fig10, fig8, fleet_figs, framedrops, organic_check, os_ablation, report,
+    session_figs, table1, telemetry, trace_exp,
+};
+use mvqoe_device::DeviceProfile;
+use mvqoe_video::PlayerKind;
+use serde_json::Value;
+
+/// One experiment the repository can regenerate.
+pub trait Experiment: Sync {
+    /// Registry / CLI name (`exp-all --only <name>` style lookups and the
+    /// `--list` table).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of what the experiment reproduces.
+    fn description(&self) -> &'static str;
+
+    /// Stem of the data artifact, `results/<artifact>.json`.
+    fn artifact(&self) -> &'static str;
+
+    /// Whether `exp-all` includes this experiment (Table 1 digests the
+    /// others' outputs, so it runs standalone only).
+    fn in_all(&self) -> bool {
+        true
+    }
+
+    /// Run at `scale`, print the report, and return the artifact data.
+    fn run(&self, scale: &Scale) -> Value;
+}
+
+macro_rules! experiments {
+    ($($ty:ident {
+        name: $name:literal,
+        description: $desc:literal,
+        artifact: $artifact:literal,
+        $(in_all: $in_all:literal,)?
+        run: |$scale:ident| $body:expr,
+    })*) => {
+        $(
+            struct $ty;
+
+            impl Experiment for $ty {
+                fn name(&self) -> &'static str {
+                    $name
+                }
+                fn description(&self) -> &'static str {
+                    $desc
+                }
+                fn artifact(&self) -> &'static str {
+                    $artifact
+                }
+                $(
+                    fn in_all(&self) -> bool {
+                        $in_all
+                    }
+                )?
+                fn run(&self, $scale: &Scale) -> Value {
+                    $body
+                }
+            }
+        )*
+
+        /// Every registered experiment, in `exp-all` execution order.
+        pub fn all() -> &'static [&'static dyn Experiment] {
+            static ALL: &[&dyn Experiment] = &[$(&$ty),*];
+            ALL
+        }
+    };
+}
+
+experiments! {
+    Fleet {
+        name: "fleet",
+        description: "Figs. 1-6: the §3 user study (streamed fleet run)",
+        artifact: "fleet_figs1-6",
+        run: |scale| {
+            let figs = fleet_figs::run(scale);
+            figs.print();
+            serde_json::to_value(&figs)
+        },
+    }
+    Fig8 {
+        name: "fig8",
+        description: "Fig. 8: client PSS vs resolution x frame rate",
+        artifact: "fig8",
+        run: |scale| {
+            let f = fig8::run(scale);
+            f.print();
+            telemetry::showcase("fig8", &DeviceProfile::nexus5(), scale);
+            serde_json::to_value(&f)
+        },
+    }
+    Fig9 {
+        name: "fig9",
+        description: "Fig. 9 + Table 2: frame drops and crash rates on the Nokia 1",
+        artifact: "fig9_table2",
+        run: |scale| {
+            let grid = framedrops::nokia1_grid(scale);
+            report::banner("Fig 9", "frame drops on the Nokia 1 (mean ± 95% CI)");
+            grid.print_drops(&["Normal", "Moderate", "Critical"]);
+            println!("paper anchors: 1080p30 = 19% Normal / 53% Moderate / ~100% Critical");
+            report::banner("Table 2", "crash rates on the Nokia 1");
+            grid.print_crash_table(
+                &[(30, "480p"), (30, "720p"), (60, "480p"), (60, "720p")],
+                &["Normal", "Moderate", "Critical"],
+            );
+            println!("paper: Normal 0/0/0/0; Moderate 40/100/40/100; Critical 100/100/100/100");
+            telemetry::showcase("fig9_table2", &DeviceProfile::nokia1(), scale);
+            serde_json::to_value(&grid)
+        },
+    }
+    Fig10 {
+        name: "fig10",
+        description: "Fig. 10: the DMOS survey",
+        artifact: "fig10",
+        run: |scale| {
+            let f = fig10::run(scale);
+            f.print();
+            serde_json::to_value(&f)
+        },
+    }
+    Fig11 {
+        name: "fig11",
+        description: "Fig. 11 + Table 3: frame drops and crash rates on the Nexus 5",
+        artifact: "fig11_table3",
+        run: |scale| {
+            let grid = framedrops::nexus5_grid(scale);
+            report::banner("Fig 11", "frame drops on the Nexus 5 (mean ± 95% CI)");
+            grid.print_drops(&["Normal", "Moderate", "Critical"]);
+            println!("paper anchors: no drops ≤480p30; 17% at 1080p60 under Critical; up to 25%");
+            report::banner("Table 3", "crash rates on the Nexus 5");
+            grid.print_crash_table(
+                &[(30, "720p"), (30, "1080p"), (60, "480p"), (60, "720p")],
+                &["Normal", "Moderate", "Critical"],
+            );
+            println!("paper: Normal 0/0/0/0; Moderate 10/100/0/100; Critical 100/100/70/100");
+            telemetry::showcase("fig11_table3", &DeviceProfile::nexus5(), scale);
+            serde_json::to_value(&grid)
+        },
+    }
+    Nexus6p {
+        name: "nexus6p",
+        description: "§4.3: the Nexus 6P summary grid",
+        artifact: "nexus6p",
+        run: |scale| {
+            let grid = framedrops::nexus6p_grid(scale);
+            report::banner("§4.3", "frame drops on the Nexus 6P");
+            grid.print_drops(&["Normal", "Moderate", "Critical"]);
+            println!("paper: drops only at ≥720p; highest ≈9% at 1080p60");
+            telemetry::showcase("nexus6p", &DeviceProfile::nexus6p(), scale);
+            serde_json::to_value(&grid)
+        },
+    }
+    Fig12 {
+        name: "fig12",
+        description: "Fig. 12: the five genres on the Nexus 5",
+        artifact: "fig12_genres",
+        run: |scale| {
+            let grids = framedrops::genre_grids(scale);
+            for grid in &grids {
+                let genre = grid.cells.first().map(|c| c.genre.clone()).unwrap_or_default();
+                report::banner("Fig 12", &format!("genre: {genre} (Nexus 5)"));
+                grid.print_drops(&["Normal", "Moderate", "Critical"]);
+            }
+            println!(
+                "paper: same trend across genres — low drops at 30 FPS, significant at 60 FPS, \
+                 rising with pressure/resolution"
+            );
+            serde_json::to_value(&grids)
+        },
+    }
+    Table4 {
+        name: "table4",
+        description: "Tables 4/5 + Fig. 13: the §5 trace analysis",
+        artifact: "table4_table5_fig13",
+        run: |scale| {
+            let t = trace_exp::run(scale);
+            t.print();
+            telemetry::showcase("table4_table5_fig13", &DeviceProfile::nokia1(), scale);
+            serde_json::to_value(&t)
+        },
+    }
+    Fig14 {
+        name: "fig14",
+        description: "Fig. 14: FPS + lmkd CPU in a crashing session",
+        artifact: "fig14",
+        run: |scale| {
+            let f = session_figs::fig14(scale);
+            f.print();
+            serde_json::to_value(&f)
+        },
+    }
+    Fig15 {
+        name: "fig15",
+        description: "Fig. 15: FPS + processes killed under organic pressure",
+        artifact: "fig15",
+        run: |scale| {
+            let f = session_figs::fig15(scale);
+            f.print();
+            serde_json::to_value(&f)
+        },
+    }
+    Fig16 {
+        name: "fig16",
+        description: "Fig. 16: encoded frame-rate sweep across resolutions",
+        artifact: "fig16",
+        run: |scale| {
+            let f = session_figs::fig16(scale);
+            f.print();
+            serde_json::to_value(&f)
+        },
+    }
+    Fig17 {
+        name: "fig17",
+        description: "Fig. 17: mid-session frame-rate switching under pressure",
+        artifact: "fig17",
+        run: |scale| {
+            let f = session_figs::fig17(scale);
+            f.print();
+            serde_json::to_value(&f)
+        },
+    }
+    Fig18 {
+        name: "fig18",
+        description: "Fig. 18: ExoPlayer on the Nexus 5 (Appendix B.1)",
+        artifact: "fig18_exoplayer",
+        run: |scale| {
+            let grid = framedrops::appendix_grid(PlayerKind::ExoPlayer, scale);
+            report::banner("Fig 18", "ExoPlayer on the Nexus 5");
+            grid.print_drops(&["Normal", "Moderate", "Critical"]);
+            grid.print_crash_table(
+                &[(30, "720p"), (30, "1080p"), (60, "720p"), (60, "1080p")],
+                &["Normal", "Moderate", "Critical"],
+            );
+            println!(
+                "paper: far fewer drops than Firefox, but still significant crashes at high pressure"
+            );
+            serde_json::to_value(&grid)
+        },
+    }
+    Fig19 {
+        name: "fig19",
+        description: "Fig. 19: Chrome on the Nexus 5 (Appendix B.2)",
+        artifact: "fig19_chrome",
+        run: |scale| {
+            let grid = framedrops::appendix_grid(PlayerKind::Chrome, scale);
+            report::banner("Fig 19", "Chrome on the Nexus 5");
+            grid.print_drops(&["Normal", "Moderate", "Critical"]);
+            grid.print_crash_table(
+                &[(30, "720p"), (30, "1080p"), (60, "720p"), (60, "1080p")],
+                &["Normal", "Moderate", "Critical"],
+            );
+            println!("paper: fewer drops than Firefox (smaller footprint), but crashes persist");
+            serde_json::to_value(&grid)
+        },
+    }
+    Organic {
+        name: "organic",
+        description: "§4.3: the organic-pressure spot check",
+        artifact: "organic_check",
+        run: |scale| {
+            let c = organic_check::run(scale);
+            c.print();
+            serde_json::to_value(&c)
+        },
+    }
+    AbrAblation {
+        name: "abr-ablation",
+        description: "§6/§7: memory-aware ABR vs network-only baselines",
+        artifact: "abr_ablation",
+        run: |scale| {
+            let a = abr_ablation::run(scale);
+            a.print();
+            serde_json::to_value(&a)
+        },
+    }
+    OsAblation {
+        name: "os-ablation",
+        description: "§7 ablations: CPU resources and mmcqd scheduling class",
+        artifact: "os_ablation",
+        run: |scale| {
+            let a = os_ablation::run(scale);
+            a.print();
+            serde_json::to_value(&a)
+        },
+    }
+    Table1 {
+        name: "table1",
+        description: "Table 1: the key-insight digest",
+        artifact: "table1",
+        in_all: false,
+        run: |scale| {
+            let t = table1::run(scale);
+            t.print();
+            serde_json::to_value(&t)
+        },
+    }
+}
+
+/// Look an experiment up by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    all().iter().copied().find(|e| e.name() == name)
+}
+
+/// Run one experiment at `scale` and write its artifact (plus the usual
+/// meta/metrics sidecars) through the shared [`report::MetaTimer`] path.
+pub fn run_one(exp: &dyn Experiment, scale: &Scale) -> Value {
+    let timer = report::MetaTimer::start(scale);
+    let value = exp.run(scale);
+    timer.write_json(exp.artifact(), &value);
+    value
+}
+
+/// Print the registry as a name → artifact table (`--list`).
+pub fn print_list() {
+    let rows: Vec<Vec<String>> = all()
+        .iter()
+        .map(|e| {
+            vec![
+                e.name().to_string(),
+                format!("results/{}.json", e.artifact()),
+                if e.in_all() { "yes" } else { "no" }.to_string(),
+                e.description().to_string(),
+            ]
+        })
+        .collect();
+    report::print_table(&["name", "artifact", "in exp-all", "reproduces"], &rows);
+}
+
+/// Fail the process if the run exceeded the `--rss-limit-mib` guard rail;
+/// report peak RSS when a limit was requested.
+fn enforce_rss_limit(scale: &Scale) {
+    let Some(limit) = scale.rss_limit_mib else {
+        return;
+    };
+    match mvqoe_core::peak_rss_mib() {
+        Some(peak) if peak > limit as f64 => {
+            eprintln!("peak RSS {peak:.0} MiB exceeded the --rss-limit-mib {limit} MiB bound");
+            std::process::exit(1);
+        }
+        Some(peak) => println!("peak RSS {peak:.0} MiB within the {limit} MiB bound"),
+        None => eprintln!("--rss-limit-mib set but /proc/self/status is unavailable; not enforced"),
+    }
+}
+
+/// Entry point for a single-experiment `exp-*` binary: shared CLI parse,
+/// registry dispatch, artifact write, RSS guard.
+pub fn cli_main(name: &str) {
+    if std::env::args().any(|a| a == "--list") {
+        print_list();
+        return;
+    }
+    let scale = Scale::from_args();
+    let exp = find(name).unwrap_or_else(|| panic!("experiment {name:?} is not registered"));
+    run_one(exp, &scale);
+    enforce_rss_limit(&scale);
+}
+
+/// Entry point for `exp-all`: every registry experiment marked for the
+/// full pass, in registry order, with the shared CLI surface.
+pub fn cli_all() {
+    if std::env::args().any(|a| a == "--list") {
+        print_list();
+        return;
+    }
+    let scale = Scale::from_args();
+    let t0 = std::time::Instant::now();
+    for exp in all().iter().filter(|e| e.in_all()) {
+        run_one(*exp, &scale);
+    }
+    println!(
+        "\nall experiments regenerated in {:.1}s with {} worker thread(s)",
+        t0.elapsed().as_secs_f64(),
+        scale.jobs
+    );
+    enforce_rss_limit(&scale);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_artifacts_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|e| e.name()).collect();
+        let mut artifacts: Vec<&str> = all().iter().map(|e| e.artifact()).collect();
+        names.sort_unstable();
+        artifacts.sort_unstable();
+        assert_eq!(names.len(), 18);
+        names.dedup();
+        artifacts.dedup();
+        assert_eq!(names.len(), 18, "registry names must be unique");
+        assert_eq!(artifacts.len(), 18, "artifact stems must be unique");
+    }
+
+    #[test]
+    fn lookup_finds_every_experiment() {
+        for exp in all() {
+            let found = find(exp.name()).expect("registered name resolves");
+            assert_eq!(found.artifact(), exp.artifact());
+        }
+        assert!(find("not-an-experiment").is_none());
+    }
+
+    #[test]
+    fn exp_all_keeps_its_execution_order() {
+        // The full pass runs in the historical exp-all order; Table 1
+        // digests the others' artifacts, so it stays out of the pass.
+        let order: Vec<&str> = all()
+            .iter()
+            .filter(|e| e.in_all())
+            .map(|e| e.name())
+            .collect();
+        assert_eq!(
+            order,
+            [
+                "fleet", "fig8", "fig9", "fig10", "fig11", "nexus6p", "fig12", "table4",
+                "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "organic",
+                "abr-ablation", "os-ablation",
+            ]
+        );
+        assert!(!find("table1").unwrap().in_all());
+    }
+}

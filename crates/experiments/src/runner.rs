@@ -117,9 +117,7 @@ mod tests {
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn jobs_scale(jobs: usize) -> Scale {
-        let mut s = Scale::quick();
-        s.jobs = jobs;
-        s
+        Scale::quick().jobs(jobs)
     }
 
     #[test]

@@ -26,11 +26,17 @@ impl ServedRequest {
     }
 }
 
+/// Served requests retained for throughput estimation. The harmonic-mean
+/// estimator looks at most this far back, so keeping more would only grow
+/// memory with session length — a streamed session makes thousands of
+/// requests, and the history used to retain every one of them.
+pub const HISTORY_WINDOW: usize = 8;
+
 /// An HTTP server (the paper's Apache 2.4.7) in front of a [`Link`].
 ///
-/// Adds a small per-request processing overhead and keeps the history of
-/// served requests so ABR algorithms can estimate throughput the way
-/// dash.js does (harmonic mean over recent segments).
+/// Adds a small per-request processing overhead and keeps a bounded
+/// history of served requests so ABR algorithms can estimate throughput
+/// the way dash.js does (harmonic mean over recent segments).
 pub struct SegmentServer {
     link: Link,
     /// Per-request server-side overhead.
@@ -51,6 +57,9 @@ impl SegmentServer {
     /// Request `bytes`; returns the completion time.
     pub fn request(&mut self, now: SimTime, bytes: u64) -> SimTime {
         let completed = self.link.start_transfer(now, bytes) + self.request_overhead;
+        if self.history.len() == HISTORY_WINDOW {
+            self.history.remove(0);
+        }
         self.history.push(ServedRequest {
             started_at: now,
             completed_at: completed,
@@ -61,6 +70,7 @@ impl SegmentServer {
 
     /// Harmonic-mean throughput of the last `n` requests, Mbit/s — the
     /// estimator throughput-based ABR uses (robust to a single stall).
+    /// `n` beyond [`HISTORY_WINDOW`] sees the window's worth of requests.
     pub fn harmonic_throughput_mbps(&self, n: usize) -> Option<f64> {
         let recent: Vec<&ServedRequest> = self.history.iter().rev().take(n).collect();
         if recent.is_empty() {
@@ -73,7 +83,8 @@ impl SegmentServer {
         Some(recent.len() as f64 / sum_inv)
     }
 
-    /// All served requests.
+    /// The most recent served requests (oldest first), bounded by
+    /// [`HISTORY_WINDOW`].
     pub fn history(&self) -> &[ServedRequest] {
         &self.history
     }
@@ -131,5 +142,25 @@ mod tests {
     fn no_history_no_estimate() {
         let s = server(8.0);
         assert_eq!(s.harmonic_throughput_mbps(3), None);
+    }
+
+    #[test]
+    fn history_stays_bounded_and_estimates_match_unbounded() {
+        let mut s = server(8.0);
+        // A long session: thousands of requests, far past the window.
+        let mut last3 = Vec::new();
+        for i in 0..5000u64 {
+            s.request(SimTime::from_secs(i * 2), 500_000 + (i % 7) * 10_000);
+            last3 = s.history().iter().rev().take(3).cloned().collect();
+            assert!(s.history().len() <= HISTORY_WINDOW);
+        }
+        assert_eq!(s.history().len(), HISTORY_WINDOW);
+        // The estimator reads only the most recent requests, so the
+        // bounded window yields the exact value the unbounded history did.
+        let expected_inv: f64 = last3.iter().map(|r| 1.0 / r.throughput_mbps()).sum();
+        assert_eq!(
+            s.harmonic_throughput_mbps(3),
+            Some(last3.len() as f64 / expected_inv)
+        );
     }
 }

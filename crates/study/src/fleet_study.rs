@@ -1,10 +1,20 @@
 //! The §3 fleet study: run a simulated user population and aggregate.
+//!
+//! The study streams: each user is simulated and immediately folded into a
+//! [`FleetAggregate`], so memory stays bounded by the aggregate's caps
+//! rather than by fleet size. Shards of the user-index range fold
+//! independently and [`FleetAggregate::merge`] back together with
+//! byte-identical results — the million-device path in
+//! `mvqoe-experiments` is just `simulate_range` over contiguous index
+//! ranges fanned across workers.
 
+use crate::fleet_aggregate::{DeviceDigest, Fig6Pool, FleetAggregate, TopDevice};
 use crate::observation::DeviceObservation;
 use mvqoe_kernel::TrimLevel;
-use mvqoe_sim::{stats, SimRng, SimTime};
+use mvqoe_sim::{SimRng, SimTime};
 use mvqoe_workload::FleetUser;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Fleet-study parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -19,6 +29,10 @@ pub struct FleetConfig {
     /// Cleaning rule: minimum interactive hours to keep a device (the
     /// paper: 10 h, keeping 48 of 80).
     pub min_interactive_hours: f64,
+    /// Shortest observation (the paper's 1 day).
+    pub hours_lo: f64,
+    /// Longest observation (the paper's 18 days).
+    pub hours_hi: f64,
 }
 
 impl Default for FleetConfig {
@@ -28,32 +42,63 @@ impl Default for FleetConfig {
             seed: 2022,
             median_hours: 100.0,
             min_interactive_hours: 10.0,
+            hours_lo: 24.0,
+            hours_hi: 432.0,
         }
     }
 }
 
-/// Aggregated fleet results after cleaning.
-#[derive(Debug, Serialize, Deserialize)]
+impl FleetConfig {
+    /// A config whose observation-length clamp scales with the median:
+    /// the paper's literal 1–18 day band whenever the median is at paper
+    /// scale (≥ 16 h, which covers both the full and the quick protocol,
+    /// keeping their outputs bit-identical to the pre-streaming engine),
+    /// proportional below it so million-user smoke fleets with
+    /// second-scale medians aren't all clamped up to a day of simulation
+    /// each.
+    pub fn scaled(
+        n_users: u32,
+        seed: u64,
+        median_hours: f64,
+        min_interactive_hours: f64,
+    ) -> FleetConfig {
+        let (hours_lo, hours_hi) = if median_hours >= 16.0 {
+            (24.0, 432.0)
+        } else {
+            (median_hours * 0.24, median_hours * 4.32)
+        };
+        FleetConfig {
+            n_users,
+            seed,
+            median_hours,
+            min_interactive_hours,
+            hours_lo,
+            hours_hi,
+        }
+    }
+}
+
+/// Aggregated fleet results after cleaning, backed by the streaming
+/// [`FleetAggregate`] (per-device observations are folded in and
+/// discarded, never held as a fleet-sized `Vec`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetResults {
-    /// Devices that passed the cleaning rule.
-    pub devices: Vec<DeviceObservation>,
-    /// Users recruited before cleaning.
-    pub recruited: u32,
-    /// Total logged hours across all recruited devices.
-    pub total_hours: f64,
+    /// The streamed fleet state every accessor reads from.
+    pub aggregate: FleetAggregate,
 }
 
 /// Simulate one fleet user. Every draw comes from streams split off the
 /// root seed by the user's index, so users are independent of each other
 /// and of the order they are simulated in — callers may fan users out over
-/// threads and assemble with [`assemble_fleet`].
+/// threads and assemble with [`assemble_fleet`] or fold shard aggregates
+/// from [`simulate_range`] together.
 pub fn simulate_user(cfg: &FleetConfig, i: u32) -> (DeviceObservation, f64) {
     let root = SimRng::new(cfg.seed);
     let mut hours_rng = root.split(&format!("hours-{i}"));
-    // Observation length: heavy-tailed, 1–18 days.
+    // Observation length: heavy-tailed, 1–18 days at paper scale.
     let hours = hours_rng
         .lognormal(cfg.median_hours, 0.9)
-        .clamp(24.0, 432.0);
+        .clamp(cfg.hours_lo, cfg.hours_hi);
     let mut user = FleetUser::new(i, &root);
     let mut obs = DeviceObservation::new(
         user.device.name.clone(),
@@ -69,112 +114,135 @@ pub fn simulate_user(cfg: &FleetConfig, i: u32) -> (DeviceObservation, f64) {
     (obs, hours)
 }
 
-/// Apply the cleaning rule and aggregate per-user observations (in user-index
-/// order) into fleet results.
-pub fn assemble_fleet(
-    cfg: &FleetConfig,
-    users: Vec<(DeviceObservation, f64)>,
-) -> FleetResults {
-    let total_hours = users.iter().map(|(_, h)| h).sum();
-    let mut devices: Vec<DeviceObservation> = users.into_iter().map(|(d, _)| d).collect();
-    devices.retain(|d| d.interactive_hours > cfg.min_interactive_hours);
-    FleetResults {
-        devices,
-        recruited: cfg.n_users,
-        total_hours,
+/// Simulate a contiguous shard of the user-index range, folding each user
+/// into an aggregate as soon as it finishes — O(aggregate) memory, not
+/// O(shard size).
+pub fn simulate_range(cfg: &FleetConfig, users: Range<u32>) -> FleetAggregate {
+    let mut agg = FleetAggregate::new();
+    for i in users {
+        let (obs, hours) = simulate_user(cfg, i);
+        agg.fold(cfg, i, &obs, hours);
     }
+    agg
 }
 
-/// Run the fleet study serially.
+/// Apply the cleaning rule and aggregate per-user observations (in
+/// user-index order) into fleet results. Kept for callers that already
+/// hold materialized observations; the streaming paths fold without ever
+/// building the `Vec`.
+pub fn assemble_fleet(cfg: &FleetConfig, users: Vec<(DeviceObservation, f64)>) -> FleetResults {
+    let mut aggregate = FleetAggregate::new();
+    for (i, (obs, hours)) in users.iter().enumerate() {
+        aggregate.fold(cfg, i as u32, obs, *hours);
+    }
+    FleetResults { aggregate }
+}
+
+/// Run the fleet study serially, streaming users through the aggregate.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetResults {
-    let users = (0..cfg.n_users).map(|i| simulate_user(cfg, i)).collect();
-    assemble_fleet(cfg, users)
+    FleetResults {
+        aggregate: simulate_range(cfg, 0..cfg.n_users),
+    }
 }
 
 impl FleetResults {
-    /// Median utilization per kept device (Fig. 2's sample set).
-    pub fn median_utilizations(&self) -> Vec<f64> {
-        self.devices.iter().map(|d| d.median_utilization()).collect()
+    /// Users recruited before cleaning.
+    pub fn recruited(&self) -> u32 {
+        self.aggregate.recruited
     }
 
-    /// Fraction of devices with median utilization at least `pct`.
+    /// Devices that passed the cleaning rule.
+    pub fn kept(&self) -> u64 {
+        self.aggregate.kept
+    }
+
+    /// Total logged hours across all recruited devices.
+    pub fn total_hours(&self) -> f64 {
+        self.aggregate.total_hours()
+    }
+
+    /// Digests of the kept devices in user-index order (truncated past
+    /// [`crate::fleet_aggregate::DEVICE_DIGEST_CAP`] devices).
+    pub fn devices(&self) -> &[DeviceDigest] {
+        &self.aggregate.digests
+    }
+
+    /// Median utilization per kept device (Fig. 2's sample set).
+    pub fn median_utilizations(&self) -> Vec<f64> {
+        self.aggregate
+            .digests
+            .iter()
+            .map(|d| d.median_utilization)
+            .collect()
+    }
+
+    /// Fraction of devices with median utilization at least `pct` — exact
+    /// while the digest list is complete, sketch-resolution past the cap.
     pub fn fraction_util_at_least(&self, pct: f64) -> f64 {
-        let utils = self.median_utilizations();
-        stats::fraction_where(&utils, |u| u >= pct)
+        self.fraction_of_kept(
+            |d| d.median_utilization >= pct,
+            |s| s.util_median.fraction_at_least(pct),
+        )
     }
 
     /// Fraction of devices receiving ≥ `rate` pressure signals per hour.
     pub fn fraction_signal_rate_at_least(&self, rate: f64) -> f64 {
-        let rates: Vec<f64> = self
-            .devices
-            .iter()
-            .map(|d| d.total_signals_per_hour())
-            .collect();
-        stats::fraction_where(&rates, |r| r >= rate)
+        self.fraction_of_kept(
+            |d| d.total_signals_per_hour >= rate,
+            |s| s.total_signal_rate.fraction_at_least(rate),
+        )
     }
 
     /// Fraction of devices spending at least `frac` of time in `level`.
     pub fn fraction_time_in_state_at_least(&self, level: TrimLevel, frac: f64) -> f64 {
-        let fracs: Vec<f64> = self
-            .devices
-            .iter()
-            .map(|d| d.time_fraction(level))
-            .collect();
-        stats::fraction_where(&fracs, |f| f >= frac)
+        self.fraction_of_kept(
+            |d| d.time_fractions[level.severity()] >= frac,
+            |s| s.time_in_state[level.severity()].fraction_at_least(frac),
+        )
+    }
+
+    fn fraction_of_kept(
+        &self,
+        exact: impl Fn(&DeviceDigest) -> bool,
+        sketch: impl Fn(&crate::fleet_aggregate::Sketches) -> f64,
+    ) -> f64 {
+        if self.aggregate.kept == 0 {
+            return 0.0;
+        }
+        if self.aggregate.digests_complete() {
+            self.aggregate.digests.iter().filter(|d| exact(d)).count() as f64
+                / self.aggregate.kept as f64
+        } else {
+            sketch(&self.aggregate.sketches)
+        }
     }
 
     /// The `n` devices spending the most time out of Normal (Fig. 5's
-    /// selection).
-    pub fn top_pressure_devices(&self, n: usize) -> Vec<&DeviceObservation> {
-        let mut sorted: Vec<&DeviceObservation> = self.devices.iter().collect();
-        sorted.sort_by(|a, b| {
-            b.pressure_time_fraction()
-                .partial_cmp(&a.pressure_time_fraction())
-                .unwrap()
-        });
-        sorted.into_iter().take(n).collect()
+    /// selection), highest first, ties to the lower user index — the order
+    /// a stable descending sort over the full device list produces.
+    pub fn top_pressure_devices(&self, n: usize) -> &[TopDevice] {
+        &self.aggregate.top[..n.min(self.aggregate.top.len())]
     }
 
-    /// Devices out of Normal more than `frac` of the time (Fig. 6 uses
-    /// > 30%).
-    pub fn devices_above_pressure_fraction(&self, frac: f64) -> Vec<&DeviceObservation> {
-        self.devices
-            .iter()
-            .filter(|d| d.pressure_time_fraction() > frac)
-            .collect()
+    /// Number of devices out of Normal more than `frac` of the time
+    /// (Fig. 6 pools above 30%).
+    pub fn devices_above_pressure_fraction(&self, frac: f64) -> u64 {
+        self.aggregate.devices_above_pressure_fraction(frac)
     }
 
-    /// Pooled transition probability across a device subset.
-    pub fn pooled_transition_prob(
-        devices: &[&DeviceObservation],
-        from: TrimLevel,
-        to: TrimLevel,
-    ) -> f64 {
-        let mut row_total = 0u64;
-        let mut hit = 0u64;
-        for d in devices {
-            let row = &d.transitions[from.severity()];
-            row_total += row.iter().sum::<u64>();
-            hit += row[to.severity()];
-        }
-        if row_total == 0 {
-            0.0
-        } else {
-            hit as f64 / row_total as f64
-        }
+    /// Fig. 6's pooled state after adaptive threshold relaxation.
+    pub fn fig6_pool(&self) -> Fig6Pool {
+        self.aggregate.fig6_pool()
     }
 
-    /// Pooled dwell-time percentile across a device subset.
-    pub fn pooled_dwell_percentile(
-        devices: &[&DeviceObservation],
-        state: TrimLevel,
-        p: f64,
-    ) -> f64 {
-        let pooled: Vec<f64> = devices
-            .iter()
-            .flat_map(|d| d.dwells[state.severity()].iter().copied())
-            .collect();
-        stats::percentile(&pooled, p)
+    /// Pooled transition probability across the Fig. 6 pool.
+    pub fn pooled_transition_prob(&self, from: TrimLevel, to: TrimLevel) -> f64 {
+        self.fig6_pool().transition_prob(from, to)
+    }
+
+    /// Pooled dwell-time percentile across the Fig. 6 pool.
+    pub fn pooled_dwell_percentile(&self, state: TrimLevel, p: f64) -> f64 {
+        self.fig6_pool().dwell_percentile(state, p)
     }
 }
 
@@ -184,28 +252,32 @@ mod tests {
 
     use std::sync::OnceLock;
 
+    fn small_cfg() -> FleetConfig {
+        FleetConfig {
+            n_users: 8,
+            seed: 7,
+            median_hours: 14.0,
+            min_interactive_hours: 2.0,
+            ..FleetConfig::default()
+        }
+    }
+
     /// One shared small fleet run (running it per-test would dominate the
     /// suite's wall time).
     fn small_fleet() -> &'static FleetResults {
         static FLEET: OnceLock<FleetResults> = OnceLock::new();
-        FLEET.get_or_init(|| {
-            run_fleet(&FleetConfig {
-                n_users: 8,
-                seed: 7,
-                median_hours: 14.0,
-                min_interactive_hours: 2.0,
-            })
-        })
+        FLEET.get_or_init(|| run_fleet(&small_cfg()))
     }
 
     #[test]
     fn fleet_runs_and_cleans() {
         let r = small_fleet();
-        assert_eq!(r.recruited, 8);
-        assert!(!r.devices.is_empty(), "some devices must pass cleaning");
-        assert!(r.devices.len() <= 8);
-        assert!(r.total_hours > 8.0 * 14.0);
-        for d in &r.devices {
+        assert_eq!(r.recruited(), 8);
+        assert!(r.kept() > 0, "some devices must pass cleaning");
+        assert!(r.kept() <= 8);
+        assert!(r.total_hours() > 8.0 * 14.0);
+        assert!(r.aggregate.digests_complete());
+        for d in r.devices() {
             assert!(d.interactive_hours > 2.0);
         }
     }
@@ -216,7 +288,7 @@ mod tests {
         let utils = r.median_utilizations();
         assert!(utils.iter().all(|&u| (0.0..=100.0).contains(&u)));
         // Phones under active use run well above half-empty.
-        let med = stats::median(&utils);
+        let med = mvqoe_sim::stats::median(&utils);
         assert!(med > 40.0, "fleet median utilization {med:.1}%");
     }
 
@@ -244,7 +316,42 @@ mod tests {
         let r = small_fleet();
         let top = r.top_pressure_devices(3);
         for w in top.windows(2) {
-            assert!(w[0].pressure_time_fraction() >= w[1].pressure_time_fraction());
+            assert!(w[0].pressure_time_fraction >= w[1].pressure_time_fraction);
         }
+    }
+
+    #[test]
+    fn sharded_range_simulation_merges_to_the_serial_run() {
+        let cfg = small_cfg();
+        let serial = small_fleet();
+        let mut merged = simulate_range(&cfg, 0..3);
+        merged.merge(&simulate_range(&cfg, 3..7));
+        merged.merge(&simulate_range(&cfg, 7..8));
+        let merged_json = serde_json::to_string(&merged).unwrap();
+        let serial_json = serde_json::to_string(&serial.aggregate).unwrap();
+        assert_eq!(merged_json, serial_json, "shard merge must be exact");
+    }
+
+    #[test]
+    fn assemble_matches_streaming() {
+        let cfg = small_cfg();
+        let users: Vec<_> = (0..cfg.n_users).map(|i| simulate_user(&cfg, i)).collect();
+        let assembled = assemble_fleet(&cfg, users);
+        assert_eq!(
+            serde_json::to_string(&assembled.aggregate).unwrap(),
+            serde_json::to_string(&small_fleet().aggregate).unwrap()
+        );
+    }
+
+    #[test]
+    fn scaled_config_keeps_paper_bounds_at_paper_scale() {
+        let full = FleetConfig::scaled(80, 2064, 100.0, 10.0);
+        assert_eq!((full.hours_lo, full.hours_hi), (24.0, 432.0));
+        let quick = FleetConfig::scaled(14, 2064, 16.0, 1.6);
+        assert_eq!((quick.hours_lo, quick.hours_hi), (24.0, 432.0));
+        // A million-user fleet divides the hours budget; the clamp follows.
+        let huge = FleetConfig::scaled(1_000_000, 2064, 0.008, 0.0008);
+        assert!(huge.hours_hi < 1.0, "clamp must scale down with the median");
+        assert!(huge.hours_lo < huge.hours_hi);
     }
 }

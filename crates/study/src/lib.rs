@@ -14,10 +14,17 @@
 //!   psychometrically (logistic annoyance in log-drop-rate, per-rater bias
 //!   and noise) so Fig. 10's histogram is generated, not hard-coded.
 
+pub mod fleet_aggregate;
 pub mod fleet_study;
 pub mod observation;
 pub mod survey;
 
-pub use fleet_study::{assemble_fleet, run_fleet, simulate_user, FleetConfig, FleetResults};
+pub use fleet_aggregate::{
+    DeviceDigest, DwellCounts, Fig6Pool, FleetAggregate, TopDevice, DEVICE_DIGEST_CAP,
+    TOP_PRESSURE_K,
+};
+pub use fleet_study::{
+    assemble_fleet, run_fleet, simulate_range, simulate_user, FleetConfig, FleetResults,
+};
 pub use observation::DeviceObservation;
 pub use survey::{run_survey, SurveyConfig, SurveyResults};

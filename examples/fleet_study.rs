@@ -11,17 +11,12 @@ use mvqoe::sim::stats;
 
 fn main() {
     // 20 users, ~2 days median observation (the paper: 80 users, 1–18 days).
-    let fleet = run_fleet(&FleetConfig {
-        n_users: 20,
-        seed: 2022,
-        median_hours: 48.0,
-        min_interactive_hours: 5.0,
-    });
+    let fleet = run_fleet(&FleetConfig::scaled(20, 2022, 48.0, 5.0));
     println!(
         "{} users recruited, {} kept after cleaning, {:.0} h logged\n",
-        fleet.recruited,
-        fleet.devices.len(),
-        fleet.total_hours
+        fleet.recruited(),
+        fleet.kept(),
+        fleet.total_hours()
     );
 
     let medians = fleet.median_utilizations();
@@ -40,14 +35,14 @@ fn main() {
     );
 
     println!("\nper-device detail:");
-    for d in &fleet.devices {
+    for d in fleet.devices() {
         println!(
             "  {:24} {:>4} MiB RAM  util p50 {:>4.0}%  signals/h {:>6.2}  pressure time {:>5.2}%",
             d.name,
             d.ram_mib,
-            d.median_utilization(),
-            d.total_signals_per_hour(),
-            d.pressure_time_fraction() * 100.0
+            d.median_utilization,
+            d.total_signals_per_hour,
+            d.pressure_time_fraction * 100.0
         );
     }
 }

@@ -51,6 +51,14 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
     Ok(T::from_value(&value)?)
 }
 
+/// Convert any `Serialize` type into a [`Value`] tree. Infallible in this
+/// stand-in (upstream returns `Result`; callers here never need the error
+/// arm, and keeping the signature simple keeps the registry call sites
+/// honest about that).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
 // ---- writer ----------------------------------------------------------------
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
@@ -300,13 +308,23 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input came from &str, so
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run of unescaped bytes at once.
+                    // Splitting only at '"' and '\\' (ASCII, never UTF-8
+                    // continuation bytes) keeps the slice on valid
+                    // boundaries, and validating the bounded run keeps this
+                    // linear — revalidating the remaining buffer per
+                    // character made large documents quadratic to parse.
+                    let run = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    s.push_str(
+                        std::str::from_utf8(&self.bytes[run..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
                 }
                 None => return Err(self.err("unterminated string")),
             }
@@ -360,6 +378,23 @@ mod tests {
         let text = to_string_pretty(&v).unwrap();
         let back: Value = from_str(&text).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        // Megabyte-scale documents (fleet shard checkpoints) must parse in
+        // one pass; the old per-character revalidation was quadratic and
+        // this test would hang for minutes instead of finishing instantly.
+        let big = "x".repeat(1 << 20);
+        let text = format!("{{\"body\": \"{big}\", \"tail\": \"a\\nb\"}}");
+        let v: Value = from_str(&text).unwrap();
+        match &v {
+            Value::Map(entries) => {
+                assert_eq!(entries[0].1, Value::Str(big));
+                assert_eq!(entries[1].1, Value::Str("a\nb".into()));
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
     }
 
     #[test]
