@@ -59,6 +59,23 @@ pub trait Abr {
 
     /// Short human-readable name for experiment output.
     fn name(&self) -> &'static str;
+
+    /// The policy's mutable decision state, for session snapshots.
+    ///
+    /// Stateless policies (fixed, throughput, buffer-based, BOLA — pure
+    /// functions of their config and the context) keep the default `Null`.
+    /// Stateful policies must capture everything [`Abr::choose`] reads that
+    /// [`Abr::choose`] also writes, so a restored policy's next decision is
+    /// identical to the original's.
+    fn state_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restore the state captured by [`Abr::state_value`] into a policy
+    /// constructed with the same configuration.
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), serde::de::Error> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -168,6 +168,27 @@ impl<A: Abr> Abr for MemoryAware<A> {
     fn name(&self) -> &'static str {
         "memory-aware"
     }
+
+    fn state_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("fps_cap".into(), self.fps_cap.to_value()),
+            ("res_cap".into(), self.res_cap.to_value()),
+            ("normal_streak".into(), self.normal_streak.to_value()),
+            ("inner".into(), self.inner.state_value()),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::de::Error> {
+        let field = |name: &str| {
+            state.get(name).ok_or_else(|| {
+                serde::de::Error::custom(format!("MemoryAware state missing {name}"))
+            })
+        };
+        self.fps_cap = Fps::from_value(field("fps_cap")?)?;
+        self.res_cap = Resolution::from_value(field("res_cap")?)?;
+        self.normal_streak = u32::from_value(field("normal_streak")?)?;
+        self.inner.restore_state(field("inner")?)
+    }
 }
 
 #[cfg(test)]

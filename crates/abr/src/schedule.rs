@@ -48,6 +48,17 @@ impl Abr for ScheduledFps {
     fn name(&self) -> &'static str {
         "scheduled-fps"
     }
+
+    fn state_value(&self) -> serde::Value {
+        use serde::Serialize;
+        self.served.to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::de::Error> {
+        use serde::Deserialize;
+        self.served = u32::from_value(state)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

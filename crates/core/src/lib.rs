@@ -24,6 +24,7 @@ pub mod parallel;
 pub mod pressure;
 pub mod qoe;
 pub mod session;
+pub mod snapshot;
 
 pub use parallel::{
     parallel_map, parallel_map_stats, run_cell_at, run_cells_parallel,
@@ -31,7 +32,8 @@ pub use parallel::{
 };
 pub use pressure::PressureMode;
 pub use qoe::{aggregate_runs, run_cell, CellResult};
-pub use session::{run_session, run_session_with, SessionConfig, SessionOutcome};
+pub use session::{run_session, run_session_with, Session, SessionConfig, SessionOutcome};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -11,6 +11,7 @@
 //! when lmkd (or the OOM path) kills its process.
 
 use crate::pressure::{PressureDriver, PressureMode};
+use crate::snapshot::{Snapshot, SNAPSHOT_FORMAT_VERSION};
 use mvqoe_abr::{Abr, AbrContext};
 use mvqoe_device::{DeviceProfile, Machine, StepOutputs};
 use mvqoe_kernel::manager::KillSource;
@@ -24,6 +25,7 @@ use mvqoe_video::{
     DecodeCostModel, Fps, Genre, Manifest, PlaybackBuffer, PlayerKind, PlayerProfile,
     Representation, SessionStats,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 const TAG_DECODE: u64 = 1;
@@ -33,7 +35,7 @@ const TAG_SKIP: u64 = 4;
 const TAG_UI: u64 = 5;
 
 /// Configuration of one streaming session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SessionConfig {
     /// The phone.
     pub device: DeviceProfile,
@@ -105,6 +107,7 @@ pub struct SessionOutcome {
     pub client_pid: ProcessId,
 }
 
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Ev {
     SegArrived { rep: Representation, bytes: u64 },
     Vsync,
@@ -153,115 +156,11 @@ pub fn run_session(cfg: &SessionConfig, abr: &mut dyn Abr) -> SessionOutcome {
 pub fn run_session_with(
     cfg: &SessionConfig,
     abr: &mut dyn Abr,
-    telemetry: Option<&mut Telemetry>,
+    mut telemetry: Option<&mut Telemetry>,
 ) -> SessionOutcome {
-    let rng = SimRng::new(cfg.seed);
-    let mut m = Machine::new(cfg.device.clone(), &mut rng.split("machine"));
-    m.sched.set_record_events(cfg.record_trace);
-    m.trace.set_detail(cfg.record_trace);
-    if cfg.mmcqd_fair {
-        let tid = m.mmcqd_thread();
-        m.sched.set_class(tid, SchedClass::NORMAL);
-    }
-
-    // Phase 1: pressure.
-    let mut pressure = PressureDriver::apply(cfg.pressure, &mut m, &rng, cfg.dense_ticks);
-
-    // Phase 2: the client starts.
-    let profile = PlayerProfile::of(cfg.player);
-    let manifest = Manifest::full_ladder(cfg.genre, cfg.video_secs);
-    // Real apps fault their footprint in over the first seconds of life;
-    // spawning with the full heap in one allocation would hammer direct
-    // reclaim with a single giant request. Start with ~30% and ramp the
-    // rest from the UI thread (see `ui_housekeeping`).
-    let (pid, _) = m.add_process(
-        &format!("{}", cfg.player),
-        ProcKind::Foreground,
-        profile.base_anon.mul_f64(0.3),
-        profile.base_file_ws,
-        profile.base_file_resident.mul_f64(0.8),
-        profile.file_share,
-    );
-    let ui = m.add_thread(pid, &format!("{}", cfg.player), SchedClass::NORMAL);
-    let net = m.add_thread(pid, "Socket Thread", SchedClass::NORMAL);
-    let dec = m.add_thread(pid, "MediaCodec", SchedClass::NORMAL);
-    let rend = m.add_thread(pid, "SurfaceFlinger", SchedClass::NORMAL);
-
-    let tele = telemetry.map(|t| {
-        let ins = Instruments::register(t);
-        (t, ins)
-    });
-    let mut server = SegmentServer::new(Link::new(cfg.link.clone()));
-    let mut runner = Runner {
-        cfg,
-        profile,
-        manifest,
-        abr,
-        rng: rng.split("session"),
-        pid,
-        ui,
-        net,
-        dec,
-        rend,
-        buffer: PlaybackBuffer::new(cfg.buffer_secs),
-        stats: SessionStats::default(),
-        events: EventQueue::new(),
-        cost: DecodeCostModel::default(),
-        surfaces: VecDeque::new(),
-        pending_surface: None,
-        pipeline_pages: Pages::ZERO,
-        decoding: false,
-        downloading: false,
-        frames_owed: 0,
-        next_seg: 0,
-        playback_started: false,
-        ended: false,
-        last_period: SimDuration::from_micros(Fps::F30.frame_period_us()),
-        last_rep: None,
-        drop_window: VecDeque::new(),
-        rendered_this_sec: 0,
-        kills_this_sec: 0,
-        next_sample: SimTime::ZERO,
-        last_lmkd_running: SimDuration::ZERO,
-        kill_series: TimeSeries::new("kills_per_s"),
-        lmkd_cpu_series: TimeSeries::new("lmkd_cpu_pct"),
-        trim_series: TimeSeries::new("trim_severity"),
-        rep_history: Vec::new(),
-        video_start: SimTime::ZERO,
-        next_floor_update: SimTime::ZERO,
-        next_ui_tick: SimTime::ZERO,
-        startup_remaining: profile.base_anon.mul_f64(0.7),
-        render_deadlines: VecDeque::new(),
-        oom_streak: 0,
-        missed_streak: 0,
-        streak_started: None,
-        stall_started: None,
-        tele,
-    };
-
-    runner.run(&mut m, &mut pressure, &mut server);
-
-    // Fold the kernel and scheduler totals into the metrics registry; these
-    // counters accumulate inside the substrates regardless, so absorbing
-    // them here costs nothing on the hot path.
-    if let Some((t, _)) = runner.tele.take() {
-        absorb_machine_metrics(t, &m, &runner.stats);
-    }
-
-    let stats = runner.stats;
-    let final_trim = m.mm.trim_level();
-    m.trace.finish(m.now());
-    SessionOutcome {
-        stats,
-        final_trim,
-        kill_series: runner.kill_series,
-        lmkd_cpu_series: runner.lmkd_cpu_series,
-        trim_series: runner.trim_series,
-        rep_history: runner.rep_history,
-        client_threads: [ui, net, dec, rend],
-        client_pid: pid,
-        machine: m,
-    }
+    let mut session = Session::start(cfg.clone());
+    session.run_until_with(abr, SimTime::MAX, telemetry.as_deref_mut());
+    session.finish(telemetry)
 }
 
 /// Absorb end-of-run kernel/scheduler/client totals into the registry.
@@ -306,11 +205,16 @@ fn absorb_machine_metrics(t: &mut Telemetry, m: &Machine, stats: &SessionStats) 
     reg.set_gauge("session.crashed", if stats.crashed() { 1.0 } else { 0.0 });
 }
 
-struct Runner<'a> {
-    cfg: &'a SessionConfig,
-    profile: PlayerProfile,
-    manifest: Manifest,
-    abr: &'a mut dyn Abr,
+/// The complete mutable client-side state of a session in flight.
+///
+/// Everything the run loop reads *and* writes lives either here or inside
+/// the machine / pressure driver / segment server — so serializing those
+/// four pieces (plus the ABR's [`Abr::state_value`]) at a loop-iteration
+/// boundary is a *complete* description of the session. That invariant is
+/// what makes [`Session::snapshot`] exact; the round-trip and fork
+/// differential suites in `tests/` enforce it.
+#[derive(Serialize, Deserialize)]
+struct SessionState {
     rng: SimRng,
     pid: ProcessId,
     ui: ThreadId,
@@ -362,24 +266,302 @@ struct Runner<'a> {
     streak_started: Option<SimTime>,
     /// When the current rebuffer stall was declared (streak ≥ threshold).
     stall_started: Option<SimTime>,
+    /// Hard end cap, well beyond nominal playback (pathological stalls).
+    deadline: SimTime,
+}
+
+/// A streaming session that can be paused mid-flight, snapshotted,
+/// restored, and forked into counterfactual branches.
+///
+/// [`run_session`] drives one to completion in a single call; it is a thin
+/// wrapper over this type. The counterfactual engine instead runs a shared
+/// prefix with [`Session::run_until`], captures one [`Snapshot`], then
+/// continues independent branches from it via [`Session::restore`] —
+/// paired branches differ *only* by the policy knob applied at the fork.
+pub struct Session {
+    cfg: SessionConfig,
+    machine: Machine,
+    pressure: PressureDriver,
+    server: SegmentServer,
+    st: SessionState,
+    // Pure functions of `cfg`: rebuilt on restore, never serialized.
+    profile: PlayerProfile,
+    manifest: Manifest,
+}
+
+impl Session {
+    /// Build the machine, apply pressure, and start the client (phases 1–2
+    /// of the §4.1 pipeline). The session pauses at the first loop
+    /// boundary; drive it with [`Session::run_until`].
+    pub fn start(cfg: SessionConfig) -> Session {
+        let rng = SimRng::new(cfg.seed);
+        let mut m = Machine::new(cfg.device.clone(), &mut rng.split("machine"));
+        m.sched.set_record_events(cfg.record_trace);
+        m.trace.set_detail(cfg.record_trace);
+        if cfg.mmcqd_fair {
+            let tid = m.mmcqd_thread();
+            m.sched.set_class(tid, SchedClass::NORMAL);
+        }
+
+        // Phase 1: pressure.
+        let pressure = PressureDriver::apply(cfg.pressure, &mut m, &rng, cfg.dense_ticks);
+
+        // Phase 2: the client starts.
+        let profile = PlayerProfile::of(cfg.player);
+        let manifest = Manifest::full_ladder(cfg.genre, cfg.video_secs);
+        // Real apps fault their footprint in over the first seconds of life;
+        // spawning with the full heap in one allocation would hammer direct
+        // reclaim with a single giant request. Start with ~30% and ramp the
+        // rest from the UI thread (see `ui_housekeeping`).
+        let (pid, _) = m.add_process(
+            &format!("{}", cfg.player),
+            ProcKind::Foreground,
+            profile.base_anon.mul_f64(0.3),
+            profile.base_file_ws,
+            profile.base_file_resident.mul_f64(0.8),
+            profile.file_share,
+        );
+        let ui = m.add_thread(pid, &format!("{}", cfg.player), SchedClass::NORMAL);
+        let net = m.add_thread(pid, "Socket Thread", SchedClass::NORMAL);
+        let dec = m.add_thread(pid, "MediaCodec", SchedClass::NORMAL);
+        let rend = m.add_thread(pid, "SurfaceFlinger", SchedClass::NORMAL);
+        let server = SegmentServer::new(Link::new(cfg.link.clone()));
+
+        let now = m.now();
+        let st = SessionState {
+            rng: rng.split("session"),
+            pid,
+            ui,
+            net,
+            dec,
+            rend,
+            buffer: PlaybackBuffer::new(cfg.buffer_secs),
+            stats: SessionStats::default(),
+            events: EventQueue::new(),
+            cost: DecodeCostModel::default(),
+            surfaces: VecDeque::new(),
+            pending_surface: None,
+            pipeline_pages: Pages::ZERO,
+            decoding: false,
+            downloading: false,
+            frames_owed: 0,
+            next_seg: 0,
+            playback_started: false,
+            ended: false,
+            last_period: SimDuration::from_micros(Fps::F30.frame_period_us()),
+            last_rep: None,
+            drop_window: VecDeque::new(),
+            rendered_this_sec: 0,
+            kills_this_sec: 0,
+            next_sample: now + SimDuration::from_secs(1),
+            last_lmkd_running: m.sched.thread(m.lmkd_thread()).times.running,
+            kill_series: TimeSeries::new("kills_per_s"),
+            lmkd_cpu_series: TimeSeries::new("lmkd_cpu_pct"),
+            trim_series: TimeSeries::new("trim_severity"),
+            rep_history: Vec::new(),
+            video_start: now,
+            next_floor_update: SimTime::ZERO,
+            next_ui_tick: now,
+            startup_remaining: profile.base_anon.mul_f64(0.7),
+            render_deadlines: VecDeque::new(),
+            oom_streak: 0,
+            missed_streak: 0,
+            streak_started: None,
+            stall_started: None,
+            deadline: now + SimDuration::from_secs_f64(cfg.video_secs * 2.5 + 40.0),
+        };
+        Session {
+            cfg,
+            machine: m,
+            pressure,
+            server,
+            st,
+            profile,
+            manifest,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.machine.now()
+    }
+
+    /// Whether playback has ended (naturally or by crash).
+    pub fn ended(&self) -> bool {
+        self.st.ended
+    }
+
+    /// The configuration the session was started with.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access — the hook for counterfactual branch knobs
+    /// (extra background load, kernel threshold changes) applied at a fork
+    /// point before the branch continues.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// [`Session::run_until_with`] without telemetry.
+    pub fn run_until(&mut self, abr: &mut dyn Abr, limit: SimTime) -> bool {
+        self.run_until_with(abr, limit, None)
+    }
+
+    /// Drive the session until it ends or simulation time reaches `limit`,
+    /// optionally recording cross-layer metrics. Bounded runs are
+    /// byte-identical to unbounded ones up to the boundary: `limit` only
+    /// joins the skip horizon, and any extra loop iterations it inserts
+    /// inside provably-idle spans are no-ops. Returns `true` once the
+    /// session has ended.
+    pub fn run_until_with(
+        &mut self,
+        abr: &mut dyn Abr,
+        limit: SimTime,
+        telemetry: Option<&mut Telemetry>,
+    ) -> bool {
+        let tele = telemetry.map(|t| {
+            let ins = Instruments::register(t);
+            (t, ins)
+        });
+        let mut runner = Runner {
+            cfg: &self.cfg,
+            profile: &self.profile,
+            manifest: &self.manifest,
+            abr,
+            st: &mut self.st,
+            tele,
+        };
+        runner.run_until(&mut self.machine, &mut self.pressure, &mut self.server, limit);
+        self.st.ended
+    }
+
+    /// Close the session and produce its outcome. A stall still open when
+    /// the session ends (crash included) counts up to the end of the run.
+    pub fn finish(mut self, telemetry: Option<&mut Telemetry>) -> SessionOutcome {
+        let m = &mut self.machine;
+        if let Some(start) = self.st.stall_started.take() {
+            self.st.stats.rebuffer_time += m.now().saturating_since(start);
+            m.trace.instant("rebuffer_end", m.now(), None);
+        }
+        self.st.stats.ended_at = m.now();
+        // Fold the kernel and scheduler totals into the metrics registry;
+        // these counters accumulate inside the substrates regardless, so
+        // absorbing them here costs nothing on the hot path.
+        if let Some(t) = telemetry {
+            absorb_machine_metrics(t, m, &self.st.stats);
+        }
+        let final_trim = m.mm.trim_level();
+        let end = m.now();
+        m.trace.finish(end);
+        SessionOutcome {
+            stats: self.st.stats,
+            final_trim,
+            kill_series: self.st.kill_series,
+            lmkd_cpu_series: self.st.lmkd_cpu_series,
+            trim_series: self.st.trim_series,
+            rep_history: self.st.rep_history,
+            client_threads: [self.st.ui, self.st.net, self.st.dec, self.st.rend],
+            client_pid: self.st.pid,
+            machine: self.machine,
+        }
+    }
+
+    /// Capture the complete session state as a versioned [`Snapshot`].
+    ///
+    /// The ABR policy is owned by the caller, so its decision state rides
+    /// along via [`Abr::state_value`]. Scratch buffers and generation
+    /// markers deliberately absent from the serialized forms are
+    /// behavior-neutral: a restored session's next step is byte-identical
+    /// to the original's (the differential suites in `tests/` prove it).
+    pub fn snapshot(&self, abr: &dyn Abr) -> Snapshot {
+        Snapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            at: self.machine.now(),
+            cfg: self.cfg.clone(),
+            machine: self.machine.to_value(),
+            pressure: self.pressure.to_value(),
+            server: self.server.to_value(),
+            state: self.st.to_value(),
+            abr_kind: abr.name().to_string(),
+            abr_state: abr.state_value(),
+        }
+    }
+
+    /// Rebuild a session from a snapshot, continuing under `abr`.
+    ///
+    /// If `abr` has the same [`Abr::name`] as the snapshotted policy, its
+    /// decision state is restored and the continuation is an *exact*
+    /// replay of the original session. A policy with a different name
+    /// starts fresh at the fork point — that difference is precisely the
+    /// counterfactual knob a branch exists to measure.
+    pub fn restore(snap: &Snapshot, abr: &mut dyn Abr) -> Result<Session, serde::de::Error> {
+        if snap.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(serde::de::Error::custom(format!(
+                "stale snapshot format v{} (expected v{})",
+                snap.format_version, SNAPSHOT_FORMAT_VERSION
+            )));
+        }
+        if abr.name() == snap.abr_kind {
+            abr.restore_state(&snap.abr_state)?;
+        }
+        let cfg = snap.cfg.clone();
+        let profile = PlayerProfile::of(cfg.player);
+        let manifest = Manifest::full_ladder(cfg.genre, cfg.video_secs);
+        Ok(Session {
+            machine: Machine::from_value(&snap.machine)?,
+            pressure: PressureDriver::from_value(&snap.pressure)?,
+            server: SegmentServer::from_value(&snap.server)?,
+            st: SessionState::from_value(&snap.state)?,
+            cfg,
+            profile,
+            manifest,
+        })
+    }
+
+    /// Fork one branch: snapshot this session and restore an independent
+    /// copy continuing under `branch_abr`. The parent is untouched; N calls
+    /// yield N branches sharing this exact prefix.
+    pub fn fork(
+        &self,
+        abr: &dyn Abr,
+        branch_abr: &mut dyn Abr,
+    ) -> Result<Session, serde::de::Error> {
+        Session::restore(&self.snapshot(abr), branch_abr)
+    }
+}
+
+/// The borrow bundle driving one [`Session::run_until_with`] call: config
+/// and derived tables by reference, all mutable state behind `st`.
+struct Runner<'a> {
+    cfg: &'a SessionConfig,
+    profile: &'a PlayerProfile,
+    manifest: &'a Manifest,
+    abr: &'a mut dyn Abr,
+    st: &'a mut SessionState,
     /// Metrics handle + pre-registered ids (None ⇒ single-branch no-ops).
     tele: Option<(&'a mut Telemetry, Instruments)>,
 }
 
 impl Runner<'_> {
-    fn run(&mut self, m: &mut Machine, pressure: &mut PressureDriver, server: &mut SegmentServer) {
-        self.video_start = m.now();
-        self.next_sample = m.now() + SimDuration::from_secs(1);
-        self.next_ui_tick = m.now();
-        self.last_lmkd_running = m.sched.thread(m.lmkd_thread()).times.running;
-        // Hard cap well beyond nominal playback, for pathological stalls.
-        let deadline = m.now() + SimDuration::from_secs_f64(self.cfg.video_secs * 2.5 + 40.0);
+    fn run_until(
+        &mut self,
+        m: &mut Machine,
+        pressure: &mut PressureDriver,
+        server: &mut SegmentServer,
+        limit: SimTime,
+    ) {
         let mut out = StepOutputs::default();
 
-        while !self.ended && m.now() < deadline {
+        while !self.st.ended && m.now() < self.st.deadline && m.now() < limit {
             let now = m.now();
 
-            while let Some((_, ev)) = self.events.pop_due(now) {
+            while let Some((_, ev)) = self.st.events.pop_due(now) {
                 match ev {
                     Ev::SegArrived { rep, bytes } => self.on_segment_arrived(m, rep, bytes),
                     Ev::Vsync => self.on_vsync(m, now),
@@ -395,16 +577,22 @@ impl Runner<'_> {
                 // Everything this loop does before the step is gated either
                 // on machine state (which cannot change while the machine is
                 // idle) or on one of these instants — so the machine may
-                // skip straight to the earliest of them.
+                // skip straight to the earliest of them. `limit` joins the
+                // gates so a bounded run stops *on* its boundary, never
+                // beyond it; the extra loop iterations this can insert
+                // inside an idle span are no-ops, which keeps bounded runs
+                // byte-identical to uninterrupted ones.
                 let horizon = self
+                    .st
                     .events
                     .peek_time()
                     .unwrap_or(SimTime::MAX)
-                    .min(self.next_sample)
-                    .min(self.next_ui_tick)
-                    .min(self.next_floor_update)
+                    .min(self.st.next_sample)
+                    .min(self.st.next_ui_tick)
+                    .min(self.st.next_floor_update)
                     .min(pressure.next_wakeup(m))
-                    .min(deadline);
+                    .min(self.st.deadline)
+                    .min(limit);
                 m.advance_until(horizon);
             }
             m.step_into(&mut out);
@@ -412,98 +600,92 @@ impl Runner<'_> {
             for &c in &out.completions {
                 self.on_completion(m, c.thread, c.tag);
             }
-            self.kills_this_sec += out.killed.len() as u32;
-            let mut crashed = out.killed.iter().any(|&(p, _)| p == self.pid);
+            self.st.kills_this_sec += out.killed.len() as u32;
+            let mut crashed = out.killed.iter().any(|&(p, _)| p == self.st.pid);
             // Allocation shortfalls stall-and-retry (the kernel blocks the
             // allocator while reclaim and lmkd fight for pages); only a
             // *sustained* failure — nothing granted for several seconds —
             // takes the kernel OOM path.
-            if self.oom_streak > 60 && !m.mm.proc(self.pid).dead {
-                m.kill_process(self.pid, KillSource::OomKiller);
+            if self.st.oom_streak > 60 && !m.mm.proc(self.st.pid).dead {
+                m.kill_process(self.st.pid, KillSource::OomKiller);
                 crashed = true;
             }
             if crashed {
-                self.stats.crashed_at = Some(m.now());
-                self.ended = true;
+                self.st.stats.crashed_at = Some(m.now());
+                self.st.ended = true;
             }
 
-            if m.now() >= self.next_sample {
+            if m.now() >= self.st.next_sample {
                 self.sample(m);
             }
 
             self.check_end(m);
         }
-        // A stall still open when the session ends (crash included) counts
-        // up to the end of the run.
-        if let Some(start) = self.stall_started.take() {
-            self.stats.rebuffer_time += m.now().saturating_since(start);
-            m.trace.instant("rebuffer_end", m.now(), None);
-        }
-        self.stats.ended_at = m.now();
     }
 
     // ---- download path -------------------------------------------------
 
     fn maybe_start_download(&mut self, m: &Machine, server: &mut SegmentServer, now: SimTime) {
-        if self.downloading
-            || self.ended
-            || self.next_seg >= self.manifest.n_segments()
-            || !self.buffer.has_room_for(self.manifest.segment_seconds)
+        if self.st.downloading
+            || self.st.ended
+            || self.st.next_seg >= self.manifest.n_segments()
+            || !self.st.buffer.has_room_for(self.manifest.segment_seconds)
         {
             return;
         }
         let recent_drop_pct = self.recent_drop_pct(now);
         let ctx = AbrContext {
             manifest: &self.manifest,
-            buffer_seconds: self.buffer.buffered_seconds(),
+            buffer_seconds: self.st.buffer.buffered_seconds(),
             buffer_capacity: self.cfg.buffer_secs,
             throughput_mbps: server.harmonic_throughput_mbps(3),
             trim_level: m.mm.trim_level(),
             recent_drop_pct,
-            last: self.last_rep,
+            last: self.st.last_rep,
             screen_cap: self.cfg.device.screen_cap,
         };
         let rep = self.abr.choose(&ctx);
-        let bytes = self.manifest.segment_bytes(rep, self.next_seg, &mut self.rng);
+        let bytes = self.manifest.segment_bytes(rep, self.st.next_seg, &mut self.st.rng);
         let done = server.request(now, bytes);
-        self.events.push(done, Ev::SegArrived { rep, bytes });
-        self.downloading = true;
-        self.next_seg += 1;
+        self.st.events.push(done, Ev::SegArrived { rep, bytes });
+        self.st.downloading = true;
+        self.st.next_seg += 1;
     }
 
     fn on_segment_arrived(&mut self, m: &mut Machine, rep: Representation, bytes: u64) {
         // The transfer landed in socket buffers → JS heap pages.
         let pages = Pages::from_bytes(bytes);
-        let out = m.alloc_for(self.net, self.pid, pages);
+        let out = m.alloc_for(self.st.net, self.st.pid, pages);
         if out.oom {
             // Couldn't hold the whole chunk: back off and retry — the
             // allocator stalls while reclaim/lmkd hunt for memory.
-            m.free_for(self.pid, out.granted);
-            self.oom_streak += 1;
-            self.events.push(
+            m.free_for(self.st.pid, out.granted);
+            self.st.oom_streak += 1;
+            self.st.events.push(
                 m.now() + SimDuration::from_millis(100),
                 Ev::SegArrived { rep, bytes },
             );
             return;
         }
-        self.oom_streak = 0;
+        self.st.oom_streak = 0;
         // Parsing/appending the chunk costs the network thread CPU.
         let parse_us = 250.0 + bytes as f64 / 1e6 * 400.0;
-        m.push_work(self.net, parse_us, TAG_NETPARSE);
-        self.buffer.push_segment(rep, bytes, self.manifest.segment_seconds);
-        self.stats.segments_downloaded += 1;
-        self.downloading = false;
+        m.push_work(self.st.net, parse_us, TAG_NETPARSE);
+        self.st.buffer.push_segment(rep, bytes, self.manifest.segment_seconds);
+        self.st.stats.segments_downloaded += 1;
+        self.st.downloading = false;
         if let Some((t, ins)) = self.tele.as_mut() {
             t.metrics.inc(ins.segments, 1);
         }
         if self
+            .st
             .rep_history
             .last()
             .map_or(true, |&(_, r)| r != rep)
         {
             // A representation change after the first segment is an ABR
             // quality switch — mark it on the trace timeline.
-            if !self.rep_history.is_empty() {
+            if !self.st.rep_history.is_empty() {
                 m.trace.instant(
                     format!("quality_switch:{}@{}", rep.resolution, rep.fps.value()),
                     m.now(),
@@ -513,21 +695,21 @@ impl Runner<'_> {
                     t.metrics.inc(ins.abr_switches, 1);
                 }
             }
-            self.rep_history.push((m.now(), rep));
+            self.st.rep_history.push((m.now(), rep));
         }
-        if self.last_rep != Some(rep) {
+        if self.st.last_rep != Some(rep) {
             self.realloc_pipeline(m, rep);
         }
-        self.last_rep = Some(rep);
+        self.st.last_rep = Some(rep);
         self.update_floors(m, rep);
         // Per-segment UI work (MSE bookkeeping, JS callbacks).
-        m.push_work(self.ui, 2_000.0 * self.profile.render_cost_factor, TAG_UI);
+        m.push_work(self.st.ui, 2_000.0 * self.profile.render_cost_factor, TAG_UI);
     }
 
     // ---- decode path ----------------------------------------------------
 
     fn maybe_start_decode(&mut self, m: &mut Machine) {
-        if self.decoding || self.ended || self.buffer.is_empty() {
+        if self.st.decoding || self.st.ended || self.st.buffer.is_empty() {
             return;
         }
         // The *memory* surface pool is deep (see `memory_model`), but the
@@ -535,40 +717,40 @@ impl Runner<'_> {
         // buffering plus codec lookahead): stalls longer than this window
         // become visible as drops.
         const DECODE_AHEAD: usize = 4;
-        if self.surfaces.len() >= DECODE_AHEAD {
+        if self.st.surfaces.len() >= DECODE_AHEAD {
             return;
         }
-        let consumed = self.buffer.pop_frame().expect("buffer not empty");
+        let consumed = self.st.buffer.pop_frame().expect("buffer not empty");
         if consumed.freed_bytes > 0 {
-            m.free_for(self.pid, Pages::from_bytes(consumed.freed_bytes));
+            m.free_for(self.st.pid, Pages::from_bytes(consumed.freed_bytes));
         }
 
-        if self.frames_owed > 0 {
+        if self.st.frames_owed > 0 {
             // Skip cheaply to hold 1× (already counted dropped at vsync).
-            self.frames_owed -= 1;
-            let mean = self.cost.mean_decode_us(
+            self.st.frames_owed -= 1;
+            let mean = self.st.cost.mean_decode_us(
                 consumed.rep,
                 self.cfg.genre,
                 &self.profile,
                 self.cfg.device.video_accel,
             );
-            m.push_work(self.dec, mean * 0.15, TAG_SKIP);
-            self.decoding = true;
+            m.push_work(self.st.dec, mean * 0.15, TAG_SKIP);
+            self.st.decoding = true;
             return;
         }
 
         // Touch the encoded bytes for this frame (swap-ins cost us CPU).
         let frame_bytes =
             consumed.rep.bitrate_kbps as u64 * 1000 / 8 / consumed.rep.fps.value() as u64;
-        m.touch_anon_for(self.dec, self.pid, Pages::from_bytes(frame_bytes.max(4096)));
+        m.touch_anon_for(self.st.dec, self.st.pid, Pages::from_bytes(frame_bytes.max(4096)));
         // Touch the decoder's code/JIT pages; evicted ones major-fault and
         // block us behind mmcqd (§5's dominant stall).
-        let file_touch = if self.rng.chance(1.0 / 15.0) {
+        let file_touch = if self.st.rng.chance(1.0 / 15.0) {
             Pages::new(150) // I-frame boundary: wider code/data excursion
         } else {
             Pages::new(20)
         };
-        m.touch_file_for(self.dec, self.pid, file_touch);
+        m.touch_file_for(self.st.dec, self.st.pid, file_touch);
 
         // Software decode writes each output frame into a heap buffer
         // rotated through the frame pool — at 60 FPS that is tens to
@@ -581,70 +763,70 @@ impl Runner<'_> {
         } else {
             memmod::frame_pages(consumed.rep.resolution)
         };
-        let alloc = m.alloc_for(self.dec, self.pid, scratch);
-        m.free_for(self.pid, alloc.granted);
+        let alloc = m.alloc_for(self.st.dec, self.st.pid, scratch);
+        m.free_for(self.st.pid, alloc.granted);
 
-        let decode_us = self.cost.sample_decode_us(
+        let decode_us = self.st.cost.sample_decode_us(
             consumed.rep,
             self.cfg.genre,
             &self.profile,
             self.cfg.device.video_accel,
-            &mut self.rng,
+            &mut self.st.rng,
         );
         if let Some((t, ins)) = self.tele.as_mut() {
             t.metrics.observe(ins.decode_us, decode_us);
         }
-        m.push_work(self.dec, decode_us, TAG_DECODE);
-        self.decoding = true;
+        m.push_work(self.st.dec, decode_us, TAG_DECODE);
+        self.st.decoding = true;
         // Remember which rep this surface belongs to (pushed on completion).
-        self.pending_surface = Some(consumed.rep);
+        self.st.pending_surface = Some(consumed.rep);
     }
 
     // ---- render path ----------------------------------------------------
 
     fn on_vsync(&mut self, m: &mut Machine, now: SimTime) {
-        if self.ended {
+        if self.st.ended {
             return;
         }
-        if let Some(rep) = self.surfaces.pop_front() {
+        if let Some(rep) = self.st.surfaces.pop_front() {
             self.end_stall(m, now);
             let period = SimDuration::from_micros(rep.fps.frame_period_us());
             // The composited frame must reach the display well inside the
             // frame period or the user sees a skipped frame.
-            self.render_deadlines.push_back(now + period);
-            m.push_work(self.rend, self.cost.render_us(rep, &self.profile), TAG_RENDER);
-            self.last_period = period;
+            self.st.render_deadlines.push_back(now + period);
+            m.push_work(self.st.rend, self.st.cost.render_us(rep, &self.profile), TAG_RENDER);
+            self.st.last_period = period;
         } else if self.more_frames_coming() {
-            self.stats.frames_dropped += 1;
-            self.frames_owed += 1;
-            self.drop_window.push_back((now, true));
+            self.st.stats.frames_dropped += 1;
+            self.st.frames_owed += 1;
+            self.st.drop_window.push_back((now, true));
             if let Some((t, ins)) = self.tele.as_mut() {
                 t.metrics.inc(ins.frames_dropped, 1);
             }
             // A run of starved vsyncs is a visible stall — the paper's
             // rebuffering QoE dimension, distinct from isolated drops.
-            if self.missed_streak == 0 {
-                self.streak_started = Some(now);
+            if self.st.missed_streak == 0 {
+                self.st.streak_started = Some(now);
             }
-            self.missed_streak += 1;
-            if self.missed_streak == REBUFFER_STREAK {
-                let at = self.streak_started.unwrap_or(now);
-                self.stall_started = Some(at);
+            self.st.missed_streak += 1;
+            if self.st.missed_streak == REBUFFER_STREAK {
+                let at = self.st.streak_started.unwrap_or(now);
+                self.st.stall_started = Some(at);
                 m.trace.instant("rebuffer_start", at, None);
                 if let Some((t, ins)) = self.tele.as_mut() {
                     t.metrics.inc(ins.rebuffer_events, 1);
                 }
             }
         }
-        self.events.push(now + self.last_period, Ev::Vsync);
+        self.st.events.push(now + self.st.last_period, Ev::Vsync);
     }
 
     /// Close an open rebuffer stall (a surface made it to the display).
     fn end_stall(&mut self, m: &mut Machine, now: SimTime) {
-        self.missed_streak = 0;
-        self.streak_started = None;
-        if let Some(start) = self.stall_started.take() {
-            self.stats.rebuffer_time += now.saturating_since(start);
+        self.st.missed_streak = 0;
+        self.st.streak_started = None;
+        if let Some(start) = self.st.stall_started.take() {
+            self.st.stats.rebuffer_time += now.saturating_since(start);
             m.trace.instant("rebuffer_end", now, None);
         }
     }
@@ -652,33 +834,33 @@ impl Runner<'_> {
     fn on_completion(&mut self, m: &mut Machine, thread: ThreadId, tag: u64) {
         match tag {
             TAG_DECODE => {
-                debug_assert_eq!(thread, self.dec);
-                self.decoding = false;
-                if let Some(rep) = self.pending_surface.take() {
-                    self.surfaces.push_back(rep);
+                debug_assert_eq!(thread, self.st.dec);
+                self.st.decoding = false;
+                if let Some(rep) = self.st.pending_surface.take() {
+                    self.st.surfaces.push_back(rep);
                 }
-                if !self.playback_started {
-                    self.playback_started = true;
-                    self.events.push(m.now(), Ev::Vsync);
+                if !self.st.playback_started {
+                    self.st.playback_started = true;
+                    self.st.events.push(m.now(), Ev::Vsync);
                 }
             }
             TAG_SKIP => {
-                self.decoding = false;
+                self.st.decoding = false;
             }
             TAG_RENDER => {
-                let deadline = self.render_deadlines.pop_front();
+                let deadline = self.st.render_deadlines.pop_front();
                 if deadline.is_some_and(|d| m.now() > d) {
                     // Composited too late: the vsync slot was missed.
-                    self.stats.frames_dropped += 1;
-                    self.drop_window.push_back((m.now(), true));
+                    self.st.stats.frames_dropped += 1;
+                    self.st.drop_window.push_back((m.now(), true));
                     if let Some((t, ins)) = self.tele.as_mut() {
                         t.metrics.inc(ins.frames_dropped, 1);
                         t.metrics.inc(ins.frames_late, 1);
                     }
                 } else {
-                    self.stats.frames_rendered += 1;
-                    self.rendered_this_sec += 1;
-                    self.drop_window.push_back((m.now(), false));
+                    self.st.stats.frames_rendered += 1;
+                    self.st.rendered_this_sec += 1;
+                    self.st.drop_window.push_back((m.now(), false));
                     if let Some((t, ins)) = self.tele.as_mut() {
                         t.metrics.inc(ins.frames_rendered, 1);
                     }
@@ -691,83 +873,84 @@ impl Runner<'_> {
     // ---- bookkeeping ----------------------------------------------------
 
     fn more_frames_coming(&self) -> bool {
-        !self.buffer.is_empty()
-            || self.decoding
-            || self.next_seg < self.manifest.n_segments()
-            || self.downloading
+        !self.st.buffer.is_empty()
+            || self.st.decoding
+            || self.st.next_seg < self.manifest.n_segments()
+            || self.st.downloading
     }
 
     fn check_end(&mut self, m: &Machine) {
-        if self.ended {
+        if self.st.ended {
             return;
         }
-        if self.playback_started
-            && self.surfaces.is_empty()
+        if self.st.playback_started
+            && self.st.surfaces.is_empty()
             && !self.more_frames_coming()
         {
-            self.ended = true;
-            self.stats.ended_at = m.now();
+            self.st.ended = true;
+            self.st.stats.ended_at = m.now();
         }
     }
 
     fn recent_drop_pct(&mut self, now: SimTime) -> f64 {
         let horizon = SimTime(now.as_micros().saturating_sub(4_000_000));
         while self
+            .st
             .drop_window
             .front()
             .is_some_and(|&(t, _)| t < horizon)
         {
-            self.drop_window.pop_front();
+            self.st.drop_window.pop_front();
         }
-        if self.drop_window.is_empty() {
+        if self.st.drop_window.is_empty() {
             return 0.0;
         }
-        let drops = self.drop_window.iter().filter(|&&(_, d)| d).count();
-        drops as f64 / self.drop_window.len() as f64 * 100.0
+        let drops = self.st.drop_window.iter().filter(|&&(_, d)| d).count();
+        drops as f64 / self.st.drop_window.len() as f64 * 100.0
     }
 
     /// (Re)allocate the decoded-surface queue and codec state when the
     /// streamed representation changes — the resolution/frame-rate-
     /// dependent components of the paper's Fig. 8 PSS growth.
     fn realloc_pipeline(&mut self, m: &mut Machine, rep: Representation) {
-        if !self.pipeline_pages.is_zero() {
-            m.free_for(self.pid, self.pipeline_pages);
+        if !self.st.pipeline_pages.is_zero() {
+            m.free_for(self.st.pid, self.st.pipeline_pages);
         }
         let depth = memmod::surface_depth(&self.profile, rep.fps);
         let pages = memmod::surface_queue_pages(rep.resolution, depth)
             + memmod::codec_state_pages(rep.resolution);
-        let out = m.alloc_for(self.dec, self.pid, pages);
-        self.pipeline_pages = out.granted;
+        let out = m.alloc_for(self.st.dec, self.st.pid, pages);
+        self.st.pipeline_pages = out.granted;
     }
 
     fn update_floors(&mut self, m: &mut Machine, rep: Representation) {
         let hot =
-            memmod::hot_anon_pages(&self.profile, rep, self.buffer.buffered_seconds());
+            memmod::hot_anon_pages(&self.profile, rep, self.st.buffer.buffered_seconds());
         m.mm.set_floor(
-            self.pid,
+            self.st.pid,
             hot,
             self.profile.base_file_resident.mul_f64(0.30),
         );
     }
 
     fn ui_housekeeping(&mut self, m: &mut Machine, now: SimTime) {
-        if now >= self.next_ui_tick && !self.ended {
-            self.next_ui_tick = now + SimDuration::from_millis(100);
-            m.push_work(self.ui, 700.0 * self.profile.render_cost_factor, TAG_UI);
+        if now >= self.st.next_ui_tick && !self.st.ended {
+            self.st.next_ui_tick = now + SimDuration::from_millis(100);
+            m.push_work(self.st.ui, 700.0 * self.profile.render_cost_factor, TAG_UI);
             // Startup heap ramp (~2.5 s to full footprint); shortfalls are
             // re-queued — the app blocks in the allocator under pressure.
-            if !self.startup_remaining.is_zero() {
+            if !self.st.startup_remaining.is_zero() {
                 let chunk = self
                     .profile
                     .base_anon
                     .mul_f64(0.04)
-                    .min(self.startup_remaining);
-                let out = m.alloc_for(self.ui, self.pid, chunk);
-                self.startup_remaining -= out.granted.min(chunk);
+                    .min(self.st.startup_remaining);
+                let out = m.alloc_for(self.st.ui, self.st.pid, chunk);
+                self.st.startup_remaining -= out.granted.min(chunk);
                 if out.oom {
-                    self.oom_streak += 1;
+                    self.st.oom_streak += 1;
                 } else {
-                    self.oom_streak = 0;
+                    self.st.oom_streak = 0;
                 }
             }
             // JS allocation churn: browsers allocate and collect tens of
@@ -775,17 +958,17 @@ impl Runner<'_> {
             // invisible; under pressure every burst re-triggers reclaim —
             // the sustained kswapd activity §5 measures.
             let churn = self.profile.base_anon.mul_f64(0.018); // ≈ 3 MiB/100 ms
-            let churned = m.alloc_for(self.ui, self.pid, churn);
-            m.free_for(self.pid, churned.granted);
+            let churned = m.alloc_for(self.st.ui, self.st.pid, churn);
+            m.free_for(self.st.pid, churned.granted);
             // Periodic JS GC pause work.
-            if self.rng.chance(0.012) {
-                m.push_work(self.ui, 18_000.0 * self.profile.render_cost_factor, TAG_UI);
+            if self.st.rng.chance(0.012) {
+                m.push_work(self.st.ui, 18_000.0 * self.profile.render_cost_factor, TAG_UI);
             }
         }
-        if now >= self.next_floor_update {
-            self.next_floor_update = now + SimDuration::from_millis(500);
-            if let Some(rep) = self.last_rep {
-                if !m.mm.proc(self.pid).dead {
+        if now >= self.st.next_floor_update {
+            self.st.next_floor_update = now + SimDuration::from_millis(500);
+            if let Some(rep) = self.st.last_rep {
+                if !m.mm.proc(self.st.pid).dead {
                     self.update_floors(m, rep);
                 }
             }
@@ -794,25 +977,25 @@ impl Runner<'_> {
 
     fn sample(&mut self, m: &mut Machine) {
         let now = m.now();
-        self.next_sample = now + SimDuration::from_secs(1);
-        if !m.mm.proc(self.pid).dead {
-            self.stats.pss_series.push(now, m.pss_mib(self.pid));
+        self.st.next_sample = now + SimDuration::from_secs(1);
+        if !m.mm.proc(self.st.pid).dead {
+            self.st.stats.pss_series.push(now, m.pss_mib(self.st.pid));
         }
-        self.stats
+        self.st.stats
             .fps_series
-            .push(now, self.rendered_this_sec as f64);
+            .push(now, self.st.rendered_this_sec as f64);
         m.trace
-            .counter("rendered_fps", now, self.rendered_this_sec as f64);
-        self.rendered_this_sec = 0;
+            .counter("rendered_fps", now, self.st.rendered_this_sec as f64);
+        self.st.rendered_this_sec = 0;
 
-        self.kill_series.push(now, self.kills_this_sec as f64);
-        self.kills_this_sec = 0;
+        self.st.kill_series.push(now, self.st.kills_this_sec as f64);
+        self.st.kills_this_sec = 0;
 
         let lmkd_running = m.sched.thread(m.lmkd_thread()).times.running;
-        let delta = lmkd_running.saturating_sub(self.last_lmkd_running);
-        self.last_lmkd_running = lmkd_running;
+        let delta = lmkd_running.saturating_sub(self.st.last_lmkd_running);
+        self.st.last_lmkd_running = lmkd_running;
         let pct = delta.as_micros() as f64 / 1_000_000.0 * 100.0;
-        self.lmkd_cpu_series.push(now, pct);
+        self.st.lmkd_cpu_series.push(now, pct);
         m.trace.counter("lmkd_cpu_pct", now, pct);
 
         // Memory counter tracks for the Perfetto export: free pages and
@@ -820,7 +1003,7 @@ impl Runner<'_> {
         m.trace.counter("free_mib", now, m.mm.free().mib());
         m.trace.counter("zram_mib", now, m.mm.zram_stored().mib());
 
-        self.trim_series
+        self.st.trim_series
             .push(now, m.mm.trim_level().severity() as f64);
     }
 }

@@ -7,6 +7,8 @@ use mvqoe_sched::{Completion, SchedClass, Scheduler, ThreadId};
 use mvqoe_sim::{SimDuration, SimRng, SimTime};
 use mvqoe_storage::{Disk, IoId, IoRequest};
 use mvqoe_trace::Trace;
+use serde::ser::Value;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Largest tag value user code may use with [`Machine::push_work`]; larger
@@ -560,6 +562,67 @@ impl Machine {
     }
 }
 
+// Snapshot support. Every field that can influence a future step is
+// serialized; the four scratch buffers (`scratch_completions`, `scratch_io`,
+// `scratch_mem`, `idle_out`) are not, because `step_into` clears each one
+// before its first read — a restored machine's next step is identical, it
+// just re-grows the buffer capacities (pinned by `tests/zero_alloc.rs`).
+impl Serialize for Machine {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("sched".into(), self.sched.to_value()),
+            ("mm".into(), self.mm.to_value()),
+            ("disk".into(), self.disk.to_value()),
+            ("trace".into(), self.trace.to_value()),
+            ("profile".into(), self.profile.to_value()),
+            ("tick".into(), self.tick.to_value()),
+            ("kswapd".into(), self.kswapd.to_value()),
+            ("mmcqd".into(), self.mmcqd.to_value()),
+            ("lmkd".into(), self.lmkd.to_value()),
+            ("system_thread".into(), self.system_thread.to_value()),
+            ("kswapd_busy".into(), self.kswapd_busy.to_value()),
+            ("mmcqd_busy".into(), self.mmcqd_busy.to_value()),
+            ("lmkd_pending".into(), self.lmkd_pending.to_value()),
+            ("lmkd_next_poll".into(), self.lmkd_next_poll.to_value()),
+            ("ambient_next".into(), self.ambient_next.to_value()),
+            ("io_waiters".into(), self.io_waiters.to_value()),
+            ("proc_threads".into(), self.proc_threads.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Machine {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::de::Error::custom(format!("Machine missing field {name}")))
+        };
+        Ok(Machine {
+            sched: Deserialize::from_value(field("sched")?)?,
+            mm: Deserialize::from_value(field("mm")?)?,
+            disk: Deserialize::from_value(field("disk")?)?,
+            trace: Deserialize::from_value(field("trace")?)?,
+            profile: Deserialize::from_value(field("profile")?)?,
+            tick: Deserialize::from_value(field("tick")?)?,
+            kswapd: Deserialize::from_value(field("kswapd")?)?,
+            mmcqd: Deserialize::from_value(field("mmcqd")?)?,
+            lmkd: Deserialize::from_value(field("lmkd")?)?,
+            system_thread: Deserialize::from_value(field("system_thread")?)?,
+            kswapd_busy: Deserialize::from_value(field("kswapd_busy")?)?,
+            mmcqd_busy: Deserialize::from_value(field("mmcqd_busy")?)?,
+            lmkd_pending: Deserialize::from_value(field("lmkd_pending")?)?,
+            lmkd_next_poll: Deserialize::from_value(field("lmkd_next_poll")?)?,
+            ambient_next: Deserialize::from_value(field("ambient_next")?)?,
+            io_waiters: Deserialize::from_value(field("io_waiters")?)?,
+            proc_threads: Deserialize::from_value(field("proc_threads")?)?,
+            scratch_completions: Vec::new(),
+            scratch_io: Vec::new(),
+            scratch_mem: Vec::new(),
+            idle_out: StepOutputs::default(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +631,35 @@ mod tests {
     fn machine() -> Machine {
         let mut rng = SimRng::new(1);
         Machine::new(DeviceProfile::nokia1(), &mut rng)
+    }
+
+    #[test]
+    fn serde_round_trip_continues_identically() {
+        let mut m = machine();
+        let (pid, _) = m.add_process(
+            "app",
+            ProcKind::Foreground,
+            Pages::from_mib(120),
+            Pages::from_mib(80),
+            Pages::from_mib(40),
+            0.45,
+        );
+        let tid = m.add_thread(pid, "app", SchedClass::NORMAL);
+        m.push_work(tid, 40_000.0, 0);
+        m.alloc_for(tid, pid, Pages::from_mib(32));
+        m.run_idle(SimDuration::from_millis(700));
+
+        let mut r = Machine::from_value(&m.to_value()).expect("round trip");
+        m.push_work(tid, 25_000.0, 1);
+        r.push_work(tid, 25_000.0, 1);
+        m.run_idle(SimDuration::from_secs(2));
+        r.run_idle(SimDuration::from_secs(2));
+
+        assert_eq!(m.now(), r.now());
+        assert_eq!(format!("{:?}", m.mm.vmstat()), format!("{:?}", r.mm.vmstat()));
+        assert_eq!(format!("{:?}", m.sched.threads()), format!("{:?}", r.sched.threads()));
+        assert_eq!(m.trace.events(), r.trace.events());
+        assert_eq!(m.trace.instants().len(), r.trace.instants().len());
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! Paired policy counterfactuals forked from one snapshotted prefix.
+fn main() {
+    mvqoe_experiments::registry::cli_main("counterfactual");
+}

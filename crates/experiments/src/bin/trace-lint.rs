@@ -9,6 +9,9 @@
 //! - `*.metrics.json` — must be a map from experiment id to a non-empty
 //!   list of metrics snapshots whose histogram bucket counts sum to their
 //!   `count` field.
+//! - `counterfactual.json` — must be the paired-delta artifact: non-empty
+//!   `pairs`, ≥ 4 branches per pair led by a zero-delta `baseline`, and
+//!   every branch's deltas consistent with its absolute QoE values.
 //!
 //! Exits non-zero on the first malformed file, so the CI smoke recipe can
 //! gate on it.
@@ -135,12 +138,67 @@ fn lint_metrics(path: &str, v: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn lint_counterfactual(path: &str, v: &Value) -> Result<(), String> {
+    let pairs = v
+        .get("pairs")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| fail(path, "no pairs array"))?;
+    if pairs.is_empty() {
+        return Err(fail(path, "pairs is empty"));
+    }
+    for (i, pair) in pairs.iter().enumerate() {
+        let branches = pair
+            .get("branches")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| fail(path, &format!("pair {i} has no branches array")))?;
+        if branches.len() < 4 {
+            return Err(fail(
+                path,
+                &format!("pair {i} has {} branch(es), need >= 4", branches.len()),
+            ));
+        }
+        let field = |b: &Value, key: &str| -> Result<f64, String> {
+            b.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| fail(path, &format!("pair {i}: branch missing numeric {key}")))
+        };
+        let delta_of = |b: &Value, key: &str| -> Result<f64, String> {
+            b.get("delta")
+                .and_then(|d| d.get(key))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| fail(path, &format!("pair {i}: delta missing numeric {key}")))
+        };
+        let base = &branches[0];
+        if base.get("branch").and_then(Value::as_str) != Some("baseline") {
+            return Err(fail(path, &format!("pair {i}: branch 0 is not the baseline")));
+        }
+        for key in ["rebuffer_s", "drop_pct"] {
+            let b0 = field(base, key)?;
+            for b in branches {
+                // Deltas are computed as exact pairwise differences, so
+                // they must reproduce from the absolute values bit-for-bit
+                // (modulo JSON's f64 round trip).
+                if (delta_of(b, key)? - (field(b, key)? - b0)).abs() > 1e-9 {
+                    return Err(fail(
+                        path,
+                        &format!("pair {i}: {key} delta disagrees with its absolute values"),
+                    ));
+                }
+            }
+        }
+    }
+    println!("[ok] {path}: {} paired fork(s)", pairs.len());
+    Ok(())
+}
+
 fn lint(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| fail(path, &format!("unreadable: {e}")))?;
     let v: Value =
         serde_json::from_str(&text).map_err(|e| fail(path, &format!("invalid JSON: {e}")))?;
     if path.ends_with(".metrics.json") {
         lint_metrics(path, &v)
+    } else if path.ends_with("counterfactual.json") {
+        lint_counterfactual(path, &v)
     } else {
         lint_trace(path, &v)
     }

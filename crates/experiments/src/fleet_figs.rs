@@ -14,7 +14,7 @@ use crate::scale::Scale;
 use mvqoe_kernel::TrimLevel;
 use mvqoe_metrics::MetricsSnapshot;
 use mvqoe_sim::stats;
-use mvqoe_study::{simulate_range, FleetAggregate, FleetConfig, FleetResults};
+use mvqoe_study::{simulate_range_from, FleetAggregate, FleetConfig, FleetResults};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -140,18 +140,36 @@ pub struct ShardedRun {
     pub aggregate: FleetAggregate,
     /// Shards the run was split into.
     pub shards: u32,
-    /// Shards restored from checkpoints instead of simulated.
+    /// Shards restored from checkpoints — complete ones returned as-is
+    /// plus partial ones resumed mid-shard — instead of simulated from
+    /// their start.
     pub loaded: u32,
 }
 
-/// One checkpointed shard on disk.
+/// Checkpoint layout version. v2 added `next_user` (mid-shard resume);
+/// checkpoints from other versions are rejected and recomputed, exactly
+/// like mismatched fingerprints.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
+
+/// Users folded between mid-shard partial checkpoints. A killed run loses
+/// at most this much work per in-flight shard, not the whole shard.
+const PARTIAL_CHECKPOINT_EVERY: u32 = 1024;
+
+/// One checkpointed shard on disk — complete (`next_user` = shard end) or
+/// partial (the fold got as far as `next_user` before the run died).
 #[derive(Debug, Serialize, Deserialize)]
 struct ShardCheckpoint {
+    /// Layout version; loads reject other versions.
+    version: u32,
     /// Serialized `(FleetConfig, shard count)` — a resumed run must match
     /// it exactly or the shard is recomputed.
     fingerprint: String,
     /// Shard index.
     shard: u32,
+    /// First user index *not yet* folded into `aggregate`. Users are
+    /// independently seeded, so continuing the fold here is byte-identical
+    /// to an uninterrupted shard.
+    next_user: u32,
     /// The shard's folded state.
     aggregate: FleetAggregate,
 }
@@ -165,20 +183,46 @@ fn shard_path(dir: &Path, shard: u32, shards: u32) -> PathBuf {
 }
 
 /// Load shard `shard`'s checkpoint, if one exists and was written for
-/// exactly this config and shard layout.
-pub fn load_shard(dir: &Path, cfg: &FleetConfig, shards: u32, shard: u32) -> Option<FleetAggregate> {
+/// exactly this config, shard layout, and checkpoint version. Returns the
+/// folded state and the first user index still to simulate.
+pub fn load_shard(
+    dir: &Path,
+    cfg: &FleetConfig,
+    shards: u32,
+    shard: u32,
+) -> Option<(FleetAggregate, u32)> {
     let print = fingerprint(cfg, shards);
     let text = std::fs::read_to_string(shard_path(dir, shard, shards)).ok()?;
     let ckpt: ShardCheckpoint = serde_json::from_str(&text).ok()?;
-    (ckpt.fingerprint == print && ckpt.shard == shard).then_some(ckpt.aggregate)
+    (ckpt.version == CHECKPOINT_FORMAT_VERSION
+        && ckpt.fingerprint == print
+        && ckpt.shard == shard)
+        .then_some((ckpt.aggregate, ckpt.next_user))
 }
 
 /// Persist one finished shard's aggregate so an interrupted run can
 /// resume from it. Best-effort: checkpoint failures never fail the run.
 pub fn store_shard(dir: &Path, cfg: &FleetConfig, shards: u32, shard: u32, agg: &FleetAggregate) {
+    let end = shard_range(cfg.n_users, shards, shard).end;
+    store_shard_partial(dir, cfg, shards, shard, end, agg);
+}
+
+/// Persist a mid-shard snapshot: the fold's state after every user below
+/// `next_user`. The same write path as a finished shard — a complete
+/// checkpoint is just a partial whose `next_user` is the shard end.
+pub fn store_shard_partial(
+    dir: &Path,
+    cfg: &FleetConfig,
+    shards: u32,
+    shard: u32,
+    next_user: u32,
+    agg: &FleetAggregate,
+) {
     let ckpt = ShardCheckpoint {
+        version: CHECKPOINT_FORMAT_VERSION,
         fingerprint: fingerprint(cfg, shards),
         shard,
+        next_user,
         aggregate: agg.clone(),
     };
     if let Ok(text) = serde_json::to_string(&ckpt) {
@@ -215,16 +259,27 @@ pub fn run_fleet_sharded(
     let dir = checkpoint_dir.filter(|d| std::fs::create_dir_all(d).is_ok());
     let indices: Vec<u32> = (0..shards).collect();
     let results: Vec<(FleetAggregate, bool)> = crate::runner::map(scale, &indices, |&s| {
-        if let Some(d) = dir {
-            if let Some(agg) = load_shard(d, cfg, shards, s) {
-                return (agg, true);
+        let range = shard_range(cfg.n_users, shards, s);
+        // A complete checkpoint is returned as-is; a partial one resumes
+        // the fold *inside* the shard from its embedded mid-shard state.
+        let (start_agg, start_user, resumed) = match dir.and_then(|d| load_shard(d, cfg, shards, s))
+        {
+            Some((agg, next_user)) if next_user >= range.end => return (agg, true),
+            Some((agg, next_user)) => (agg, next_user.max(range.start), true),
+            None => (FleetAggregate::new(), range.start, false),
+        };
+        let agg = simulate_range_from(cfg, start_agg, start_user..range.end, |i, partial| {
+            if let Some(d) = dir {
+                let folded = i + 1 - range.start;
+                if folded % PARTIAL_CHECKPOINT_EVERY == 0 && i + 1 < range.end {
+                    store_shard_partial(d, cfg, shards, s, i + 1, partial);
+                }
             }
-        }
-        let agg = simulate_range(cfg, shard_range(cfg.n_users, shards, s));
+        });
         if let Some(d) = dir {
             store_shard(d, cfg, shards, s, &agg);
         }
-        (agg, false)
+        (agg, resumed)
     });
 
     let loaded = results.iter().filter(|(_, l)| *l).count() as u32;

@@ -15,12 +15,14 @@
 //! | [`fig10`] | Fig. 10 (DMOS survey) |
 //! | [`trace_exp`] | Tables 4/5, Fig. 13 (Perfetto analysis) |
 //! | [`session_figs`] | Figs. 14–17 (instantaneous sessions) |
+//! | [`counterfactual`] | paired policy counterfactuals (snapshot/fork) |
 //! | [`organic_check`] | §4.3 organic spot values |
 //! | [`abr_ablation`] | §6/§7 memory-aware ABR vs network-only baselines |
 //! | [`os_ablation`] | §7 CPU-resource and daemon-scheduling ablations |
 //! | [`table1`] | Table 1 digest |
 
 pub mod abr_ablation;
+pub mod counterfactual;
 pub mod fig10;
 pub mod fig8;
 pub mod fleet_figs;

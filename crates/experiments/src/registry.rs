@@ -13,8 +13,8 @@
 
 use crate::scale::Scale;
 use crate::{
-    abr_ablation, fig10, fig8, fleet_figs, framedrops, organic_check, os_ablation, report,
-    session_figs, table1, telemetry, trace_exp,
+    abr_ablation, counterfactual, fig10, fig8, fleet_figs, framedrops, organic_check, os_ablation,
+    report, session_figs, table1, telemetry, trace_exp,
 };
 use mvqoe_device::DeviceProfile;
 use mvqoe_video::PlayerKind;
@@ -298,6 +298,17 @@ experiments! {
             serde_json::to_value(&a)
         },
     }
+    Counterfactual {
+        name: "counterfactual",
+        description: "paired policy counterfactuals forked from one snapshotted prefix",
+        artifact: "counterfactual",
+        in_all: false,
+        run: |scale| {
+            let c = counterfactual::run(scale);
+            c.print();
+            serde_json::to_value(&c)
+        },
+    }
     Table1 {
         name: "table1",
         description: "Table 1: the key-insight digest",
@@ -400,11 +411,11 @@ mod tests {
         let mut artifacts: Vec<&str> = all().iter().map(|e| e.artifact()).collect();
         names.sort_unstable();
         artifacts.sort_unstable();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
         names.dedup();
         artifacts.dedup();
-        assert_eq!(names.len(), 18, "registry names must be unique");
-        assert_eq!(artifacts.len(), 18, "artifact stems must be unique");
+        assert_eq!(names.len(), 19, "registry names must be unique");
+        assert_eq!(artifacts.len(), 19, "artifact stems must be unique");
     }
 
     #[test]

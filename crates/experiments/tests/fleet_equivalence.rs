@@ -9,7 +9,8 @@
 //! argument is size- and hours-independent.
 
 use mvqoe_experiments::fleet_figs::{
-    extract, run_fleet_sharded, shard_range, store_shard,
+    extract, run_fleet_sharded, shard_range, store_shard, store_shard_partial,
+    CHECKPOINT_FORMAT_VERSION,
 };
 use mvqoe_experiments::Scale;
 use mvqoe_study::{assemble_fleet, simulate_range, simulate_user, FleetConfig, FleetResults};
@@ -98,6 +99,67 @@ fn interrupted_run_resumes_from_shard_checkpoints() {
 
     // A completed run cleans its checkpoints up.
     assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().count() == 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_mid_shard_run_resumes_inside_the_shard() {
+    let cfg = short_cfg(14, 0.4);
+    let shards = 2u32;
+    let dir = std::env::temp_dir().join(format!("mvqoe-fleet-midshard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A run killed mid-flight: shard 0 finished; shard 1 died after
+    // folding three of its users, leaving a partial checkpoint embedding
+    // the aggregate-so-far plus the next user index.
+    let r0 = shard_range(cfg.n_users, shards, 0);
+    store_shard(&dir, &cfg, shards, 0, &simulate_range(&cfg, r0));
+    let r1 = shard_range(cfg.n_users, shards, 1);
+    let partial = simulate_range(&cfg, r1.start..r1.start + 3);
+    store_shard_partial(&dir, &cfg, shards, 1, r1.start + 3, &partial);
+
+    // The resumed run reuses both — the complete shard verbatim, the
+    // killed shard from user `next_user` onward — and lands byte-equal
+    // to a run that was never interrupted.
+    let scale = Scale::quick().jobs(1);
+    let resumed = run_fleet_sharded(&cfg, shards, &scale, Some(&dir));
+    assert_eq!(resumed.loaded, 2, "complete and partial checkpoints both resume");
+    assert_eq!(
+        json(&resumed.aggregate),
+        json(&simulate_range(&cfg, 0..cfg.n_users)),
+        "a mid-shard resume must be byte-identical to an uninterrupted run"
+    );
+    assert!(!dir.exists() || std::fs::read_dir(&dir).unwrap().count() == 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_format_checkpoints_are_rejected_by_version() {
+    let cfg = short_cfg(14, 0.4);
+    let shards = 2u32;
+    let dir = std::env::temp_dir().join(format!("mvqoe-fleet-ver-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A perfectly valid checkpoint... written down-versioned, as if by a
+    // build predating the current layout.
+    let r0 = shard_range(cfg.n_users, shards, 0);
+    store_shard(&dir, &cfg, shards, 0, &simulate_range(&cfg, r0));
+    let path = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let needle = format!("\"version\":{CHECKPOINT_FORMAT_VERSION}");
+    let tampered = text.replace(&needle, "\"version\":1");
+    assert_ne!(text, tampered, "the checkpoint must carry its version field");
+    std::fs::write(&path, tampered).unwrap();
+
+    let scale = Scale::quick().jobs(1);
+    let run = run_fleet_sharded(&cfg, shards, &scale, Some(&dir));
+    assert_eq!(run.loaded, 0, "stale-version checkpoints must be recomputed");
+    assert_eq!(
+        json(&run.aggregate),
+        json(&simulate_range(&cfg, 0..cfg.n_users))
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -506,6 +506,14 @@ impl MemoryManager {
         &self.cfg
     }
 
+    /// Replace lmkd's kill thresholds mid-run — the counterfactual engine's
+    /// kernel-policy knob, applied to a forked branch at its fork point.
+    /// Only the kill levels take effect live: `window_us` is consumed at
+    /// construction (the pressure window keeps its original width).
+    pub fn set_lmkd_thresholds(&mut self, lmkd: crate::config::LmkdThresholds) {
+        self.cfg.lmkd = lmkd;
+    }
+
     /// Drain pending events (trim changes, kills, OOMs) in emission order.
     pub fn drain_events(&mut self) -> Vec<(SimTime, MemEvent)> {
         std::mem::take(&mut self.events)

@@ -43,7 +43,7 @@ impl LinkParams {
 
 /// The link: one transfer at a time (HTTP/1.1 over one TCP connection, as
 /// dash.js uses for sequential segment fetches).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Link {
     params: LinkParams,
     busy_until: SimTime,

@@ -9,9 +9,11 @@
 use crate::events::{Completion, PreemptionRecord, SchedEvent, SchedEventKind};
 use crate::thread::{SchedClass, Thread, ThreadId, ThreadState, WorkItem};
 use mvqoe_sim::{SimDuration, SimTime};
+use serde::ser::Value;
+use serde::{Deserialize, Serialize};
 
 /// One CPU core.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Core {
     /// Speed factor relative to the reference core (Nexus 5 @ 2.33 GHz =
     /// 1.0; the Nokia 1's 1.1 GHz cores ≈ 0.47).
@@ -511,6 +513,55 @@ impl Scheduler {
 impl Default for Scheduler {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+// Snapshot support. The scratch buffers (`scratch_ready`, `sel_marks`,
+// `sel_gen`, `displaced_on_core`) are deliberately not serialized: each is
+// rebuilt from scratch inside `select` before any read (`scratch_ready` is
+// cleared, `displaced_on_core` filled with `None`, and `sel_gen` increments
+// *before* any `sel_marks[i] == gen` comparison, so zeroed markers can never
+// alias a live generation). A restored scheduler's next tick is therefore
+// behaviourally identical to the original's, only with cold buffers — the
+// restored-path extension of `tests/zero_alloc.rs` pins the re-warm cost.
+impl Serialize for Scheduler {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("cores".into(), self.cores.to_value()),
+            ("threads".into(), self.threads.to_value()),
+            ("now".into(), self.now.to_value()),
+            ("completions".into(), self.completions.to_value()),
+            ("preemptions".into(), self.preemptions.to_value()),
+            ("events".into(), self.events.to_value()),
+            ("min_vruntime".into(), self.min_vruntime.to_value()),
+            ("record_events".into(), self.record_events.to_value()),
+            ("ctx_switches".into(), self.ctx_switches.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Scheduler {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                serde::de::Error::custom(format!("Scheduler missing field {name}"))
+            })
+        };
+        Ok(Scheduler {
+            cores: Deserialize::from_value(field("cores")?)?,
+            threads: Deserialize::from_value(field("threads")?)?,
+            now: Deserialize::from_value(field("now")?)?,
+            completions: Deserialize::from_value(field("completions")?)?,
+            preemptions: Deserialize::from_value(field("preemptions")?)?,
+            events: Deserialize::from_value(field("events")?)?,
+            min_vruntime: Deserialize::from_value(field("min_vruntime")?)?,
+            record_events: Deserialize::from_value(field("record_events")?)?,
+            ctx_switches: Deserialize::from_value(field("ctx_switches")?)?,
+            scratch_ready: Vec::new(),
+            sel_marks: Vec::new(),
+            sel_gen: 0,
+            displaced_on_core: Vec::new(),
+        })
     }
 }
 

@@ -124,6 +124,7 @@ pub struct DiskStats {
 }
 
 /// The eMMC device.
+#[derive(Serialize, Deserialize)]
 pub struct Disk {
     params: DiskParams,
     /// Requests waiting for mmcqd to dispatch them.

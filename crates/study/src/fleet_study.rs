@@ -118,10 +118,26 @@ pub fn simulate_user(cfg: &FleetConfig, i: u32) -> (DeviceObservation, f64) {
 /// into an aggregate as soon as it finishes — O(aggregate) memory, not
 /// O(shard size).
 pub fn simulate_range(cfg: &FleetConfig, users: Range<u32>) -> FleetAggregate {
-    let mut agg = FleetAggregate::new();
+    simulate_range_from(cfg, FleetAggregate::new(), users, |_, _| {})
+}
+
+/// Continue a fold from a previously accumulated aggregate — the
+/// mid-shard resume path. Users are independent (each draws only from
+/// streams split off the root seed by its own index), so folding
+/// `users` onto an aggregate that already holds everything before
+/// `users.start` is byte-identical to one uninterrupted fold.
+/// `after_each(i, &agg)` runs after every folded user — the hook
+/// checkpoint writers use; pass `|_, _| {}` when not needed.
+pub fn simulate_range_from(
+    cfg: &FleetConfig,
+    mut agg: FleetAggregate,
+    users: Range<u32>,
+    mut after_each: impl FnMut(u32, &FleetAggregate),
+) -> FleetAggregate {
     for i in users {
         let (obs, hours) = simulate_user(cfg, i);
         agg.fold(cfg, i, &obs, hours);
+        after_each(i, &agg);
     }
     agg
 }

@@ -2,10 +2,11 @@
 
 use mvqoe_sched::{PreemptionRecord, SchedEvent, ThreadId};
 use mvqoe_sim::{SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Metadata for a traced thread.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThreadMeta {
     /// Thread name ("kswapd0", "MediaCodec", …).
     pub name: String,
@@ -16,7 +17,7 @@ pub struct ThreadMeta {
 /// A point event on the trace timeline: an lmkd kill, a major fault, a
 /// rebuffer boundary, an ABR quality switch. Rendered as instant events in
 /// the Chrome/Perfetto export.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InstantEvent {
     /// When it happened.
     pub at: SimTime,
@@ -27,7 +28,7 @@ pub struct InstantEvent {
 }
 
 /// A recorded trace of one run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
     threads: BTreeMap<ThreadId, ThreadMeta>,
     events: Vec<SchedEvent>,

@@ -12,8 +12,10 @@ use mvqoe_device::Machine;
 use mvqoe_kernel::{Pages, ProcKind, ProcessId, TrimLevel};
 use mvqoe_sched::{SchedClass, ThreadId};
 use mvqoe_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
 
 /// The synthetic pressure applicator.
+#[derive(Serialize, Deserialize)]
 pub struct MpSimulator {
     pid: ProcessId,
     tid: ThreadId,

@@ -15,7 +15,9 @@ use mvqoe_device::Machine;
 use mvqoe_kernel::{ProcKind, ProcessId};
 use mvqoe_sched::{SchedClass, ThreadId};
 use mvqoe_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
 
+#[derive(Serialize, Deserialize)]
 struct BgApp {
     pid: ProcessId,
     tid: ThreadId,
@@ -25,6 +27,7 @@ struct BgApp {
 }
 
 /// A population of opened-then-backgrounded apps.
+#[derive(Serialize, Deserialize)]
 pub struct BackgroundApps {
     apps: Vec<BgApp>,
     /// Specs not yet opened.

@@ -82,4 +82,24 @@ fn warm_machine_steps_without_allocating() {
         }
     });
     assert_eq!(n, 0, "dense step_into allocated {n} times after warm-up");
+
+    // The snapshot/restore path: a machine rebuilt from its serialized
+    // form regrows its scratch (selection buffers, drain targets are
+    // deliberately *not* serialized) during warm-up and then holds the
+    // same zero-allocation guarantee on both engines.
+    use serde::{Deserialize, Serialize};
+    let mut r = Machine::from_value(&m.to_value()).expect("machine round-trips");
+    r.sched.set_record_events(false);
+    r.run_idle(SimDuration::from_secs(2));
+    let n = count_allocs(|| r.run_idle(SimDuration::from_secs(2)));
+    assert_eq!(n, 0, "restored run_idle allocated {n} times after warm-up");
+
+    let mut out = StepOutputs::default();
+    r.step_into(&mut out);
+    let n = count_allocs(|| {
+        for _ in 0..2_000 {
+            r.step_into(&mut out);
+        }
+    });
+    assert_eq!(n, 0, "restored step_into allocated {n} times after warm-up");
 }
