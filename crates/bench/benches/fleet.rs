@@ -7,7 +7,10 @@
 //! before folding. Writes `BENCH_fleet.json` at the workspace root with
 //! users/sec and peak RSS, and acts as its own regression guard: the
 //! streaming path must not be more than 1.3× slower than materializing —
-//! its whole point is bounding memory without giving up throughput.
+//! its whole point is bounding memory without giving up throughput — and
+//! must sustain an absolute throughput floor of 5,000 users/s (the
+//! committed baseline clears 50,000; a 10× collapse means someone put
+//! allocation or quadratic work back on the per-user path).
 
 use criterion::{black_box, Criterion};
 use mvqoe_experiments::fleet_figs::{run_fleet_sharded, shard_count};
@@ -90,11 +93,20 @@ fn main() {
         }
     }
 
-    // Regression guard: streaming must stay within 1.3x of the old path.
+    // Regression guards: streaming must stay within 1.3x of the old path,
+    // and must clear the absolute users/s floor (skipped in --test mode,
+    // where debug codegen makes wall-clock meaningless).
     if ratio > 1.3 {
         eprintln!(
             "REGRESSION: streaming fleet path {ratio:.2}x slower than materialize-then-fold \
              (limit 1.3x)"
+        );
+        std::process::exit(1);
+    }
+    if !test_mode && users_per_sec < 5_000.0 {
+        eprintln!(
+            "REGRESSION: streaming fleet throughput {users_per_sec:.0} users/s below the \
+             5,000 users/s floor"
         );
         std::process::exit(1);
     }

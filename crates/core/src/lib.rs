@@ -32,7 +32,9 @@ pub use parallel::{
 };
 pub use pressure::PressureMode;
 pub use qoe::{aggregate_runs, run_cell, CellResult};
-pub use session::{run_session, run_session_with, Session, SessionConfig, SessionOutcome};
+pub use session::{
+    run_session, run_session_with, QoeReport, Session, SessionConfig, SessionOutcome,
+};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
 
 use std::sync::atomic::{AtomicBool, Ordering};

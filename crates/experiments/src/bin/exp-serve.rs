@@ -1,0 +1,4 @@
+//! Live telemetry service: ingest the fleet over TCP, scrape, verify.
+fn main() {
+    mvqoe_experiments::registry::cli_main("serve");
+}

@@ -12,6 +12,10 @@
 //! - `counterfactual.json` — must be the paired-delta artifact: non-empty
 //!   `pairs`, ≥ 4 branches per pair led by a zero-delta `baseline`, and
 //!   every branch's deltas consistent with its absolute QoE values.
+//! - `service.json` — must be the telemetry-service artifact: a recruited
+//!   fleet with `kept <= recruited`, an ingest ack whose accepted count
+//!   covers every fold, the batch-equivalence flag set, and an embedded
+//!   `/metrics` scrape that parses as valid Prometheus text exposition.
 //!
 //! Exits non-zero on the first malformed file, so the CI smoke recipe can
 //! gate on it.
@@ -191,6 +195,66 @@ fn lint_counterfactual(path: &str, v: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn lint_service(path: &str, v: &Value) -> Result<(), String> {
+    let num = |key: &str| -> Result<f64, String> {
+        v.get("headline")
+            .and_then(|h| h.get(key))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| fail(path, &format!("headline missing numeric {key}")))
+    };
+    let recruited = num("recruited")?;
+    let kept = num("kept")?;
+    if recruited < 1.0 {
+        return Err(fail(path, "no devices recruited"));
+    }
+    if kept > recruited {
+        return Err(fail(
+            path,
+            &format!("kept {kept} exceeds recruited {recruited}"),
+        ));
+    }
+    if num("devices_in_flight")? != 0.0 {
+        return Err(fail(path, "observations still in flight at shutdown"));
+    }
+    let ack_num = |key: &str| -> Result<f64, String> {
+        v.get("ack")
+            .and_then(|a| a.get(key))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| fail(path, &format!("ack missing numeric {key}")))
+    };
+    let accepted = ack_num("accepted")?;
+    let folded = ack_num("folded")?;
+    ack_num("parse_failures")?;
+    if folded != recruited {
+        return Err(fail(
+            path,
+            &format!("ack folded {folded} devices but headline recruited {recruited}"),
+        ));
+    }
+    // Every device contributes at least a Begin and an End line.
+    if accepted < 2.0 * folded {
+        return Err(fail(
+            path,
+            &format!("accepted {accepted} reports cannot cover {folded} folded device(s)"),
+        ));
+    }
+    if !matches!(v.get("equivalent_to_batch"), Some(Value::Bool(true))) {
+        return Err(fail(path, "service fold is not batch-equivalent"));
+    }
+    let scrape = v
+        .get("scrape")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail(path, "no scrape text"))?;
+    let stats = mvqoe_metrics::prometheus::validate(scrape)
+        .map_err(|e| fail(path, &format!("scrape is not valid exposition: {e}")))?;
+    println!(
+        "[ok] {path}: {recruited} device(s) folded, {accepted} report(s), \
+         {} scrape families / {} samples",
+        stats.families, stats.samples
+    );
+    Ok(())
+}
+
 fn lint(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| fail(path, &format!("unreadable: {e}")))?;
     let v: Value =
@@ -199,6 +263,8 @@ fn lint(path: &str) -> Result<(), String> {
         lint_metrics(path, &v)
     } else if path.ends_with("counterfactual.json") {
         lint_counterfactual(path, &v)
+    } else if path.ends_with("service.json") {
+        lint_service(path, &v)
     } else {
         lint_trace(path, &v)
     }

@@ -16,6 +16,7 @@
 //! | [`trace_exp`] | Tables 4/5, Fig. 13 (Perfetto analysis) |
 //! | [`session_figs`] | Figs. 14–17 (instantaneous sessions) |
 //! | [`counterfactual`] | paired policy counterfactuals (snapshot/fork) |
+//! | [`serve`] | live telemetry service (ingest + Prometheus + queries) |
 //! | [`organic_check`] | §4.3 organic spot values |
 //! | [`abr_ablation`] | §6/§7 memory-aware ABR vs network-only baselines |
 //! | [`os_ablation`] | §7 CPU-resource and daemon-scheduling ablations |
@@ -33,6 +34,7 @@ pub mod os_ablation;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod serve;
 pub mod session_figs;
 pub mod table1;
 pub mod telemetry;

@@ -14,7 +14,7 @@
 use crate::scale::Scale;
 use crate::{
     abr_ablation, counterfactual, fig10, fig8, fleet_figs, framedrops, organic_check, os_ablation,
-    report, session_figs, table1, telemetry, trace_exp,
+    report, serve, session_figs, table1, telemetry, trace_exp,
 };
 use mvqoe_device::DeviceProfile;
 use mvqoe_video::PlayerKind;
@@ -309,6 +309,17 @@ experiments! {
             serde_json::to_value(&c)
         },
     }
+    Serve {
+        name: "serve",
+        description: "live telemetry service: ingest the fleet over TCP, scrape, verify vs batch",
+        artifact: "service",
+        in_all: false,
+        run: |scale| {
+            let s = serve::run(scale);
+            s.print();
+            serde_json::to_value(&s)
+        },
+    }
     Table1 {
         name: "table1",
         description: "Table 1: the key-insight digest",
@@ -411,11 +422,11 @@ mod tests {
         let mut artifacts: Vec<&str> = all().iter().map(|e| e.artifact()).collect();
         names.sort_unstable();
         artifacts.sort_unstable();
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
         names.dedup();
         artifacts.dedup();
-        assert_eq!(names.len(), 19, "registry names must be unique");
-        assert_eq!(artifacts.len(), 19, "artifact stems must be unique");
+        assert_eq!(names.len(), 20, "registry names must be unique");
+        assert_eq!(artifacts.len(), 20, "artifact stems must be unique");
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The `serve` experiment: stand up the live telemetry service
+//! (`mvqoe-telemetryd`), drive it with concurrent load-generator
+//! connections replaying the §3 fleet protocol, scrape `/metrics`, and
+//! check the service-folded aggregate byte-identical against the batch
+//! engine's sharded run over the same coordinate-derived seeds.
+
+use crate::fleet_figs::{fleet_config, run_fleet_sharded, shard_count};
+use crate::report;
+use crate::scale::Scale;
+use mvqoe_metrics::{prometheus, SharedRegistry};
+use mvqoe_study::{FleetAggregate, FleetConfig};
+use mvqoe_telemetryd::{run_fleet_loadgen, Headline, IngestAck, ServiceState, TelemetryServer};
+use serde::{Deserialize, Serialize};
+
+/// Everything `results/service.json` records about one service run.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ServeResults {
+    /// The fleet protocol the loadgen replayed (same as the batch fleet).
+    pub config: FleetConfig,
+    /// Aggregate shards in the service's mutex ring.
+    pub shards: u32,
+    /// Concurrent load-generator connections.
+    pub loadgen_connections: usize,
+    /// Summed ingest acks across connections.
+    pub ack: IngestAck,
+    /// The headline view after ingest drained.
+    pub headline: Headline,
+    /// Whether the service-folded aggregate serialized byte-identically
+    /// to the batch engine's sharded run.
+    pub equivalent_to_batch: bool,
+    /// Metric families in the final scrape.
+    pub scrape_families: usize,
+    /// Samples in the final scrape.
+    pub scrape_samples: usize,
+    /// The final `GET /metrics` body (Prometheus text exposition 0.0.4).
+    pub scrape: String,
+    /// The final fleet aggregate the service folded.
+    pub aggregate: FleetAggregate,
+}
+
+impl ServeResults {
+    /// Print the service-run report.
+    pub fn print(&self) {
+        report::banner(
+            "serve",
+            "live telemetry service: ingest, fold, scrape, query",
+        );
+        report::print_table(
+            &["quantity", "value"],
+            &[
+                vec!["fleet users".into(), self.config.n_users.to_string()],
+                vec!["aggregate shards".into(), self.shards.to_string()],
+                vec![
+                    "loadgen connections".into(),
+                    self.loadgen_connections.to_string(),
+                ],
+                vec!["reports ingested".into(), self.ack.accepted.to_string()],
+                vec!["devices folded".into(), self.ack.folded.to_string()],
+                vec![
+                    "parse failures".into(),
+                    self.ack.parse_failures.to_string(),
+                ],
+                vec!["recruited".into(), self.headline.recruited.to_string()],
+                vec!["kept".into(), self.headline.kept.to_string()],
+                vec![
+                    "logged hours".into(),
+                    format!("{:.1}", self.headline.total_hours),
+                ],
+                vec!["scrape families".into(), self.scrape_families.to_string()],
+                vec!["scrape samples".into(), self.scrape_samples.to_string()],
+            ],
+        );
+        println!(
+            "service fold vs batch engine: {}",
+            if self.equivalent_to_batch {
+                "byte-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+}
+
+/// Fetch one endpoint over real HTTP (not in-process), so the run
+/// exercises — and the scrape records — the query path a monitoring
+/// stack would hit. Returns the response body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to own service");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: exp-serve\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("a complete response");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "GET {path} failed: {head}"
+    );
+    body.to_string()
+}
+
+/// Split `0..n_users` into `connections` contiguous ranges, remainder
+/// spread over the leading ranges.
+fn user_ranges(n_users: u32, connections: u32) -> Vec<std::ops::Range<u32>> {
+    let connections = connections.clamp(1, n_users.max(1));
+    let base = n_users / connections;
+    let extra = n_users % connections;
+    let mut start = 0;
+    (0..connections)
+        .map(|c| {
+            let len = base + (c < extra) as u32;
+            let range = start..start + len;
+            start += len;
+            range
+        })
+        .collect()
+}
+
+/// Read a numeric knob from the environment (unset or unparsable → default).
+fn env_knob(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Run the service experiment: serve, ingest the fleet over concurrent
+/// connections, scrape, shut down, and verify against the batch engine.
+///
+/// Two environment knobs make the service interactively scrapeable:
+/// `MVQOE_SERVE_PORT` pins the listen port (default: ephemeral), and
+/// `MVQOE_SERVE_HOLD_SECS` keeps the server answering queries for that
+/// many seconds after the run's own scrape, before the drain-and-verify
+/// step. Neither affects the recorded artifact: the scrape snapshot is
+/// taken before the hold, and external queries cannot touch the fleet
+/// aggregate.
+pub fn run(scale: &Scale) -> ServeResults {
+    let cfg = fleet_config(scale);
+    let shards = shard_count(cfg.n_users);
+    let state = ServiceState::new(cfg, shards, SharedRegistry::new());
+    let port = env_knob("MVQOE_SERVE_PORT", 0) as u16;
+    let server = TelemetryServer::start(state, port).expect("bind the loopback listener");
+    let addr = server.addr();
+    println!("[serve] listening on http://{addr}");
+
+    let ranges = user_ranges(cfg.n_users, scale.jobs.max(2) as u32);
+    let loadgen_connections = ranges.len();
+    let handles: Vec<_> = ranges
+        .into_iter()
+        .map(|users| std::thread::spawn(move || run_fleet_loadgen(addr, &cfg, users)))
+        .collect();
+    let mut ack = IngestAck::default();
+    for h in handles {
+        let one = h
+            .join()
+            .expect("loadgen thread")
+            .expect("loadgen upload succeeds");
+        ack.accepted += one.accepted;
+        ack.folded += one.folded;
+        ack.parse_failures += one.parse_failures;
+    }
+
+    // Query and scrape over the wire, like a monitoring stack would — the
+    // scrape then also carries the per-endpoint request counters.
+    let headline: Headline = serde_json::from_str(&http_get(addr, "/query/headline"))
+        .expect("headline endpoint returns its JSON view");
+    let scrape = http_get(addr, "/metrics");
+    let stats = prometheus::validate(&scrape).expect("own scrape must validate");
+
+    let hold = env_knob("MVQOE_SERVE_HOLD_SECS", 0);
+    if hold > 0 {
+        println!("[serve] holding http://{addr} up for {hold} s (MVQOE_SERVE_HOLD_SECS)");
+        std::thread::sleep(std::time::Duration::from_secs(hold));
+    }
+    let aggregate = server.shutdown();
+
+    let batch = run_fleet_sharded(&cfg, shards, scale, None);
+    let equivalent_to_batch = serde_json::to_string(&aggregate).expect("serialize")
+        == serde_json::to_string(&batch.aggregate).expect("serialize");
+
+    ServeResults {
+        config: cfg,
+        shards,
+        loadgen_connections,
+        ack,
+        headline,
+        equivalent_to_batch,
+        scrape_families: stats.families,
+        scrape_samples: stats.samples,
+        scrape,
+        aggregate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_ranges_partition_exactly() {
+        for (n, c) in [(14u32, 4u32), (80, 8), (5, 9), (1, 1), (7, 2)] {
+            let ranges = user_ranges(n, c);
+            assert!(!ranges.is_empty());
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                assert!(r.end > r.start, "no empty ranges");
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover every user");
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Prometheus text-format exposition (version 0.0.4) of a
+//! [`MetricsSnapshot`], plus a strict validator for linting scrapes.
+//!
+//! The registry's dotted names (`video.decode_us`) are sanitised into the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` charset Prometheus requires, each family gets
+//! `# HELP` and `# TYPE` lines, and log₂ histograms are re-expressed with
+//! *cumulative* `_bucket{le="..."}` samples ending in the mandatory
+//! `le="+Inf"` bucket equal to `_count`. Encoding walks the snapshot's
+//! `BTreeMap`s, so the same snapshot always serialises to the same bytes.
+
+use crate::snapshot::MetricsSnapshot;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+
+/// Sanitise a metric name into the Prometheus charset: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed
+/// with `_`. Empty names become a single `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for ch in name.chars() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Format a float the way Prometheus expects (`NaN`, `+Inf`, `-Inf`, else
+/// Rust's shortest round-trip `Display`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Claim a unique family name: sanitised, with a `_2`, `_3`, ... suffix when
+/// two registry names collapse onto the same sanitised spelling.
+fn claim(name: &str, used: &mut HashSet<String>) -> String {
+    let base = sanitize(name);
+    let mut cand = base.clone();
+    let mut n = 2u32;
+    while !used.insert(cand.clone()) {
+        cand = format!("{base}_{n}");
+        n += 1;
+    }
+    cand
+}
+
+/// Encode a snapshot as Prometheus text exposition. Counters first, then
+/// gauges, then histograms, each in snapshot (name-sorted) order.
+pub fn encode(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut used: HashSet<String> = HashSet::new();
+    for (name, v) in &snap.counters {
+        let fam = claim(name, &mut used);
+        let _ = writeln!(out, "# HELP {fam} Counter '{}'.", help_escape(name));
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let fam = claim(name, &mut used);
+        let _ = writeln!(out, "# HELP {fam} Gauge '{}'.", help_escape(name));
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {}", fmt_value(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let fam = claim(name, &mut used);
+        let _ = writeln!(out, "# HELP {fam} Histogram '{}'.", help_escape(name));
+        let _ = writeln!(out, "# TYPE {fam} histogram");
+        let mut cum = 0u64;
+        for &(upper, c) in &h.buckets {
+            cum += c;
+            let _ = writeln!(out, "{fam}_bucket{{le=\"{upper}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{fam}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{fam}_sum {}", fmt_value(h.sum));
+        let _ = writeln!(out, "{fam}_count {}", h.count);
+    }
+    out
+}
+
+/// Summary of a validated exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Metric families declared with a `# TYPE` line.
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.as_bytes()[0].is_ascii_digit()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => s.parse::<f64>().map_err(|_| format!("bad value '{s}'")),
+    }
+}
+
+#[derive(Default)]
+struct HistState {
+    buckets: Vec<(f64, f64)>,
+    sum: Option<f64>,
+    count: Option<f64>,
+}
+
+/// Validate Prometheus text exposition. Checks line syntax, the name
+/// charset, TYPE-before-sample ordering, no duplicate TYPE lines, that every
+/// declared family has samples, and — for histograms — strictly increasing
+/// `le` bounds, non-decreasing cumulative counts, and a final `+Inf` bucket
+/// equal to `_count`.
+pub fn validate(text: &str) -> Result<ExpositionStats, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut sampled: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+    let mut n_samples = 0usize;
+
+    for (i, line) in text.lines().enumerate() {
+        let ln = i + 1;
+        let err = |why: String| format!("line {ln}: {why}");
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix("HELP ") {
+                let name = r.split_whitespace().next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(err(format!("HELP for invalid name '{name}'")));
+                }
+            } else if let Some(r) = rest.strip_prefix("TYPE ") {
+                let mut it = r.split_whitespace();
+                let name = it.next().unwrap_or("");
+                let ty = it.next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(err(format!("TYPE for invalid name '{name}'")));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty) {
+                    return Err(err(format!("unknown type '{ty}' for '{name}'")));
+                }
+                if sampled.contains_key(name) {
+                    return Err(err(format!("TYPE for '{name}' after its samples")));
+                }
+                if types.insert(name.to_string(), ty.to_string()).is_some() {
+                    return Err(err(format!("duplicate TYPE for '{name}'")));
+                }
+            }
+            // Other comment lines are legal and ignored.
+            continue;
+        }
+
+        // Sample line: `name 3`, or `name{le="16"} 3`.
+        let (name, labels, value) = match line.find('{') {
+            Some(open) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| err("unbalanced '{'".to_string()))?;
+                if close < open {
+                    return Err(err("unbalanced '{'".to_string()));
+                }
+                (
+                    &line[..open],
+                    Some(&line[open + 1..close]),
+                    line[close + 1..].trim(),
+                )
+            }
+            None => {
+                let (name, value) = line
+                    .split_once(' ')
+                    .ok_or_else(|| err("sample line has no value".to_string()))?;
+                (name, None, value.trim())
+            }
+        };
+        if !valid_name(name) {
+            return Err(err(format!("invalid sample name '{name}'")));
+        }
+        let value = parse_value(value).map_err(err)?;
+        n_samples += 1;
+
+        // Resolve the family this sample belongs to.
+        let (family, suffix) = if types.contains_key(name) {
+            (name, "")
+        } else if let Some(base) = name.strip_suffix("_bucket") {
+            (base, "_bucket")
+        } else if let Some(base) = name.strip_suffix("_sum") {
+            (base, "_sum")
+        } else if let Some(base) = name.strip_suffix("_count") {
+            (base, "_count")
+        } else {
+            return Err(err(format!("sample '{name}' has no TYPE declaration")));
+        };
+        let ty = types
+            .get(family)
+            .ok_or_else(|| err(format!("sample '{name}' has no TYPE declaration")))?
+            .clone();
+        *sampled.entry(family.to_string()).or_insert(0) += 1;
+
+        match (ty.as_str(), suffix) {
+            ("counter", "") | ("gauge", "") | ("untyped", "") => {}
+            ("histogram", "_bucket") => {
+                let labels =
+                    labels.ok_or_else(|| err(format!("'{name}' bucket has no le label")))?;
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|r| r.strip_suffix('"'))
+                    .ok_or_else(|| err(format!("'{name}' bucket has no le label")))?;
+                let le = parse_value(le).map_err(err)?;
+                hists.entry(family.to_string()).or_default().buckets.push((le, value));
+            }
+            ("histogram", "_sum") => {
+                hists.entry(family.to_string()).or_default().sum = Some(value);
+            }
+            ("histogram", "_count") => {
+                hists.entry(family.to_string()).or_default().count = Some(value);
+            }
+            _ => {
+                return Err(err(format!(
+                    "sample '{name}' does not fit its family's type '{ty}'"
+                )));
+            }
+        }
+    }
+
+    for (family, ty) in &types {
+        if !sampled.contains_key(family.as_str()) {
+            return Err(format!("family '{family}' declared but has no samples"));
+        }
+        if ty == "histogram" {
+            let h = hists
+                .get(family.as_str())
+                .ok_or_else(|| format!("histogram '{family}' has no bucket samples"))?;
+            if h.buckets.is_empty() {
+                return Err(format!("histogram '{family}' has no buckets"));
+            }
+            for w in h.buckets.windows(2) {
+                if !(w[1].0 > w[0].0) {
+                    return Err(format!(
+                        "histogram '{family}': le bounds not strictly increasing"
+                    ));
+                }
+                if w[1].1 < w[0].1 {
+                    return Err(format!(
+                        "histogram '{family}': bucket counts not cumulative"
+                    ));
+                }
+            }
+            let last = h.buckets.last().unwrap();
+            if last.0 != f64::INFINITY {
+                return Err(format!("histogram '{family}': missing le=\"+Inf\" bucket"));
+            }
+            let count = h
+                .count
+                .ok_or_else(|| format!("histogram '{family}': missing _count"))?;
+            if h.sum.is_none() {
+                return Err(format!("histogram '{family}': missing _sum"));
+            }
+            if last.1 != count {
+                return Err(format!(
+                    "histogram '{family}': +Inf bucket {} != count {count}",
+                    last.1
+                ));
+            }
+        }
+    }
+
+    Ok(ExpositionStats {
+        families: types.len(),
+        samples: n_samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+    use crate::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("kernel.pgscan_kswapd");
+        let g = r.gauge("mem.pss_peak_mib");
+        let h = r.histogram("video.decode_us");
+        r.inc(c, 7);
+        r.set(g, 141.5);
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            r.observe(h, v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn sanitizes_into_the_prometheus_charset() {
+        assert_eq!(sanitize("video.decode_us"), "video_decode_us");
+        assert_eq!(sanitize("a:b_c9"), "a:b_c9");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("héllo wörld"), "h_llo_w_rld");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn encodes_help_type_and_cumulative_buckets() {
+        let text = encode(&sample_snapshot());
+        assert!(text.contains("# HELP kernel_pgscan_kswapd Counter 'kernel.pgscan_kswapd'."));
+        assert!(text.contains("# TYPE kernel_pgscan_kswapd counter"));
+        assert!(text.contains("kernel_pgscan_kswapd 7"));
+        assert!(text.contains("# TYPE mem_pss_peak_mib gauge"));
+        assert!(text.contains("mem_pss_peak_mib 141.5"));
+        // Observations 1,2,3,100 land in buckets 1,2,4,128 — cumulative
+        // counts 1,2,3,4 with the +Inf bucket equal to the total count.
+        assert!(text.contains("video_decode_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("video_decode_us_bucket{le=\"2\"} 2"));
+        assert!(text.contains("video_decode_us_bucket{le=\"4\"} 3"));
+        assert!(text.contains("video_decode_us_bucket{le=\"128\"} 4"));
+        assert!(text.contains("video_decode_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("video_decode_us_sum 106"));
+        assert!(text.contains("video_decode_us_count 4"));
+        let stats = validate(&text).expect("own exposition validates");
+        assert_eq!(stats.families, 3);
+        assert_eq!(stats.samples, 9);
+    }
+
+    #[test]
+    fn colliding_sanitized_names_stay_distinct() {
+        let mut s = MetricsSnapshot::default();
+        s.counters.insert("a.b".into(), 1);
+        s.counters.insert("a_b".into(), 2);
+        let text = encode(&s);
+        assert!(text.contains("a_b 1"));
+        assert!(text.contains("a_b_2 2"));
+        validate(&text).expect("collision-suffixed exposition validates");
+    }
+
+    #[test]
+    fn empty_histograms_still_expose_a_valid_family() {
+        let mut s = MetricsSnapshot::default();
+        s.histograms.insert("idle".into(), Histogram::new().snapshot());
+        let text = encode(&s);
+        assert!(text.contains("idle_bucket{le=\"+Inf\"} 0"));
+        validate(&text).expect("empty histogram validates");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        // Sample with no TYPE declaration.
+        assert!(validate("orphan 3\n").is_err());
+        // Bad metric name.
+        assert!(validate("# TYPE 9bad counter\n9bad 1\n").is_err());
+        // Duplicate TYPE.
+        assert!(validate("# TYPE x counter\n# TYPE x counter\nx 1\n").is_err());
+        // TYPE after its samples.
+        assert!(validate("x 1\n# TYPE x counter\n").is_err());
+        // Declared family with no samples.
+        assert!(validate("# TYPE x counter\n").is_err());
+        // Histogram without +Inf.
+        assert!(validate(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 1\n",
+            "h_sum 1\nh_count 1\n"
+        ))
+        .is_err());
+        // Non-cumulative buckets.
+        assert!(validate(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_bucket{le=\"+Inf\"} 3\n",
+            "h_sum 1\nh_count 3\n"
+        ))
+        .is_err());
+        // +Inf bucket disagreeing with _count.
+        assert!(validate(concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"+Inf\"} 3\n",
+            "h_sum 1\nh_count 4\n"
+        ))
+        .is_err());
+        // Unparsable value.
+        assert!(validate("# TYPE x counter\nx pony\n").is_err());
+    }
+
+    #[test]
+    fn non_finite_gauges_round_trip() {
+        let mut s = MetricsSnapshot::default();
+        s.gauges.insert("inf".into(), f64::INFINITY);
+        s.gauges.insert("nan".into(), f64::NAN);
+        let text = encode(&s);
+        assert!(text.contains("inf +Inf"));
+        assert!(text.contains("nan NaN"));
+        validate(&text).expect("non-finite values validate");
+    }
+}

@@ -1,9 +1,13 @@
 //! The metric registry: names are registered once up front, then the hot
 //! paths record through small integer ids — no hashing, no allocation.
+//! Name lookups (`counter_value`, `add_counter`, `set_gauge`, and the
+//! scrape path) go through an O(1) name→id hash index; determinism is
+//! unaffected because snapshots iterate the registration-order `Vec`s, the
+//! index is never iterated.
 
 use crate::histogram::Histogram;
 use crate::snapshot::MetricsSnapshot;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Handle to a registered counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +30,7 @@ pub struct MetricsRegistry {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,
     histograms: Vec<(String, Histogram)>,
-    by_name: BTreeMap<String, (Kind, usize)>,
+    by_name: HashMap<String, (Kind, usize)>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +152,14 @@ impl MetricsRegistry {
         }
     }
 
+    /// Current value of a gauge by name (None when absent or disabled).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.by_name.get(name) {
+            Some(&(Kind::Gauge, i)) => Some(self.gauges[i].1),
+            _ => None,
+        }
+    }
+
     /// Snapshot every metric into a serializable, name-sorted form.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -209,6 +221,32 @@ mod tests {
         assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
         assert!(!r.enabled());
         assert_eq!(r.counter_value("x"), None);
+    }
+
+    #[test]
+    fn ids_are_stable_under_interleaved_registration() {
+        // The name index may reorganise internally, but the id handed out
+        // at first registration must survive arbitrary later churn: the
+        // scrape path and long-lived services cache ids across threads.
+        let mut r = MetricsRegistry::new();
+        let ids: Vec<CounterId> = (0..64).map(|i| r.counter(&format!("c{i}"))).collect();
+        for i in 0..64 {
+            r.gauge(&format!("g{i}"));
+            r.histogram(&format!("h{i}"));
+            assert_eq!(
+                r.counter(&format!("c{i}")),
+                ids[i],
+                "re-registration must return the original id"
+            );
+        }
+        for (i, id) in ids.iter().enumerate() {
+            r.inc(*id, i as u64);
+        }
+        for i in 0..64 {
+            assert_eq!(r.counter_value(&format!("c{i}")), Some(i as u64));
+        }
+        r.set_gauge("g7", 7.5);
+        assert_eq!(r.gauge_value("g7"), Some(7.5));
     }
 
     #[test]

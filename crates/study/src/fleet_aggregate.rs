@@ -527,6 +527,35 @@ impl FleetAggregate {
         }
     }
 
+    /// Fold one user in regardless of arrival order — the live-ingest
+    /// path, where 1 Hz report streams finish in whatever order the
+    /// network delivers them. An index extending the current frontier
+    /// takes [`FleetAggregate::fold`]'s O(1) append fast path; an
+    /// out-of-order arrival folds into a fresh single-device aggregate
+    /// and merges in. The merge algebra is associative and
+    /// order-insensitive over disjoint index sets, so any interleaving
+    /// is byte-identical to the ascending fold.
+    pub fn fold_unordered(
+        &mut self,
+        cfg: &FleetConfig,
+        idx: u32,
+        obs: &DeviceObservation,
+        hours: f64,
+    ) {
+        match self.hours.last() {
+            Some(&(last, _)) if idx <= last => {
+                assert!(
+                    self.hours.binary_search_by_key(&idx, |&(i, _)| i).is_err(),
+                    "user {idx} folded twice"
+                );
+                let mut one = FleetAggregate::new();
+                one.fold(cfg, idx, obs, hours);
+                self.merge(&one);
+            }
+            _ => self.fold(cfg, idx, obs, hours),
+        }
+    }
+
     fn offer_top(&mut self, candidate: TopDevice) {
         if self.top.len() >= TOP_PRESSURE_K
             && !candidate.beats(self.top.last().expect("non-empty"))

@@ -93,25 +93,64 @@ pub struct FleetResults {
 /// threads and assemble with [`assemble_fleet`] or fold shard aggregates
 /// from [`simulate_range`] together.
 pub fn simulate_user(cfg: &FleetConfig, i: u32) -> (DeviceObservation, f64) {
+    let mut st = start_user(cfg, i);
+    let mut obs = st.observation();
+    for s in 0..st.seconds() {
+        let sample = st.user.step_1s(SimTime::from_secs(s));
+        obs.record(&sample);
+    }
+    (obs, st.hours)
+}
+
+/// A fleet user mid-observation: the handle load generators drive one
+/// second at a time, uploading each [`mvqoe_workload::FleetSample`] instead
+/// of folding it locally. [`DeviceObservation::record`] is a pure function
+/// of the sample stream, so a receiver replaying the uploaded samples
+/// reconstructs exactly the observation [`simulate_user`] would have built.
+pub struct UserStream {
+    /// User index within the fleet.
+    pub idx: u32,
+    /// The simulated user (device profile + workload pattern).
+    pub user: FleetUser,
+    /// Observation length in hours.
+    pub hours: f64,
+}
+
+impl UserStream {
+    /// Number of 1 Hz samples this observation spans.
+    pub fn seconds(&self) -> u64 {
+        (self.hours * 3600.0) as u64
+    }
+
+    /// A fresh observation for this user's device and pattern.
+    pub fn observation(&self) -> DeviceObservation {
+        DeviceObservation::new(
+            self.user.device.name.clone(),
+            self.user.device.manufacturer.clone(),
+            self.user.device.ram_mib,
+            self.user.pattern,
+        )
+    }
+}
+
+/// Start simulating one fleet user without folding anything. Draws happen
+/// in exactly [`simulate_user`]'s order — observation hours from the
+/// `hours-{i}` stream first, then the device/pattern streams inside
+/// [`FleetUser::new`] — so driving the returned stream to completion is
+/// byte-identical to the batch path.
+pub fn start_user(cfg: &FleetConfig, i: u32) -> UserStream {
     let root = SimRng::new(cfg.seed);
     let mut hours_rng = root.split(&format!("hours-{i}"));
     // Observation length: heavy-tailed, 1–18 days at paper scale.
     let hours = hours_rng
         .lognormal(cfg.median_hours, 0.9)
         .clamp(cfg.hours_lo, cfg.hours_hi);
-    let mut user = FleetUser::new(i, &root);
-    let mut obs = DeviceObservation::new(
-        user.device.name.clone(),
-        user.device.manufacturer.clone(),
-        user.device.ram_mib,
-        user.pattern,
-    );
-    let seconds = (hours * 3600.0) as u64;
-    for s in 0..seconds {
-        let sample = user.step_1s(SimTime::from_secs(s));
-        obs.record(&sample);
+    let user = FleetUser::new(i, &root);
+    UserStream {
+        idx: i,
+        user,
+        hours,
     }
-    (obs, hours)
 }
 
 /// Simulate a contiguous shard of the user-index range, folding each user
@@ -346,6 +385,66 @@ mod tests {
         let merged_json = serde_json::to_string(&merged).unwrap();
         let serial_json = serde_json::to_string(&serial.aggregate).unwrap();
         assert_eq!(merged_json, serial_json, "shard merge must be exact");
+    }
+
+    #[test]
+    fn unordered_fold_matches_the_ascending_fold() {
+        // The ingest service folds users in network-arrival order; any
+        // interleaving must land byte-identical to the ascending fold.
+        let cfg = small_cfg();
+        let users: Vec<_> = (0..cfg.n_users).map(|i| simulate_user(&cfg, i)).collect();
+        let serial_json = serde_json::to_string(&small_fleet().aggregate).unwrap();
+        for order in [[5u32, 0, 7, 2, 6, 1, 4, 3], [7, 6, 5, 4, 3, 2, 1, 0]] {
+            let mut agg = FleetAggregate::new();
+            for &i in &order {
+                let (obs, hours) = &users[i as usize];
+                agg.fold_unordered(&cfg, i, obs, *hours);
+            }
+            assert_eq!(
+                serde_json::to_string(&agg).unwrap(),
+                serial_json,
+                "arrival order {order:?} must not change the aggregate"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "folded twice")]
+    fn unordered_fold_rejects_duplicate_users() {
+        let cfg = small_cfg();
+        let (obs, hours) = simulate_user(&cfg, 1);
+        let mut agg = FleetAggregate::new();
+        agg.fold_unordered(&cfg, 1, &obs, hours);
+        agg.fold_unordered(&cfg, 0, &obs, hours);
+        agg.fold_unordered(&cfg, 1, &obs, hours);
+    }
+
+    #[test]
+    fn user_stream_replay_matches_simulate_user() {
+        // The load-generator path: emit samples, replay them through a
+        // fresh observation elsewhere. Must be byte-identical to the
+        // batch path for the same user.
+        let cfg = small_cfg();
+        for i in [0u32, 3, 7] {
+            let (expected_obs, expected_hours) = simulate_user(&cfg, i);
+            let mut st = start_user(&cfg, i);
+            assert_eq!(st.idx, i);
+            assert_eq!(st.hours, expected_hours);
+            let mut replayed = st.observation();
+            for s in 0..st.seconds() {
+                // The "upload": the sample crosses a serialization
+                // boundary in the real service; serde_json round-trips
+                // f64 exactly, so folding the struct directly is the
+                // same computation.
+                let sample = st.user.step_1s(SimTime::from_secs(s));
+                replayed.record(&sample);
+            }
+            assert_eq!(
+                serde_json::to_string(&replayed).unwrap(),
+                serde_json::to_string(&expected_obs).unwrap(),
+                "user {i}: replayed observation must match the batch path"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Live fleet telemetry backend for the §3 study at provider scale.
+//!
+//! The batch engine (`mvqoe-study`) simulates the fleet and folds it into
+//! a [`mvqoe_study::FleetAggregate`] in one process. This crate moves the
+//! fold behind a wire: a threaded TCP service ingests newline-delimited
+//! JSON device reports ([`DeviceReport`] — 1 Hz memory samples from fleet
+//! devices, 1 Hz QoE reports from live video sessions), folds them online
+//! into a sharded aggregate ring, and serves
+//!
+//! * `GET /metrics` — Prometheus text exposition of the full
+//!   [`mvqoe_metrics`] registry (fleet counters plus the service's own
+//!   ingest/query instrumentation),
+//! * `GET /query/headline` — live recruited/kept/hours/in-flight counts,
+//! * `GET /query/topk?k=N` — the highest-pressure devices so far,
+//! * `GET /query/device/<id>` — one device's live status or folded digest.
+//!
+//! The aggregate's merge algebra is associative and order-insensitive over
+//! disjoint device sets, so the service's final aggregate is byte-identical
+//! to the batch engine's — the invariant `tests/service.rs` and the
+//! `exp-serve` experiment pin.
+//!
+//! Everything is `std`-only (`std::net` + worker threads, hand-rolled
+//! HTTP/1.1): the build environment is offline, and the load — a few
+//! long-lived ingest streams plus scrapes — doesn't need more.
+
+pub mod http;
+pub mod loadgen;
+pub mod report;
+pub mod server;
+pub mod state;
+
+pub use loadgen::{run_fleet_loadgen, run_session_loadgen};
+pub use report::{DeviceReport, IngestAck};
+pub use server::TelemetryServer;
+pub use state::{DeviceStatus, Headline, ServiceState, TopEntry};

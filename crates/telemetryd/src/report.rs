@@ -1,0 +1,111 @@
+//! The ingest wire format: newline-delimited JSON device reports.
+//!
+//! A device's upload is a stream of [`DeviceReport`] lines — a `Begin`
+//! announcing the device, its 1 Hz `Sample`s, and an `End` closing the
+//! observation window — plus `Qoe` lines from live video sessions. The
+//! server replays `Sample`s through [`mvqoe_study::DeviceObservation`],
+//! which is a pure function of the sample stream, and JSON round-trips
+//! `f64` bit-exactly, so an uploaded observation folds byte-identically
+//! to one computed on-device.
+
+use mvqoe_core::QoeReport;
+use mvqoe_workload::{FleetSample, UsagePattern};
+use serde::{Deserialize, Serialize};
+
+/// One newline-delimited ingest record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DeviceReport {
+    /// A fleet device comes online: everything the server needs to open
+    /// its observation without re-deriving the device locally.
+    Begin {
+        /// Fleet user index (the device id).
+        device: u32,
+        /// Device model name.
+        name: String,
+        /// Manufacturer.
+        manufacturer: String,
+        /// RAM in MiB.
+        ram_mib: u64,
+        /// The user's survey answers.
+        pattern: UsagePattern,
+        /// Observation length in hours.
+        hours: f64,
+    },
+    /// One 1 Hz memory/state sample from an open observation.
+    Sample {
+        /// Fleet user index.
+        device: u32,
+        /// The sample.
+        sample: FleetSample,
+    },
+    /// The device's observation window closed; fold it into the fleet.
+    End {
+        /// Fleet user index.
+        device: u32,
+    },
+    /// One 1 Hz QoE report from a live video session.
+    Qoe {
+        /// Device id of the session's phone (its own id space; session
+        /// devices never collide with fleet user indices).
+        device: u32,
+        /// The report.
+        report: QoeReport,
+    },
+}
+
+impl DeviceReport {
+    /// The device id this report concerns.
+    pub fn device(&self) -> u32 {
+        match *self {
+            DeviceReport::Begin { device, .. }
+            | DeviceReport::Sample { device, .. }
+            | DeviceReport::End { device }
+            | DeviceReport::Qoe { device, .. } => device,
+        }
+    }
+}
+
+/// The one-line JSON ack the server writes after an ingest stream hits
+/// EOF, so load generators know their upload was fully folded before the
+/// connection closes.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct IngestAck {
+    /// Reports applied successfully.
+    pub accepted: u64,
+    /// Devices folded into the fleet aggregate by this connection.
+    pub folded: u64,
+    /// Lines that failed to parse or violated the protocol.
+    pub parse_failures: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_round_trip_through_ndjson() {
+        let begin = DeviceReport::Begin {
+            device: 7,
+            name: "Nokia 1".into(),
+            manufacturer: "HMD Global".into(),
+            ram_mib: 1024,
+            pattern: UsagePattern {
+                games: 2.0,
+                music: 3.0,
+                videos: 4.5,
+                multitask_1: 4.0,
+                multitask_2: 3.0,
+                interactive_frac: 0.25,
+            },
+            hours: 16.25,
+        };
+        let line = serde_json::to_string(&begin).unwrap();
+        assert!(!line.contains('\n'), "one report must stay one line");
+        let back: DeviceReport = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.device(), 7);
+        match back {
+            DeviceReport::Begin { hours, .. } => assert_eq!(hours, 16.25),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end service tests over real loopback sockets: concurrent
+//! interleaved ingest folds byte-identically to the batch engine, the
+//! query endpoints answer live, and `/metrics` is valid Prometheus text.
+
+use mvqoe_metrics::{prometheus, SharedRegistry};
+use mvqoe_study::{simulate_range, FleetConfig};
+use mvqoe_telemetryd::{
+    run_fleet_loadgen, run_session_loadgen, Headline, ServiceState, TelemetryServer, TopEntry,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A fleet small and short enough to simulate twice in a test, with a
+/// cleaning threshold low enough that most devices are kept.
+fn short_cfg(n_users: u32) -> FleetConfig {
+    let median = 0.05; // 3 minutes of 1 Hz samples per median device
+    FleetConfig::scaled(n_users, 2077, median, median * 0.1)
+}
+
+fn start_server(cfg: &FleetConfig, n_shards: u32) -> TelemetryServer {
+    let state = ServiceState::new(cfg.clone(), n_shards, SharedRegistry::new());
+    TelemetryServer::start(state, 0).expect("bind loopback")
+}
+
+fn json<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("serialize")
+}
+
+/// Minimal HTTP GET: returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let status = raw.lines().next().unwrap_or_default().to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn concurrent_interleaved_ingest_matches_the_batch_fold() {
+    let cfg = short_cfg(12);
+    let server = start_server(&cfg, 3);
+    let addr = server.addr();
+
+    // Three connections upload interleaved, non-contiguous user ranges
+    // concurrently — the worst case for fold ordering.
+    let ranges = [[0u32, 4], [4, 8], [8, 12]];
+    let handles: Vec<_> = ranges
+        .into_iter()
+        .map(|[lo, hi]| {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_fleet_loadgen(addr, &cfg, lo..hi).expect("upload"))
+        })
+        .collect();
+    let mut folded = 0;
+    for h in handles {
+        let ack = h.join().expect("loadgen thread");
+        assert_eq!(ack.parse_failures, 0);
+        folded += ack.folded;
+    }
+    assert_eq!(folded, 12);
+
+    let served = server.shutdown();
+    let batch = simulate_range(&cfg, 0..12);
+    assert_eq!(
+        json(&served),
+        json(&batch),
+        "service fold must be byte-identical to the batch engine"
+    );
+}
+
+#[test]
+fn query_endpoints_answer_live_state() {
+    let cfg = short_cfg(6);
+    let server = start_server(&cfg, 2);
+    let addr = server.addr();
+    run_fleet_loadgen(addr, &cfg, 0..6).expect("upload");
+
+    let (status, body) = http_get(addr, "/query/headline");
+    assert!(status.contains("200"), "{status}");
+    let headline: Headline = serde_json::from_str(&body).expect("headline JSON");
+    assert_eq!(headline.recruited, 6);
+    assert_eq!(headline.devices_in_flight, 0);
+    assert!(headline.reports_total > 6, "samples should dominate");
+    assert_eq!(headline.parse_failures_total, 0);
+
+    let (status, body) = http_get(addr, "/query/topk?k=3");
+    assert!(status.contains("200"), "{status}");
+    let top: Vec<TopEntry> = serde_json::from_str(&body).expect("topk JSON");
+    assert!(top.len() <= 3 && !top.is_empty());
+    assert!(
+        top.windows(2)
+            .all(|w| w[0].pressure_time_fraction >= w[1].pressure_time_fraction),
+        "topk must come back highest pressure first"
+    );
+
+    let (status, body) = http_get(addr, "/query/device/0");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"device\":0"), "{body}");
+
+    let (status, body) = http_get(addr, "/query/device/999");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("unknown"), "{body}");
+
+    let (status, _) = http_get(addr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_text() {
+    let cfg = short_cfg(4);
+    let server = start_server(&cfg, 2);
+    let addr = server.addr();
+    run_fleet_loadgen(addr, &cfg, 0..4).expect("upload");
+
+    let (status, body) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    let stats = prometheus::validate(&body).expect("exposition must validate");
+    assert!(stats.families >= 5, "expected several families: {stats:?}");
+    assert!(body.contains("fleet_recruited 4"), "{body}");
+    assert!(
+        body.contains("telemetryd_fold_latency_us_count 4"),
+        "one fold per device: {body}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_protocol_violating_lines_count_as_parse_failures() {
+    let cfg = short_cfg(2);
+    let server = start_server(&cfg, 1);
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = &stream;
+    // Not JSON; valid JSON but not a DeviceReport; a sample for a device
+    // that never began.
+    writeln!(w, "{{not json").expect("write");
+    writeln!(w, "{{\"Unknown\":{{}}}}").expect("write");
+    writeln!(
+        w,
+        "{{\"End\":{{\"device\":7}}}}"
+    )
+    .expect("write");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut ack = String::new();
+    (&stream).read_to_string(&mut ack).expect("ack");
+    let ack: mvqoe_telemetryd::IngestAck =
+        serde_json::from_str(ack.trim_end()).expect("ack JSON");
+    assert_eq!(ack.accepted, 0);
+    assert_eq!(ack.parse_failures, 3);
+
+    let (_, body) = http_get(addr, "/query/headline");
+    let headline: Headline = serde_json::from_str(&body).expect("headline JSON");
+    assert_eq!(headline.parse_failures_total, 3);
+    assert_eq!(headline.recruited, 0);
+    server.shutdown();
+}
+
+#[test]
+fn live_session_qoe_reports_land_in_the_registry() {
+    use mvqoe_core::{PressureMode, SessionConfig};
+    use mvqoe_device::DeviceProfile;
+
+    let cfg = short_cfg(2);
+    let server = start_server(&cfg, 1);
+    let addr = server.addr();
+
+    let mut session_cfg =
+        SessionConfig::paper_default(DeviceProfile::nexus5(), PressureMode::None, 11);
+    session_cfg.video_secs = 10.0;
+    let ack = run_session_loadgen(addr, session_cfg, 1_000_000).expect("session upload");
+    assert!(ack.accepted >= 8, "expected ~1 Hz reports, got {ack:?}");
+    assert_eq!(ack.parse_failures, 0);
+    assert_eq!(ack.folded, 0, "QoE reports never fold fleet devices");
+
+    let qoe_reports = server
+        .state()
+        .registry
+        .with(|r| r.counter_value("fleet.qoe.reports_total"))
+        .expect("counter registered");
+    assert_eq!(qoe_reports, ack.accepted);
+    server.shutdown();
+}

@@ -2,37 +2,49 @@
 //!
 //! The event-driven engine reuses machine-owned scratch (`StepOutputs`,
 //! scheduler selection buffers, drain targets); this test proves the claim
-//! with a counting global allocator rather than asserting it in prose. One
-//! test function only: the counter is process-global, so concurrent tests
-//! in this binary would pollute each other's windows.
+//! with a counting global allocator rather than asserting it in prose. The
+//! counter only counts the measuring thread: libtest's harness thread
+//! allocates lazily (e.g. its completion-channel context on first blocking
+//! recv), and on a loaded single-core host that init can land inside any
+//! counted window. One test function only, so windows never overlap.
 
 use mvqoe_device::{DeviceProfile, Machine, StepOutputs};
 use mvqoe_sim::{SimDuration, SimRng};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
-static COUNTING: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// const-initialized so reading it from inside the allocator never itself
+// allocates (no lazy TLS init on the measuring thread).
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    COUNTING.try_with(|c| c.get()).unwrap_or(false)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
+        if counting_here() {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         System.realloc(ptr, layout, new_size)
@@ -46,12 +58,12 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-/// Count heap allocations during `f`.
+/// Count heap allocations made by this thread during `f`.
 fn count_allocs(f: impl FnOnce()) -> u64 {
     ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(true));
     f();
-    COUNTING.store(false, Ordering::SeqCst);
+    COUNTING.with(|c| c.set(false));
     ALLOCS.load(Ordering::SeqCst)
 }
 
