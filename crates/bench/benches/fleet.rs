@@ -8,9 +8,12 @@
 //! users/sec and peak RSS, and acts as its own regression guard: the
 //! streaming path must not be more than 1.3× slower than materializing —
 //! its whole point is bounding memory without giving up throughput — and
-//! must sustain an absolute throughput floor of 5,000 users/s (the
-//! committed baseline clears 50,000; a 10× collapse means someone put
-//! allocation or quadratic work back on the per-user path).
+//! must sustain an absolute throughput floor of 75,000 users/s (the
+//! committed baseline measures ~95,000 on an idle single-core box with
+//! the SoA batch stepper and the arena-backed kernel, up from ~50,000
+//! before the batching work; dropping below the floor means someone put
+//! allocation or quadratic work back on the per-user path, or knocked
+//! the quiescent fast path out of the batch loop).
 
 use criterion::{black_box, Criterion};
 use mvqoe_experiments::fleet_figs::{run_fleet_sharded, shard_count};
@@ -24,20 +27,30 @@ fn cfg(users: u32) -> FleetConfig {
     FleetConfig::scaled(users, 2064, 0.01, 0.001)
 }
 
+/// Best of `runs` wall-clock measurements: scheduler noise only ever adds
+/// time, so the minimum is the faithful engine cost.
+fn best_of(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..runs).map(|_| f()).fold(f64::MAX, f64::min)
+}
+
 /// The streaming engine: shards folded into bounded aggregates, merged.
 fn streamed_secs(cfg: &FleetConfig) -> f64 {
     let scale = Scale::quick().jobs(1);
-    let start = Instant::now();
-    black_box(run_fleet_sharded(cfg, shard_count(cfg.n_users), &scale, None));
-    start.elapsed().as_secs_f64()
+    best_of(2, || {
+        let start = Instant::now();
+        black_box(run_fleet_sharded(cfg, shard_count(cfg.n_users), &scale, None));
+        start.elapsed().as_secs_f64()
+    })
 }
 
 /// The pre-streaming shape: every observation materialized, then folded.
 fn materialized_secs(cfg: &FleetConfig) -> f64 {
-    let start = Instant::now();
-    let users: Vec<_> = (0..cfg.n_users).map(|i| simulate_user(cfg, i)).collect();
-    black_box(assemble_fleet(cfg, users));
-    start.elapsed().as_secs_f64()
+    best_of(2, || {
+        let start = Instant::now();
+        let users: Vec<_> = (0..cfg.n_users).map(|i| simulate_user(cfg, i)).collect();
+        black_box(assemble_fleet(cfg, users));
+        start.elapsed().as_secs_f64()
+    })
 }
 
 fn main() {
@@ -103,10 +116,10 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if !test_mode && users_per_sec < 5_000.0 {
+    if !test_mode && users_per_sec < 75_000.0 {
         eprintln!(
             "REGRESSION: streaming fleet throughput {users_per_sec:.0} users/s below the \
-             5,000 users/s floor"
+             75,000 users/s floor"
         );
         std::process::exit(1);
     }

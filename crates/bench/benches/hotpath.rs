@@ -4,9 +4,12 @@
 //! dense and skipped — plus the wall-clock for a full Fig. 8 grid with the
 //! skip on and off, and writes `BENCH_hotpath.json` at the workspace root.
 //! Acts as its own regression guard: on an idle machine the event-driven
-//! engine must cover ticks at least 3× faster than dense stepping, and the
-//! whole Fig. 8 grid must regenerate at least 1.3× faster; if either ratio
-//! regresses the bench exits non-zero.
+//! engine must cover ticks at least 3× faster than dense stepping, the
+//! whole Fig. 8 grid must regenerate at least 1.3× faster, and the loaded
+//! dense tick — the path the skip can never rescue — must stay under
+//! 63 ns (the pre-optimization baseline; the lazy scheduler accounting
+//! and running-set tick hold it well below); if any guard trips the bench
+//! exits non-zero.
 
 use criterion::{black_box, Criterion};
 use mvqoe_device::{DeviceProfile, Machine, StepOutputs};
@@ -147,6 +150,13 @@ fn main() {
     }
     if !test_mode && fig8_speedup < 1.3 {
         eprintln!("REGRESSION: fig8 grid skip speedup {fig8_speedup:.2}x < 1.3x");
+        failed = true;
+    }
+    if !test_mode && dense_loaded >= 63.0 {
+        eprintln!(
+            "REGRESSION: loaded dense tick {dense_loaded:.1} ns at or above the 63 ns \
+             pre-optimization baseline"
+        );
         failed = true;
     }
     if failed {

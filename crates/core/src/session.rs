@@ -378,7 +378,7 @@ impl Session {
             rendered_this_sec: 0,
             kills_this_sec: 0,
             next_sample: now + SimDuration::from_secs(1),
-            last_lmkd_running: m.sched.thread(m.lmkd_thread()).times.running,
+            last_lmkd_running: m.sched.times_of(m.lmkd_thread()).running,
             kill_series: TimeSeries::new("kills_per_s"),
             lmkd_cpu_series: TimeSeries::new("lmkd_cpu_pct"),
             trim_series: TimeSeries::new("trim_severity"),
@@ -1055,7 +1055,7 @@ impl Runner<'_, '_> {
         self.st.kill_series.push(now, self.st.kills_this_sec as f64);
         self.st.kills_this_sec = 0;
 
-        let lmkd_running = m.sched.thread(m.lmkd_thread()).times.running;
+        let lmkd_running = m.sched.times_of(m.lmkd_thread()).running;
         let delta = lmkd_running.saturating_sub(self.st.last_lmkd_running);
         self.st.last_lmkd_running = lmkd_running;
         let pct = delta.as_micros() as f64 / 1_000_000.0 * 100.0;

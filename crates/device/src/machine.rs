@@ -224,9 +224,15 @@ impl Machine {
         file_share: f64,
     ) -> (ProcessId, AllocOutcome) {
         let now = self.now();
-        let (pid, outcome) =
-            self.mm
-                .spawn_sized(now, name, kind, anon, file_ws, file_resident, file_share);
+        let (pid, outcome) = self.mm.spawn_sized(
+            now,
+            name.to_string(),
+            kind,
+            anon,
+            file_ws,
+            file_resident,
+            file_share,
+        );
         self.proc_threads.entry(pid).or_default();
         (pid, outcome)
     }
@@ -675,7 +681,7 @@ mod tests {
         let mut m = machine();
         m.run_idle(SimDuration::from_secs(2));
         assert_eq!(m.mm.vmstat().lmkd_kills, 0);
-        let kswapd_run = m.sched.thread(m.kswapd_thread()).times.running;
+        let kswapd_run = m.sched.times_of(m.kswapd_thread()).running;
         assert!(
             kswapd_run < SimDuration::from_millis(50),
             "kswapd ran {kswapd_run} while idle"
@@ -710,7 +716,7 @@ mod tests {
             }
         }
         assert!(killed_any, "lmkd must kill under a pinned allocation storm");
-        let kswapd_run = m.sched.thread(m.kswapd_thread()).times.running;
+        let kswapd_run = m.sched.times_of(m.kswapd_thread()).running;
         assert!(
             kswapd_run > SimDuration::from_millis(20),
             "kswapd must have burned CPU: {kswapd_run}"
@@ -743,7 +749,7 @@ mod tests {
         }
         assert!(unblocked, "disk read must complete and unblock the thread");
         // mmcqd must have spent CPU dispatching it.
-        assert!(m.sched.thread(m.mmcqd_thread()).times.running > SimDuration::ZERO);
+        assert!(m.sched.times_of(m.mmcqd_thread()).running > SimDuration::ZERO);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   fleet with `kept <= recruited`, an ingest ack whose accepted count
 //!   covers every fold, the batch-equivalence flag set, and an embedded
 //!   `/metrics` scrape that parses as valid Prometheus text exposition.
+//! - `*.meta.json` — must be a run sidecar: positive `wall_secs`, at least
+//!   one job, and — when the run was profiled (`--profile`) — a `profile`
+//!   block listing every instrumented hot-path phase exactly once with
+//!   integer call/nanosecond totals. Pass `--require-profile` to make a
+//!   missing/null profile block an error (the CI smoke recipe does, after
+//!   its profiled fleet run).
 //!
 //! Exits non-zero on the first malformed file, so the CI smoke recipe can
 //! gate on it.
@@ -255,11 +261,68 @@ fn lint_service(path: &str, v: &Value) -> Result<(), String> {
     Ok(())
 }
 
-fn lint(path: &str) -> Result<(), String> {
+fn lint_meta(path: &str, v: &Value, require_profile: bool) -> Result<(), String> {
+    let wall = v
+        .get("wall_secs")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| fail(path, "no numeric wall_secs"))?;
+    if wall <= 0.0 {
+        return Err(fail(path, &format!("wall_secs {wall} is not positive")));
+    }
+    if v.get("jobs").and_then(Value::as_u64).unwrap_or(0) < 1 {
+        return Err(fail(path, "jobs must be at least 1"));
+    }
+    let profile = match v.get("profile") {
+        None | Some(Value::Null) if require_profile => {
+            return Err(fail(path, "profile block required but missing/null"));
+        }
+        None | Some(Value::Null) => {
+            println!("[ok] {path}: sidecar valid (unprofiled run)");
+            return Ok(());
+        }
+        Some(p) => p
+            .as_seq()
+            .ok_or_else(|| fail(path, "profile is not an array"))?,
+    };
+    // Every instrumented phase, exactly once, in emission order.
+    let expected: Vec<&str> = mvqoe_metrics::selfprof::PHASES
+        .iter()
+        .map(|p| p.name())
+        .collect();
+    let got: Vec<&str> = profile
+        .iter()
+        .map(|e| e.get("phase").and_then(Value::as_str).unwrap_or(""))
+        .collect();
+    if got != expected {
+        return Err(fail(
+            path,
+            &format!("profile phases {got:?} != expected {expected:?}"),
+        ));
+    }
+    let mut calls_total = 0u64;
+    for e in profile {
+        let phase = e.get("phase").and_then(Value::as_str).unwrap_or("?");
+        for key in ["calls", "total_ns"] {
+            if e.get(key).and_then(Value::as_u64).is_none() {
+                return Err(fail(path, &format!("profile {phase}: missing integer {key}")));
+            }
+        }
+        calls_total += e.get("calls").and_then(Value::as_u64).unwrap_or(0);
+    }
+    if calls_total == 0 {
+        return Err(fail(path, "profile recorded zero calls across all phases"));
+    }
+    println!("[ok] {path}: profile block valid ({calls_total} span(s) recorded)");
+    Ok(())
+}
+
+fn lint(path: &str, require_profile: bool) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| fail(path, &format!("unreadable: {e}")))?;
     let v: Value =
         serde_json::from_str(&text).map_err(|e| fail(path, &format!("invalid JSON: {e}")))?;
-    if path.ends_with(".metrics.json") {
+    if path.ends_with(".meta.json") {
+        lint_meta(path, &v, require_profile)
+    } else if path.ends_with(".metrics.json") {
         lint_metrics(path, &v)
     } else if path.ends_with("counterfactual.json") {
         lint_counterfactual(path, &v)
@@ -271,13 +334,18 @@ fn lint(path: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let require_profile = args.iter().any(|a| a == "--require-profile");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if paths.is_empty() {
-        eprintln!("usage: trace-lint <file.trace.json|file.metrics.json>...");
+        eprintln!(
+            "usage: trace-lint [--require-profile] \
+             <file.trace.json|file.metrics.json|file.meta.json>..."
+        );
         return ExitCode::from(2);
     }
-    for path in &paths {
-        if let Err(e) = lint(path) {
+    for path in paths {
+        if let Err(e) = lint(path, require_profile) {
             eprintln!("[trace-lint] {e}");
             return ExitCode::FAILURE;
         }

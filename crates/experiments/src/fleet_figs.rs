@@ -309,7 +309,7 @@ pub fn run_fleet_sharded(
     let mut iter = results.into_iter().map(|(agg, _)| agg);
     let mut aggregate = iter.next().expect("at least one shard");
     for shard_agg in iter {
-        aggregate.merge(&shard_agg);
+        aggregate.absorb(shard_agg);
     }
 
     if let Some(d) = dir {

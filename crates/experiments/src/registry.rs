@@ -7,7 +7,7 @@
 //! `exp-*` binaries are one-line dispatchers through [`cli_main`], so
 //! every binary shares the same CLI surface (`--quick`, `--jobs`,
 //! `--fleet-users`, `--rss-limit-mib`, `--perfetto`, `--metrics`,
-//! `--dense-ticks`, `--list`) and the same artifact plumbing
+//! `--dense-ticks`, `--profile`, `--list`) and the same artifact plumbing
 //! (`results/<artifact>.json` + `.meta.json` / `.metrics.json`
 //! sidecars). `exp-all` is [`cli_all`] over the same table.
 

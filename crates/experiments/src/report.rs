@@ -3,6 +3,7 @@
 use crate::runner;
 use crate::scale::Scale;
 use mvqoe_core::WorkerStat;
+use mvqoe_metrics::selfprof::{self, PhaseProfile};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -94,6 +95,10 @@ pub struct RunMeta {
     /// Per-worker jobs completed and busy seconds for this experiment's
     /// engine invocations.
     pub workers: Vec<WorkerStat>,
+    /// Hot-path self-profiling totals (`--profile` runs only): one entry
+    /// per instrumented phase, in `selfprof::PHASES` order. `None` when
+    /// profiling was off.
+    pub profile: Option<Vec<PhaseProfile>>,
 }
 
 /// Times one experiment and writes its results with a `<name>.meta.json`
@@ -105,16 +110,24 @@ pub struct MetaTimer {
     jobs: usize,
     runs_per_cell: u64,
     seed: u64,
+    profile: bool,
 }
 
 impl MetaTimer {
-    /// Start timing an experiment run at this scale.
+    /// Start timing an experiment run at this scale. When the scale asks
+    /// for self-profiling, recording turns on (and the counters reset) for
+    /// the span of this experiment; the totals land in the sidecar.
     pub fn start(scale: &Scale) -> MetaTimer {
+        if scale.profile {
+            selfprof::reset();
+            selfprof::set_enabled(true);
+        }
         MetaTimer {
             start: Instant::now(),
             jobs: scale.jobs,
             runs_per_cell: scale.runs,
             seed: scale.seed,
+            profile: scale.profile,
         }
     }
 
@@ -137,6 +150,7 @@ impl MetaTimer {
             runs_per_cell: self.runs_per_cell,
             seed: self.seed,
             workers: stash.workers,
+            profile: self.profile.then(selfprof::snapshot),
         };
         write_json(&format!("{name}.meta"), &meta);
         if !stash.metrics.is_empty() {

@@ -38,6 +38,10 @@ pub struct Scale {
     /// (`--rss-limit-mib N`) — the guard rail for memory-bounded
     /// million-user fleet runs.
     pub rss_limit_mib: Option<u64>,
+    /// Record hot-path self-profiling spans (`--profile`) and write the
+    /// per-phase call/nanosecond totals into the `.meta.json` sidecar.
+    /// Observation only: the data JSONs stay byte-identical.
+    pub profile: bool,
 }
 
 impl Scale {
@@ -54,6 +58,7 @@ impl Scale {
             metrics: false,
             dense_ticks: false,
             rss_limit_mib: None,
+            profile: false,
         }
     }
 
@@ -70,6 +75,7 @@ impl Scale {
             metrics: false,
             dense_ticks: false,
             rss_limit_mib: None,
+            profile: false,
         }
     }
 
@@ -145,6 +151,12 @@ impl Scale {
         self
     }
 
+    /// Toggle hot-path self-profiling (per-phase totals in the sidecar).
+    pub fn profile(mut self, on: bool) -> Scale {
+        self.profile = on;
+        self
+    }
+
     /// Parse from CLI args: `--quick` selects the reduced pass, `--jobs N`
     /// (or `--jobs=N` / `-j N`) sets the worker-pool size (`--jobs 0` means
     /// one worker per available CPU), `--fleet-users N` scales the §3
@@ -152,8 +164,10 @@ impl Scale {
     /// unless `--fleet-hours H` pins them), `--rss-limit-mib N` makes the
     /// run fail if peak RSS exceeds the bound, `--perfetto <dir>` exports
     /// a showcase trace per experiment, `--metrics` writes per-cell
-    /// metrics snapshot sidecars, and `--dense-ticks` disables the
-    /// event-driven time skip (byte-identical outputs, for bisecting).
+    /// metrics snapshot sidecars, `--dense-ticks` disables the
+    /// event-driven time skip (byte-identical outputs, for bisecting), and
+    /// `--profile` records hot-path self-profiling totals into the
+    /// `.meta.json` sidecar.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         let mut scale = if args.iter().any(|a| a == "--quick" || a == "-q") {
@@ -174,6 +188,7 @@ impl Scale {
         scale.perfetto = parse_flag_value(&args, "--perfetto");
         scale.metrics = args.iter().any(|a| a == "--metrics");
         scale.dense_ticks = args.iter().any(|a| a == "--dense-ticks");
+        scale.profile = args.iter().any(|a| a == "--profile");
         mvqoe_core::set_dense_ticks(scale.dense_ticks);
         scale
     }

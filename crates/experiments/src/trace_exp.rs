@@ -106,11 +106,11 @@ fn traced_run(pressure: PressureMode, run: u64, scale: &Scale) -> TracedRun {
     let mut pre_s = 0.0;
     let mut io_s = 0.0;
     for tid in out.client_threads {
-        let t = m.sched.thread(tid);
-        run_s += t.times.running.as_secs_f64();
-        runn_s += t.times.runnable.as_secs_f64();
-        pre_s += t.times.preempted.as_secs_f64();
-        io_s += t.times.io_wait.as_secs_f64();
+        let t = m.sched.times_of(tid);
+        run_s += t.running.as_secs_f64();
+        runn_s += t.runnable.as_secs_f64();
+        pre_s += t.preempted.as_secs_f64();
+        io_s += t.io_wait.as_secs_f64();
     }
 
     // Table 5.
@@ -118,9 +118,10 @@ fn traced_run(pressure: PressureMode, run: u64, scale: &Scale) -> TracedRun {
 
     // Fig. 13.
     let kswapd = m.sched.thread(m.kswapd_thread());
-    let total = kswapd.times.total();
+    let kswapd_times = m.sched.times_of(m.kswapd_thread());
+    let total = kswapd_times.total();
     let mut kswapd_pct = [0.0f64; 5];
-    for (j, (_, pct)) in state_percentages(&kswapd.times, total).iter().enumerate() {
+    for (j, (_, pct)) in state_percentages(&kswapd_times, total).iter().enumerate() {
         // state order: Running, Runnable, Preempted, Sleeping, IoWait
         kswapd_pct[j] = *pct;
     }
@@ -138,8 +139,8 @@ fn traced_run(pressure: PressureMode, run: u64, scale: &Scale) -> TracedRun {
         kswapd_pct,
         kswapd_rank: rank_of(&m.trace, "kswapd0").unwrap_or(usize::MAX) as f64,
         mmcqd_rank: rank_of(&m.trace, "mmcqd/0").unwrap_or(usize::MAX) as f64,
-        kswapd_run: kswapd.times.running.as_secs_f64(),
-        mmcqd_run: m.sched.thread(m.mmcqd_thread()).times.running.as_secs_f64(),
+        kswapd_run: kswapd_times.running.as_secs_f64(),
+        mmcqd_run: m.sched.times_of(m.mmcqd_thread()).running.as_secs_f64(),
         migrations: kswapd.migrations as f64,
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::manager::{KillSource, MemoryManager};
 use crate::process::ProcessId;
+use mvqoe_metrics::selfprof;
 use mvqoe_sim::{SimDuration, SimTime};
 
 /// What one coarse step did.
@@ -55,6 +56,7 @@ pub fn coarse_step_into(
     dt: SimDuration,
     out: &mut CoarseOutcome,
 ) {
+    let _prof = selfprof::span(selfprof::Phase::CoarseStep);
     out.clear();
     let mut cpu_budget_us = dt.as_micros() as f64 * 0.6;
     // Tightness is judged *before* reclaim runs: within one coarse second
@@ -88,11 +90,14 @@ pub fn coarse_step_into(
         // cached process (lmkd targets the largest). This is the path that
         // actually shrinks the cached LRU — and thereby fires trim signals
         // — on devices whose biggest processes are the freshly-used apps.
+        // Oldest = lowest pid: ids are the monotone spawn sequence, so a
+        // min over live cached processes is slot-order independent.
         let oldest = mm
             .procs()
             .iter()
-            .find(|p| !p.dead && p.kind.counts_as_cached())
-            .map(|p| p.id);
+            .filter(|p| !p.dead && p.kind.counts_as_cached())
+            .map(|p| p.id)
+            .min();
         if let Some(victim) = oldest {
             mm.kill(now, victim, KillSource::Exit);
             out.kills.push(victim);

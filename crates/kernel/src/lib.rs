@@ -46,5 +46,5 @@ pub mod zram;
 pub use config::MemConfig;
 pub use manager::{AllocOutcome, MemEvent, MemoryManager, TouchOutcome};
 pub use pages::{Pages, PAGE_SIZE};
-pub use process::{OomAdj, ProcKind, ProcessId};
+pub use process::{OomAdj, ProcKind, ProcName, ProcessId};
 pub use trim::TrimLevel;

@@ -18,17 +18,32 @@
 //! 3. when scanning stops yielding reclaim, `P = (1 − R/S) · 100` climbs;
 //!    past 60 lmkd kills cached apps (shrinking the LRU that drives trim
 //!    signals), and past 95 it kills the foreground video client.
+//!
+//! # Process arena
+//!
+//! Process records live in a slab: `procs` holds the record slots,
+//! `free_slots` the recyclable ones, and `slot_of[pid]` maps each id ever
+//! issued to its slot (or a retired marker once killed). Ids stay the
+//! monotone spawn sequence they always were — an id is never reused, so the
+//! id doubles as its own generation — while the record vector stays at
+//! live-process size no matter how much spawn/kill churn a multi-day fleet
+//! run generates. Aggregates the 1 Hz fleet sample needs (cached file
+//! total, cached-LRU count) are maintained incrementally so sampling is
+//! O(1) instead of a scan over every process that ever lived.
 
 use crate::config::MemConfig;
 use crate::lmkd::{select_victim, KillBand};
 use crate::pages::Pages;
-use crate::process::{MemProcess, OomAdj, ProcKind, ProcessId};
+use crate::process::{MemProcess, OomAdj, ProcKind, ProcName, ProcessId, TOMBSTONE};
 use crate::reclaim::{PressureWindow, ReclaimStats, VmStat};
 use crate::trim::TrimLevel;
 use crate::zram::Zram;
+use mvqoe_metrics::selfprof;
 use mvqoe_sim::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+
+/// Marker in `slot_of` for a pid whose record slot has been recycled.
+const RETIRED: u32 = u32::MAX;
 
 /// Why a process died.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,19 +132,43 @@ impl TouchOutcome {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemoryManager {
     cfg: MemConfig,
+    /// Record slots. Freed slots hold zeroed dead tombstones until reused.
     procs: Vec<MemProcess>,
+    /// Recyclable slots (LIFO).
+    free_slots: Vec<u32>,
+    /// pid → slot, [`RETIRED`] once the process was killed and its slot
+    /// recycled. One entry per pid ever issued.
+    slot_of: Vec<u32>,
+    /// Next pid to issue (the count of spawns ever).
+    next_pid: u32,
     free: Pages,
     zram: Zram,
     vm: VmStat,
     window: PressureWindow,
     trim: TrimLevel,
     events: Vec<(SimTime, MemEvent)>,
-    /// Hot working-set floors per process: pages reclaim scans but cannot
-    /// steal (they are referenced and get rotated back).
-    floors: BTreeMap<ProcessId, (Pages, Pages)>,
+    /// When false, events are not recorded (and kill skips materializing
+    /// the victim's name). The fleet stepper never reads events; with
+    /// recording off its per-second loop stays allocation-free.
+    record_events: bool,
     /// kswapd backs off until this time after a fruitless batch.
     kswapd_backoff_until: SimTime,
+    /// Incremental Σ `file_resident` over live processes (the O(1) source
+    /// for `available()` / `utilization_pct()`).
+    file_resident_total: Pages,
+    /// Incremental count of live cached/empty processes (the O(1) source
+    /// for trim levels and `cached_proc_count()`).
+    cached_count: u32,
+    /// Live slots bucketed by reclaim coldness (index =
+    /// [`ProcKind::reclaim_order`]), each bucket ascending by pid.
+    /// Concatenated coldest-first these are exactly kswapd's scan order,
+    /// maintained incrementally on spawn / kill / `set_kind` so `reclaim`
+    /// walks the population directly instead of re-sorting it every pass.
+    scan_buckets: Vec<Vec<u32>>,
 }
+
+/// Number of distinct [`ProcKind::reclaim_order`] values (bucket count).
+const SCAN_BUCKETS: usize = 7;
 
 impl MemoryManager {
     /// Create a manager with all usable memory free.
@@ -140,15 +179,68 @@ impl MemoryManager {
         MemoryManager {
             cfg,
             procs: Vec::new(),
+            free_slots: Vec::new(),
+            slot_of: Vec::new(),
+            next_pid: 0,
             free,
             zram,
             vm: VmStat::default(),
             window,
             trim: TrimLevel::Normal,
             events: Vec::new(),
-            floors: BTreeMap::new(),
+            record_events: true,
             kswapd_backoff_until: SimTime::ZERO,
+            file_resident_total: Pages::ZERO,
+            cached_count: 0,
+            scan_buckets: vec![Vec::new(); SCAN_BUCKETS],
         }
+    }
+
+    /// Disable (or re-enable) event recording. Trim levels, kill behaviour
+    /// and all accounting are unaffected; only the event log stops growing.
+    /// Bulk fleet runs, which never read the log, run with recording off.
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    /// Pre-size the arena for `extra` future spawns so the per-spawn
+    /// bookkeeping (`slot_of` push, worst-case record push, scan-bucket
+    /// insert) cannot reallocate inside an allocation-counted window.
+    pub fn reserve_spawns(&mut self, extra: usize) {
+        self.slot_of.reserve(extra);
+        self.procs.reserve(extra);
+        self.free_slots.reserve(extra);
+        for bucket in &mut self.scan_buckets {
+            bucket.reserve(extra);
+        }
+    }
+
+    /// Slot of a live pid, `None` once retired. Panics (like the historical
+    /// direct index) if `pid` was never issued.
+    #[inline]
+    fn live_slot(&self, pid: ProcessId) -> Option<usize> {
+        let s = self.slot_of[pid.0 as usize];
+        (s != RETIRED).then_some(s as usize)
+    }
+
+    /// Drop `pid` from the scan bucket of its (still-current) `kind`.
+    fn bucket_remove(&mut self, kind: ProcKind, pid: ProcessId) {
+        let procs = &self.procs;
+        let bucket = &mut self.scan_buckets[kind.reclaim_order() as usize];
+        if let Ok(pos) = bucket.binary_search_by(|&s| procs[s as usize].id.cmp(&pid)) {
+            bucket.remove(pos);
+        }
+    }
+
+    /// Insert `slot` (holding `pid`) into `kind`'s scan bucket, keeping it
+    /// pid-ascending.
+    fn bucket_insert(&mut self, kind: ProcKind, pid: ProcessId, slot: u32) {
+        let procs = &self.procs;
+        let bucket = &mut self.scan_buckets[kind.reclaim_order() as usize];
+        let pos = bucket
+            .binary_search_by(|&s| procs[s as usize].id.cmp(&pid))
+            .unwrap_err();
+        bucket.insert(pos, slot);
     }
 
     // ---------------------------------------------------------------------
@@ -156,9 +248,26 @@ impl MemoryManager {
     // ---------------------------------------------------------------------
 
     /// Spawn an empty process.
-    pub fn spawn(&mut self, now: SimTime, name: impl Into<String>, kind: ProcKind) -> ProcessId {
-        let pid = ProcessId(self.procs.len() as u32);
-        self.procs.push(MemProcess::new(pid, name, kind));
+    pub fn spawn(&mut self, now: SimTime, name: impl Into<ProcName>, kind: ProcKind) -> ProcessId {
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        let rec = MemProcess::new(pid, name, kind);
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.procs[s as usize] = rec;
+                s
+            }
+            None => {
+                self.procs.push(rec);
+                (self.procs.len() - 1) as u32
+            }
+        };
+        self.slot_of.push(slot);
+        // Pids are monotone, so pushing keeps the bucket pid-ascending.
+        self.scan_buckets[kind.reclaim_order() as usize].push(slot);
+        if kind.counts_as_cached() {
+            self.cached_count += 1;
+        }
         self.recompute_trim(now);
         pid
     }
@@ -169,7 +278,7 @@ impl MemoryManager {
     pub fn spawn_sized(
         &mut self,
         now: SimTime,
-        name: impl Into<String>,
+        name: impl Into<ProcName>,
         kind: ProcKind,
         anon: Pages,
         file_ws: Pages,
@@ -186,73 +295,125 @@ impl MemoryManager {
         outcome.writeback_pages += extra.writeback_pages;
         outcome.direct_reclaim |= extra.made_progress() || extra.scanned > 0;
         let grant = need.min(self.free.saturating_sub(self.cfg.watermark_min));
-        let p = &mut self.procs[pid.0 as usize];
+        let slot = self.slot_of[pid.0 as usize] as usize;
+        let p = &mut self.procs[slot];
         p.file_ws = file_ws;
         p.file_resident = grant;
         p.file_share = file_share;
         self.free -= grant;
+        self.file_resident_total += grant;
         if grant < need {
             outcome.oom = true;
-            self.events
-                .push((now, MemEvent::OutOfMemory { pid, short: need - grant }));
+            if self.record_events {
+                self.events.push((
+                    now,
+                    MemEvent::OutOfMemory {
+                        pid,
+                        short: need - grant,
+                    },
+                ));
+            }
         }
         (pid, outcome)
     }
 
-    /// Kill a process, returning its memory to the free pool.
+    /// Kill a process, returning its memory to the free pool. The record
+    /// slot is recycled; the pid resolves to a dead tombstone from now on.
     pub fn kill(&mut self, now: SimTime, pid: ProcessId, source: KillSource) -> Pages {
-        let p = &mut self.procs[pid.0 as usize];
+        let Some(slot) = self.live_slot(pid) else {
+            return Pages::ZERO;
+        };
+        let p = &mut self.procs[slot];
         if p.dead {
             return Pages::ZERO;
         }
         p.dead = true;
-        let name = p.name.clone();
         let kind = p.kind;
         let resident = p.anon_resident + p.file_resident;
         let in_zram = p.anon_in_zram;
+        self.file_resident_total -= p.file_resident;
         p.anon_resident = Pages::ZERO;
         p.anon_in_zram = Pages::ZERO;
         p.file_resident = Pages::ZERO;
+        p.file_ws = Pages::ZERO;
+        p.file_share = 0.0;
+        p.floor_anon = Pages::ZERO;
+        p.floor_file = Pages::ZERO;
+        let name = if self.record_events {
+            self.procs[slot].name.to_string()
+        } else {
+            String::new()
+        };
         let zram_physical = self.zram.release(in_zram);
         let freed = resident + zram_physical;
         self.free += freed;
-        self.floors.remove(&pid);
+        if kind.counts_as_cached() {
+            self.cached_count -= 1;
+        }
+        // Retire the pid and recycle the slot. The tombstone left behind is
+        // dead and zeroed, exactly like a killed record used to look.
+        self.bucket_remove(kind, pid);
+        self.procs[slot].name = ProcName::Static("<dead>");
+        self.slot_of[pid.0 as usize] = RETIRED;
+        self.free_slots.push(slot as u32);
         match source {
             KillSource::Lmkd => self.vm.lmkd_kills += 1,
             KillSource::OomKiller => self.vm.oom_kills += 1,
             KillSource::Exit => {}
         }
-        self.events.push((
-            now,
-            MemEvent::Killed {
-                pid,
-                name,
-                kind,
-                source,
-                freed,
-            },
-        ));
+        if self.record_events {
+            self.events.push((
+                now,
+                MemEvent::Killed {
+                    pid,
+                    name,
+                    kind,
+                    source,
+                    freed,
+                },
+            ));
+        }
         self.recompute_trim(now);
         freed
     }
 
     /// Change a process's priority class (e.g. app moves to background).
+    /// No-op on a retired pid (the process is already gone).
     pub fn set_kind(&mut self, now: SimTime, pid: ProcessId, kind: ProcKind) {
-        let p = &mut self.procs[pid.0 as usize];
+        let Some(slot) = self.live_slot(pid) else {
+            return;
+        };
+        let p = &mut self.procs[slot];
+        let old = p.kind;
+        let was_cached = old.counts_as_cached();
         p.kind = kind;
         p.oom_adj = kind.default_oom_adj();
+        if old.reclaim_order() != kind.reclaim_order() {
+            self.bucket_remove(old, pid);
+            self.bucket_insert(kind, pid, slot as u32);
+        }
+        match (was_cached, kind.counts_as_cached()) {
+            (false, true) => self.cached_count += 1,
+            (true, false) => self.cached_count -= 1,
+            _ => {}
+        }
         self.recompute_trim(now);
     }
 
     /// Override a process's `oom_adj` score.
     pub fn set_oom_adj(&mut self, pid: ProcessId, adj: OomAdj) {
-        self.procs[pid.0 as usize].oom_adj = adj;
+        if let Some(slot) = self.live_slot(pid) {
+            self.procs[slot].oom_adj = adj;
+        }
     }
 
     /// Set the hot working-set floors reclaim cannot steal below: pages the
     /// process is actively referencing (e.g. in-flight decode buffers).
     pub fn set_floor(&mut self, pid: ProcessId, anon: Pages, file: Pages) {
-        self.floors.insert(pid, (anon, file));
+        if let Some(slot) = self.live_slot(pid) {
+            self.procs[slot].floor_anon = anon;
+            self.procs[slot].floor_file = file;
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -265,14 +426,25 @@ impl MemoryManager {
         if want.is_zero() {
             return AllocOutcome::default();
         }
+        let Some(slot) = self.live_slot(pid) else {
+            return AllocOutcome::default();
+        };
         let reclaim = self.ensure_free(now, pid, want);
-        let grant = want.min(self.free.saturating_sub(self.cfg.watermark_min.mul_f64(0.25)));
+        let grant = want.min(
+            self.free
+                .saturating_sub(self.cfg.watermark_min.mul_f64(0.25)),
+        );
         self.free -= grant;
-        self.procs[pid.0 as usize].anon_resident += grant;
+        self.procs[slot].anon_resident += grant;
         let oom = grant < want;
-        if oom {
-            self.events
-                .push((now, MemEvent::OutOfMemory { pid, short: want - grant }));
+        if oom && self.record_events {
+            self.events.push((
+                now,
+                MemEvent::OutOfMemory {
+                    pid,
+                    short: want - grant,
+                },
+            ));
         }
         AllocOutcome {
             granted: grant,
@@ -285,7 +457,10 @@ impl MemoryManager {
 
     /// Release anonymous pages (resident first, then zRAM slots).
     pub fn free_anon(&mut self, _now: SimTime, pid: ProcessId, n: Pages) {
-        let p = &mut self.procs[pid.0 as usize];
+        let Some(slot) = self.live_slot(pid) else {
+            return;
+        };
+        let p = &mut self.procs[slot];
         let from_resident = n.min(p.anon_resident);
         p.anon_resident -= from_resident;
         self.free += from_resident;
@@ -301,26 +476,35 @@ impl MemoryManager {
     /// were compressed to zRAM fault back in at a CPU cost charged to the
     /// toucher; bringing them resident may itself trigger direct reclaim.
     pub fn touch_anon(&mut self, now: SimTime, pid: ProcessId, touched: Pages) -> TouchOutcome {
-        let p = &self.procs[pid.0 as usize];
+        let Some(slot) = self.live_slot(pid) else {
+            return TouchOutcome::default();
+        };
+        let p = &self.procs[slot];
+        // Fully-resident working sets (the common case on the 1 Hz fleet
+        // path) fault nothing back in; skip the ratio math entirely.
+        if p.anon_in_zram.is_zero() {
+            return TouchOutcome::default();
+        }
         let total = p.anon_total();
         if total.is_zero() || touched.is_zero() {
             return TouchOutcome::default();
         }
         let zram_frac = p.anon_in_zram.count() as f64 / total.count() as f64;
-        let faulting = touched
-            .min(total)
-            .mul_f64(zram_frac)
-            .min(p.anon_in_zram);
+        let faulting = touched.min(total).mul_f64(zram_frac).min(p.anon_in_zram);
         if faulting.is_zero() {
             return TouchOutcome::default();
         }
         let reclaim = self.ensure_free(now, pid, faulting);
-        let grant = faulting.min(self.free.saturating_sub(self.cfg.watermark_min.mul_f64(0.25)));
+        let grant = faulting.min(
+            self.free
+                .saturating_sub(self.cfg.watermark_min.mul_f64(0.25)),
+        );
         // Swap the granted pages back in.
         self.free -= grant;
         let physical_back = self.zram.release(grant);
         self.free += physical_back;
-        let p = &mut self.procs[pid.0 as usize];
+        let slot = self.slot_of[pid.0 as usize] as usize;
+        let p = &mut self.procs[slot];
         p.anon_in_zram -= grant;
         p.anon_resident += grant;
         self.vm.pgfault_zram += grant.count();
@@ -336,7 +520,10 @@ impl MemoryManager {
     /// pages major-fault: the toucher pays fault CPU and must wait for a
     /// disk read of `disk_read_pages` (issued through mmcqd by the caller).
     pub fn touch_file(&mut self, now: SimTime, pid: ProcessId, touched: Pages) -> TouchOutcome {
-        let p = &self.procs[pid.0 as usize];
+        let Some(slot) = self.live_slot(pid) else {
+            return TouchOutcome::default();
+        };
+        let p = &self.procs[slot];
         if p.file_ws.is_zero() || touched.is_zero() {
             return TouchOutcome::default();
         }
@@ -349,9 +536,14 @@ impl MemoryManager {
             return TouchOutcome::default();
         }
         let reclaim = self.ensure_free(now, pid, missing);
-        let grant = missing.min(self.free.saturating_sub(self.cfg.watermark_min.mul_f64(0.25)));
+        let grant = missing.min(
+            self.free
+                .saturating_sub(self.cfg.watermark_min.mul_f64(0.25)),
+        );
         self.free -= grant;
-        let p = &mut self.procs[pid.0 as usize];
+        self.file_resident_total += grant;
+        let slot = self.slot_of[pid.0 as usize] as usize;
+        let p = &mut self.procs[slot];
         p.file_resident += grant;
         self.vm.pgfault_major += grant.count();
         self.vm.refaults += grant.count();
@@ -446,18 +638,15 @@ impl MemoryManager {
     }
 
     /// Total resident file-backed (cached) pages across live processes.
+    /// Maintained incrementally: O(1).
     pub fn cached_file_total(&self) -> Pages {
-        self.procs
-            .iter()
-            .filter(|p| !p.dead)
-            .map(|p| p.file_resident)
-            .sum()
+        self.file_resident_total
     }
 
     /// Available memory as Android reports it: free + cached (the quantity
     /// plotted in the paper's Fig. 5).
     pub fn available(&self) -> Pages {
-        self.free + self.cached_file_total()
+        self.free + self.file_resident_total
     }
 
     /// RAM utilization in percent: `(total − available) / total · 100`
@@ -473,20 +662,24 @@ impl MemoryManager {
     }
 
     /// Number of live cached/empty processes (the LRU count behind trim
-    /// levels).
+    /// levels). Maintained incrementally: O(1).
     pub fn cached_proc_count(&self) -> u32 {
-        self.procs
-            .iter()
-            .filter(|p| !p.dead && p.kind.counts_as_cached())
-            .count() as u32
+        self.cached_count
     }
 
-    /// A process by id.
+    /// A process by id. A retired pid (killed, slot recycled) resolves to a
+    /// dead, zeroed tombstone — indistinguishable from the zeroed record a
+    /// kill used to leave in place.
     pub fn proc(&self, pid: ProcessId) -> &MemProcess {
-        &self.procs[pid.0 as usize]
+        match self.live_slot(pid) {
+            Some(slot) => &self.procs[slot],
+            None => &TOMBSTONE,
+        }
     }
 
-    /// All processes (including dead ones, flagged).
+    /// All process record slots. Live processes each occupy one slot; freed
+    /// slots hold dead tombstones until recycled (filter on `dead`, as the
+    /// historical dead-record entries always required).
     pub fn procs(&self) -> &[MemProcess] {
         &self.procs
     }
@@ -537,6 +730,24 @@ impl MemoryManager {
         self.free + self.zram.physical_used() + resident
     }
 
+    /// Debug check for the incremental aggregates against a fresh scan.
+    #[cfg(test)]
+    fn check_counters(&self) {
+        let file: Pages = self
+            .procs
+            .iter()
+            .filter(|p| !p.dead)
+            .map(|p| p.file_resident)
+            .sum();
+        assert_eq!(file, self.file_resident_total);
+        let cached = self
+            .procs
+            .iter()
+            .filter(|p| !p.dead && p.kind.counts_as_cached())
+            .count() as u32;
+        assert_eq!(cached, self.cached_count);
+    }
+
     // ---------------------------------------------------------------------
     // Internals
     // ---------------------------------------------------------------------
@@ -575,14 +786,7 @@ impl MemoryManager {
         scan_budget: u64,
         direct: bool,
     ) -> ReclaimStats {
-        let mut order: Vec<usize> = (0..self.procs.len())
-            .filter(|&i| !self.procs[i].dead)
-            .collect();
-        order.sort_by_key(|&i| {
-            let p = &self.procs[i];
-            (std::cmp::Reverse(p.kind.reclaim_order()), p.id)
-        });
-
+        let _prof = selfprof::span(selfprof::Phase::KernelReclaim);
         let mut budget = scan_budget;
         let mut scanned = 0u64;
         let mut reclaimed = 0u64;
@@ -595,84 +799,91 @@ impl MemoryManager {
         // it walks past per page stolen. We proxy "depth" by zRAM fill.
         // This is what grades lmkd's P between 0 and 100 — kills begin
         // while some capacity still remains, as on real devices.
-        let fill = self.zram.stored().count() as f64
-            / self.cfg.zram_capacity.count().max(1) as f64;
+        let fill = self.zram.stored().count() as f64 / self.cfg.zram_capacity.count().max(1) as f64;
         let waste = 0.3 + 6.0 * fill * fill;
 
-        for idx in order {
-            if budget == 0 || self.free >= target_free {
-                break;
-            }
-            let (floor_anon, floor_file) = self
-                .floors
-                .get(&self.procs[idx].id)
-                .copied()
-                .unwrap_or((Pages::ZERO, Pages::ZERO));
-
-            // --- File pages: cheap to drop (clean) or writeback (dirty).
-            // Pages under the hot floor behave as unevictable (referenced
-            // pages rotate straight back): they are not scanned here; the
-            // zero-progress fallback below models the fruitless LRU walks
-            // that drive P toward 100 when only hot pages remain.
-            {
-                let p = &self.procs[idx];
-                let reclaimable = p.file_resident.saturating_sub(floor_file).count();
-                let want = reclaimable.min(budget);
-                let scan_here = (want + (want as f64 * waste) as u64).min(budget);
-                let steal = want.min(self.free_needed(target_free));
-                if scan_here > 0 {
-                    let dirty = (steal as f64 * self.cfg.dirty_file_fraction).round() as u64;
-                    let clean = steal - dirty;
-                    let p = &mut self.procs[idx];
-                    p.file_resident -= Pages(steal);
-                    self.free += Pages(steal);
-                    budget -= scan_here;
-                    scanned += scan_here;
-                    reclaimed += steal;
-                    dropped_clean += clean;
-                    writeback += dirty;
+        // Walk the scan buckets coldest-first, pid-ascending within each —
+        // exactly the (coldness, pid) order a fresh sort would produce.
+        // The buckets are re-indexed every iteration (nothing in the loop
+        // body spawns, kills or reclassifies), so no borrow outlives a
+        // mutation of the records.
+        'scan: for b in (0..self.scan_buckets.len()).rev() {
+            let mut k = 0;
+            while k < self.scan_buckets[b].len() {
+                let idx = self.scan_buckets[b][k] as usize;
+                k += 1;
+                if budget == 0 || self.free >= target_free {
+                    break 'scan;
                 }
-            }
-            if budget == 0 || self.free >= target_free {
-                break;
-            }
+                let (floor_anon, floor_file) =
+                    (self.procs[idx].floor_anon, self.procs[idx].floor_file);
 
-            // --- Anonymous pages: compress into zRAM. A full pool makes
-            // these scans fruitless (scanned but not stolen), raising P.
-            {
-                let p = &self.procs[idx];
-                let reclaimable = p.anon_resident.saturating_sub(floor_anon).count();
-                let want = reclaimable
-                    .min(budget)
-                    .min(self.free_needed(target_free));
-                let (stored, grew) = self.zram.store(Pages(want));
-                let base_scan = want.max(stored.count());
-                let scan_here = (base_scan + (base_scan as f64 * waste) as u64).min(budget);
-                if scan_here > 0 {
-                    let p = &mut self.procs[idx];
-                    p.anon_resident -= stored;
-                    p.anon_in_zram += stored;
-                    self.free += stored;
-                    self.free -= grew.min(self.free);
-                    let net = stored.count().saturating_sub(grew.count());
-                    budget -= scan_here;
-                    scanned += scan_here;
-                    reclaimed += net;
-                    compressed += stored.count();
-                    self.vm.zram_stores += stored.count();
+                // --- File pages: cheap to drop (clean) or writeback (dirty).
+                // Pages under the hot floor behave as unevictable (referenced
+                // pages rotate straight back): they are not scanned here; the
+                // zero-progress fallback below models the fruitless LRU walks
+                // that drive P toward 100 when only hot pages remain.
+                {
+                    let p = &self.procs[idx];
+                    let reclaimable = p.file_resident.saturating_sub(floor_file).count();
+                    let want = reclaimable.min(budget);
+                    let scan_here = (want + (want as f64 * waste) as u64).min(budget);
+                    let steal = want.min(self.free_needed(target_free));
+                    if scan_here > 0 {
+                        let dirty = (steal as f64 * self.cfg.dirty_file_fraction).round() as u64;
+                        let clean = steal - dirty;
+                        let p = &mut self.procs[idx];
+                        p.file_resident -= Pages(steal);
+                        self.free += Pages(steal);
+                        self.file_resident_total -= Pages(steal);
+                        budget -= scan_here;
+                        scanned += scan_here;
+                        reclaimed += steal;
+                        dropped_clean += clean;
+                        writeback += dirty;
+                    }
+                }
+                if budget == 0 || self.free >= target_free {
+                    break 'scan;
+                }
+
+                // --- Anonymous pages: compress into zRAM. A full pool makes
+                // these scans fruitless (scanned but not stolen), raising P.
+                {
+                    let p = &self.procs[idx];
+                    let reclaimable = p.anon_resident.saturating_sub(floor_anon).count();
+                    let want = reclaimable.min(budget).min(self.free_needed(target_free));
+                    let (stored, grew) = self.zram.store(Pages(want));
+                    let base_scan = want.max(stored.count());
+                    let scan_here = (base_scan + (base_scan as f64 * waste) as u64).min(budget);
+                    if scan_here > 0 {
+                        let p = &mut self.procs[idx];
+                        p.anon_resident -= stored;
+                        p.anon_in_zram += stored;
+                        self.free += stored;
+                        self.free -= grew.min(self.free);
+                        let net = stored.count().saturating_sub(grew.count());
+                        budget -= scan_here;
+                        scanned += scan_here;
+                        reclaimed += net;
+                        compressed += stored.count();
+                        self.vm.zram_stores += stored.count();
+                    }
                 }
             }
         }
 
         // Rotation-only scanning when nothing was reclaimable at all: the
-        // LRU still gets walked, burning CPU and pushing P toward 100.
+        // LRU still gets walked, burning CPU and pushing P toward 100. The
+        // hot total falls out of the accounting invariant (usable = free +
+        // zRAM physical + Σ live resident) without a scan.
         if scanned == 0 && budget > 0 && self.free < target_free {
-            let hot_total: u64 = self
-                .procs
-                .iter()
-                .filter(|p| !p.dead)
-                .map(|p| (p.anon_resident + p.file_resident).count())
-                .sum();
+            let hot_total = self
+                .cfg
+                .usable()
+                .saturating_sub(self.free)
+                .saturating_sub(self.zram.physical_used())
+                .count();
             scanned = (hot_total / 8).clamp(32, budget);
         }
 
@@ -708,12 +919,14 @@ impl MemoryManager {
     /// Recompute the trim level from the cached-process LRU and emit a
     /// change event if it moved.
     fn recompute_trim(&mut self, now: SimTime) {
-        let level = TrimLevel::from_cached_count(self.cached_proc_count(), &self.cfg.trim);
+        let level = TrimLevel::from_cached_count(self.cached_count, &self.cfg.trim);
         if level != self.trim {
             let from = self.trim;
             self.trim = level;
-            self.events
-                .push((now, MemEvent::TrimChanged { from, to: level }));
+            if self.record_events {
+                self.events
+                    .push((now, MemEvent::TrimChanged { from, to: level }));
+            }
         }
     }
 }
@@ -774,6 +987,7 @@ mod tests {
     fn accounting_invariant_after_setup() {
         let (m, _) = populated();
         assert_eq!(m.accounted_pages(), m.config().usable());
+        m.check_counters();
     }
 
     #[test]
@@ -814,12 +1028,12 @@ mod tests {
         // Cached apps lose pages before the foreground app does.
         let cached0 = m.procs().iter().find(|p| p.name == "cached0").unwrap();
         assert!(
-            cached0.file_resident < Pages::from_mib(12)
-                || cached0.anon_in_zram > Pages::ZERO,
+            cached0.file_resident < Pages::from_mib(12) || cached0.anon_in_zram > Pages::ZERO,
             "coldest process should be reclaimed first"
         );
         assert_eq!(m.proc(fg).file_resident, fg_file_before);
         assert_eq!(m.accounted_pages(), m.config().usable());
+        m.check_counters();
     }
 
     #[test]
@@ -863,6 +1077,7 @@ mod tests {
             assert!(m.vmstat().pgfault_major > 0);
         }
         assert_eq!(m.accounted_pages(), m.config().usable());
+        m.check_counters();
     }
 
     #[test]
@@ -910,6 +1125,7 @@ mod tests {
         // Kills shrink the cached LRU → trim level escalates.
         assert!(m.trim_level() >= TrimLevel::Moderate);
         assert_eq!(m.accounted_pages(), m.config().usable());
+        m.check_counters();
     }
 
     #[test]
@@ -959,6 +1175,7 @@ mod tests {
         assert!(events
             .iter()
             .any(|(_, e)| matches!(e, MemEvent::Killed { pid, .. } if *pid == fg)));
+        m.check_counters();
     }
 
     #[test]
@@ -983,5 +1200,71 @@ mod tests {
         m.alloc_anon(t(1), pid, Pages::from_mib(100));
         assert!(m.utilization_pct() > u0);
         assert_eq!(m.available(), m.free() + m.cached_file_total());
+    }
+
+    #[test]
+    fn slots_recycle_and_pids_stay_unique() {
+        let mut m = mm();
+        let a = m.spawn(t(0), "a", ProcKind::Cached);
+        let b = m.spawn(t(0), "b", ProcKind::Cached);
+        assert_eq!((a, b), (ProcessId(0), ProcessId(1)));
+        m.kill(t(1), a, KillSource::Lmkd);
+        // The next spawn reuses a's slot but gets a fresh pid.
+        let c = m.spawn(t(2), "c", ProcKind::Cached);
+        assert_eq!(c, ProcessId(2));
+        assert_eq!(m.procs().len(), 2, "record slot was recycled");
+        // The retired pid keeps resolving to a dead, zeroed record and all
+        // mutators no-op on it instead of corrupting the slot's new owner.
+        assert!(m.proc(a).dead);
+        assert_eq!(m.proc(a).anon_resident, Pages::ZERO);
+        let free_before = m.free();
+        assert_eq!(
+            m.alloc_anon(t(3), a, Pages::from_mib(4)),
+            AllocOutcome::default()
+        );
+        m.free_anon(t(3), a, Pages::from_mib(4));
+        m.touch_anon(t(3), a, Pages::from_mib(4));
+        m.touch_file(t(3), a, Pages::from_mib(4));
+        m.set_kind(t(3), a, ProcKind::Foreground);
+        m.set_floor(a, Pages(10), Pages(10));
+        m.set_oom_adj(a, OomAdj(0));
+        assert_eq!(m.free(), free_before);
+        assert!(!m.proc(c).dead, "slot reuse must not disturb the new owner");
+        assert_eq!(m.proc(c).name, "c");
+        m.check_counters();
+        assert_eq!(m.accounted_pages(), m.config().usable());
+    }
+
+    #[test]
+    fn counters_track_churn() {
+        let (mut m, fg) = populated();
+        // Background the foreground app, kill some cached apps, respawn.
+        m.set_kind(t(1), fg, ProcKind::Cached);
+        m.check_counters();
+        let victim = m.lmkd_victim_ungated(t(1));
+        let _ = victim; // selection exercised; kills below are explicit
+        let pids: Vec<ProcessId> = m
+            .procs()
+            .iter()
+            .filter(|p| !p.dead && p.kind.counts_as_cached())
+            .map(|p| p.id)
+            .collect();
+        for pid in pids.iter().take(4) {
+            m.kill(t(2), *pid, KillSource::Lmkd);
+        }
+        m.check_counters();
+        for i in 0..6 {
+            m.spawn_sized(
+                t(3),
+                format!("re{i}"),
+                ProcKind::Cached,
+                Pages::from_mib(10),
+                Pages::from_mib(8),
+                Pages::from_mib(5),
+                0.5,
+            );
+        }
+        m.check_counters();
+        assert_eq!(m.accounted_pages(), m.config().usable());
     }
 }

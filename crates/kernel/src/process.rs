@@ -8,13 +8,102 @@
 //! to) plus the priority metadata lmkd and the trim-signal logic need.
 
 use crate::pages::Pages;
+use mvqoe_sim::SimTime;
+use serde::ser::Value;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Identifier for a simulated process.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+///
+/// Ids are handed out by a monotone counter and **never reused** — the id
+/// itself is the generation. The manager's slab arena maps ids to record
+/// slots; a retired id resolves to a dead tombstone, never to a later
+/// process that recycled the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcessId(pub u32);
+
+/// A process name, interned where possible so the fleet's spawn/respawn
+/// churn never allocates. The hottest spawners (app launches, service
+/// respawns) name processes `"{prefix}@{time}"`; [`ProcName::AtTime`] holds
+/// the two parts and materializes the string only when something actually
+/// reads the name (event/trace paths, serialization).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcName {
+    /// A literal name, no allocation.
+    Static(&'static str),
+    /// An owned string (cold paths, deserialized snapshots).
+    Owned(String),
+    /// Lazily materialized `"{prefix}@{at}"` (spawn-time stamped names).
+    AtTime {
+        /// The part before the `@`.
+        prefix: &'static str,
+        /// The spawn time stamped after the `@`.
+        at: SimTime,
+    },
+}
+
+impl ProcName {
+    /// Whether this name materializes to exactly `s`. Allocation-free for
+    /// the interned variants; `AtTime` compares the two halves in place.
+    pub fn is(&self, s: &str) -> bool {
+        match self {
+            ProcName::Static(t) => *t == s,
+            ProcName::Owned(t) => t == s,
+            ProcName::AtTime { prefix, at } => s
+                .strip_prefix(prefix)
+                .and_then(|rest| rest.strip_prefix('@'))
+                .is_some_and(|rest| rest == at.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ProcName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcName::Static(s) => f.write_str(s),
+            ProcName::Owned(s) => f.write_str(s),
+            ProcName::AtTime { prefix, at } => write!(f, "{prefix}@{at}"),
+        }
+    }
+}
+
+impl From<&'static str> for ProcName {
+    fn from(s: &'static str) -> ProcName {
+        ProcName::Static(s)
+    }
+}
+
+impl From<String> for ProcName {
+    fn from(s: String) -> ProcName {
+        ProcName::Owned(s)
+    }
+}
+
+impl PartialEq<&str> for ProcName {
+    fn eq(&self, other: &&str) -> bool {
+        self.is(other)
+    }
+}
+
+impl PartialEq<str> for ProcName {
+    fn eq(&self, other: &str) -> bool {
+        self.is(other)
+    }
+}
+
+// Names serialize as the materialized string, so snapshots are unchanged by
+// the interning and round-trip through the `Owned` variant.
+impl Serialize for ProcName {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for ProcName {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        Ok(ProcName::Owned(String::from_value(v)?))
+    }
+}
 
 /// Android-style process priority classes, ordered hot → cold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -72,9 +161,7 @@ impl ProcKind {
 }
 
 /// An `oom_adj` badness score. Higher means killed earlier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct OomAdj(pub i8);
 
 /// Memory-accounting state for one process.
@@ -83,7 +170,7 @@ pub struct MemProcess {
     /// Stable identifier.
     pub id: ProcessId,
     /// Display name ("firefox", "kswapd0", "com.example.bg3", …).
-    pub name: String,
+    pub name: ProcName,
     /// Priority class.
     pub kind: ProcKind,
     /// Kill-priority score (defaults from `kind`, adjustable).
@@ -100,13 +187,36 @@ pub struct MemProcess {
     /// Fraction of this process's file pages that are shared with others
     /// (libraries). Scales the PSS contribution of `file_resident`.
     pub file_share: f64,
+    /// Hot anonymous working-set floor: pages reclaim scans but cannot
+    /// steal (they are referenced and get rotated back).
+    pub floor_anon: Pages,
+    /// Hot file working-set floor.
+    pub floor_file: Pages,
     /// True once killed; kept for post-mortem accounting.
     pub dead: bool,
 }
 
+/// The record a retired (killed, slot-recycled) [`ProcessId`] resolves to:
+/// dead, zero footprint — exactly what a killed process's own record looks
+/// like after `kill` zeroes it.
+pub(crate) static TOMBSTONE: MemProcess = MemProcess {
+    id: ProcessId(u32::MAX),
+    name: ProcName::Static("<dead>"),
+    kind: ProcKind::Cached,
+    oom_adj: OomAdj(9),
+    anon_resident: Pages::ZERO,
+    anon_in_zram: Pages::ZERO,
+    file_resident: Pages::ZERO,
+    file_ws: Pages::ZERO,
+    file_share: 0.0,
+    floor_anon: Pages::ZERO,
+    floor_file: Pages::ZERO,
+    dead: true,
+};
+
 impl MemProcess {
     /// Create a process with no memory yet.
-    pub fn new(id: ProcessId, name: impl Into<String>, kind: ProcKind) -> MemProcess {
+    pub fn new(id: ProcessId, name: impl Into<ProcName>, kind: ProcKind) -> MemProcess {
         MemProcess {
             id,
             name: name.into(),
@@ -117,6 +227,8 @@ impl MemProcess {
             file_resident: Pages::ZERO,
             file_ws: Pages::ZERO,
             file_share: 0.0,
+            floor_anon: Pages::ZERO,
+            floor_file: Pages::ZERO,
             dead: false,
         }
     }
@@ -188,7 +300,7 @@ mod tests {
         p.anon_in_zram = Pages(500);
         p.file_resident = Pages(400);
         p.file_share = 0.5; // half the file pages are shared libraries
-        // shared discount: 400 * (1 - 0.25) = 300
+                            // shared discount: 400 * (1 - 0.25) = 300
         assert_eq!(p.pss(), Pages(1300));
         assert_eq!(p.rss(), Pages(1400));
         assert_eq!(p.anon_total(), Pages(1500));
@@ -199,5 +311,37 @@ mod tests {
     fn reclaim_order_prefers_cached() {
         assert!(ProcKind::Cached.reclaim_order() > ProcKind::Foreground.reclaim_order());
         assert!(ProcKind::Foreground.reclaim_order() > ProcKind::System.reclaim_order());
+    }
+
+    #[test]
+    fn proc_names_materialize_and_compare() {
+        let s = ProcName::from("launcher");
+        assert_eq!(s.to_string(), "launcher");
+        assert!(s == "launcher");
+        let o = ProcName::from(format!("bg{}", 3));
+        assert!(o == "bg3");
+        let t = ProcName::AtTime {
+            prefix: "Video",
+            at: SimTime::from_secs(123),
+        };
+        // SimTime displays as "{:.3}s", so the stamped name matches the
+        // eager `format!("{prefix}@{now}")` it replaces.
+        assert_eq!(t.to_string(), "Video@123.000s");
+        assert!(t == "Video@123.000s");
+        assert!(t != "Video@124.000s");
+        assert!(t != "Audio@123.000s");
+    }
+
+    #[test]
+    fn proc_names_serialize_as_plain_strings() {
+        let t = ProcName::AtTime {
+            prefix: "pre.app.r",
+            at: SimTime::from_secs(7),
+        };
+        let v = t.to_value();
+        assert_eq!(v.as_str(), Some("pre.app.r@7.000s"));
+        let back = ProcName::from_value(&v).unwrap();
+        assert_eq!(back, ProcName::Owned("pre.app.r@7.000s".to_string()));
+        assert_eq!(back.to_value(), v);
     }
 }

@@ -179,7 +179,7 @@ mod tests {
     fn window_forgets_old_activity() {
         let mut w = PressureWindow::new(1_000_000);
         w.note(t(0), 10_000, 0); // would be P = 100
-        // 2 s later the window has rolled past it.
+                                 // 2 s later the window has rolled past it.
         assert_eq!(w.pressure(t(2_000), 64), None);
     }
 

@@ -38,8 +38,7 @@ impl TrimLevel {
     ];
 
     /// Non-Normal levels (the ones that generate signals).
-    pub const SIGNALS: [TrimLevel; 3] =
-        [TrimLevel::Moderate, TrimLevel::Low, TrimLevel::Critical];
+    pub const SIGNALS: [TrimLevel; 3] = [TrimLevel::Moderate, TrimLevel::Low, TrimLevel::Critical];
 
     /// Derive the level from the current cached/empty process count.
     pub fn from_cached_count(cached: u32, t: &TrimThresholds) -> TrimLevel {
@@ -104,7 +103,10 @@ mod tests {
         let mut last = usize::MAX;
         for cached in 0..12 {
             let sev = TrimLevel::from_cached_count(cached, &t).severity();
-            assert!(sev <= last, "severity must not increase with more cached procs");
+            assert!(
+                sev <= last,
+                "severity must not increase with more cached procs"
+            );
             last = sev;
         }
     }

@@ -48,9 +48,7 @@ impl Zram {
         if self.stored_logical.is_zero() {
             return Pages::ZERO;
         }
-        Pages::new(
-            ((self.stored_logical.count() as f64 / self.ratio).ceil() as u64).max(1),
-        )
+        Pages::new(((self.stored_logical.count() as f64 / self.ratio).ceil() as u64).max(1))
     }
 
     /// Remaining logical capacity.

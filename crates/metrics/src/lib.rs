@@ -19,6 +19,7 @@
 pub mod histogram;
 pub mod prometheus;
 pub mod registry;
+pub mod selfprof;
 pub mod snapshot;
 
 pub use histogram::Histogram;

@@ -2,15 +2,31 @@
 //!
 //! Each tick (the device machine uses 1 ms), the scheduler picks the best
 //! `n_cores` ready threads — all real-time threads by priority first, then
-//! fair threads by minimum virtual runtime — charges the tick to every
-//! thread's current state, executes work on the running threads, and
-//! records preemptions, completions and switch events.
+//! fair threads by minimum virtual runtime — executes work on the running
+//! threads, and records preemptions, completions and switch events.
+//! State time is accounted *lazily*: a thread's per-state totals are only
+//! charged when its state changes (or when read through
+//! [`Scheduler::times_of`]), so a tick's cost scales with the number of
+//! running threads, not the number of existing threads.
 
 use crate::events::{Completion, PreemptionRecord, SchedEvent, SchedEventKind};
-use crate::thread::{SchedClass, Thread, ThreadId, ThreadState, WorkItem};
+use crate::thread::{SchedClass, StateTimes, Thread, ThreadId, ThreadState, WorkItem};
+use mvqoe_metrics::selfprof;
 use mvqoe_sim::{SimDuration, SimTime};
 use serde::ser::Value;
 use serde::{Deserialize, Serialize};
+
+/// Charge the span the thread has spent in its current state (lazy
+/// accounting) before a state transition. Dead threads' times are frozen.
+#[inline]
+fn flush_state_time(th: &mut Thread, now: SimTime) {
+    if !th.dead {
+        let span = now.saturating_since(th.state_since);
+        if span > SimDuration::ZERO {
+            th.times.add(th.state, span);
+        }
+    }
+}
 
 /// One CPU core.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,6 +60,13 @@ pub struct Scheduler {
     /// `displaced_on_core[c]` is the thread displaced from core `c` this
     /// tick (if any), consumed by [`Scheduler::place`].
     displaced_on_core: Vec<Option<ThreadId>>,
+    /// Running threads this tick (core occupants in thread-id order).
+    scratch_running: Vec<usize>,
+    /// Count of threads for which `wants_cpu()` holds, maintained across
+    /// every state mutation. Powers the O(1) [`Scheduler::is_idle`] and the
+    /// select fast path (threads on cores always want the CPU, so
+    /// `n_want == occupied cores` means selection cannot change placement).
+    n_want: u32,
 }
 
 impl Scheduler {
@@ -63,6 +86,8 @@ impl Scheduler {
             sel_marks: Vec::new(),
             sel_gen: 0,
             displaced_on_core: Vec::new(),
+            scratch_running: Vec::new(),
+            n_want: 0,
         }
     }
 
@@ -113,11 +138,13 @@ impl Scheduler {
         if th.dead {
             return;
         }
+        let wanted = th.wants_cpu();
         th.work.push_back(WorkItem {
             remaining_us: us,
             tag,
         });
         if th.state == ThreadState::Sleeping {
+            flush_state_time(th, now);
             th.state = ThreadState::Runnable;
             th.state_since = now;
             // CFS wakeup placement: don't let long sleepers hoard vruntime
@@ -130,6 +157,18 @@ impl Scheduler {
                     kind: SchedEventKind::Wakeup,
                 });
             }
+        }
+        let wants = self.threads[tid.0 as usize].wants_cpu();
+        self.adjust_want(wanted, wants);
+    }
+
+    /// Update the `wants_cpu` population count across a mutation.
+    #[inline]
+    fn adjust_want(&mut self, before: bool, after: bool) {
+        match (before, after) {
+            (false, true) => self.n_want += 1,
+            (true, false) => self.n_want -= 1,
+            _ => {}
         }
     }
 
@@ -146,6 +185,7 @@ impl Scheduler {
         if th.dead {
             return;
         }
+        let wanted = th.wants_cpu();
         if record && th.on_core.is_some() {
             self.events.push(SchedEvent {
                 at: now,
@@ -156,9 +196,13 @@ impl Scheduler {
                 },
             });
         }
+        let th = &mut self.threads[tid.0 as usize];
+        flush_state_time(th, now);
         th.on_core = None;
         th.state = ThreadState::IoWait;
         th.state_since = now;
+        // IoWait is never ready, so the thread no longer wants the CPU.
+        self.adjust_want(wanted, false);
         if record {
             self.events.push(SchedEvent {
                 at: now,
@@ -178,6 +222,7 @@ impl Scheduler {
         if th.dead || th.state != ThreadState::IoWait {
             return;
         }
+        flush_state_time(th, now);
         th.state = if th.work.is_empty() {
             ThreadState::Sleeping
         } else {
@@ -185,6 +230,9 @@ impl Scheduler {
         };
         th.state_since = now;
         th.vruntime = th.vruntime.max(min_vr);
+        let wants = th.wants_cpu();
+        // Coming out of IoWait the thread could not have wanted the CPU.
+        self.adjust_want(false, wants);
         if record {
             self.events.push(SchedEvent {
                 at: now,
@@ -201,11 +249,16 @@ impl Scheduler {
             self.cores[c].running = None;
         }
         let th = &mut self.threads[tid.0 as usize];
+        let wanted = th.wants_cpu();
+        // Flush before marking dead: `flush_state_time` freezes the times of
+        // dead threads, so this is the last charge they ever receive.
+        flush_state_time(th, now);
         th.dead = true;
         th.on_core = None;
         th.work.clear();
         th.state = ThreadState::Sleeping;
         th.state_since = now;
+        self.adjust_want(wanted, false);
     }
 
     /// Change a thread's scheduling class.
@@ -213,24 +266,28 @@ impl Scheduler {
         self.threads[tid.0 as usize].class = class;
     }
 
-    /// Advance the simulation by `dt`: select threads, account state time,
-    /// execute work.
+    /// Advance the simulation by `dt`: select threads and execute work.
+    /// State time is accounted lazily — charged at each state transition —
+    /// so the tick only touches the threads actually on cores.
     pub fn tick(&mut self, dt: SimDuration) {
         let t0 = self.now;
         let t1 = t0 + dt;
 
         self.select(t0);
 
-        // Charge the tick to each live thread's state and run the work.
-        for i in 0..self.threads.len() {
-            if self.threads[i].dead {
-                continue;
-            }
-            let state = self.threads[i].state;
-            self.threads[i].times.add(state, dt);
-            if state != ThreadState::Running {
-                continue;
-            }
+        // Execute work on the core occupants only. Iterating in thread-id
+        // order matches the historical full-scan order, so completions
+        // within one tick come out in the same sequence.
+        let mut running = std::mem::take(&mut self.scratch_running);
+        running.clear();
+        running.extend(
+            self.cores
+                .iter()
+                .filter_map(|c| c.running.map(|t| t.0 as usize)),
+        );
+        running.sort_unstable();
+        for idx in 0..running.len() {
+            let i = running[idx];
             let core = self.threads[i].on_core.expect("running thread has a core");
             let speed = self.cores[core].speed;
             let mut budget_us = dt.as_micros() as f64 * speed;
@@ -255,13 +312,18 @@ impl Scheduler {
                 }
             }
             if self.threads[i].work.is_empty() {
-                // Out of work: leave the core and sleep.
+                // Out of work: leave the core and sleep. The thread ran
+                // through the whole tick, so its Running span is charged up
+                // to `t1`. It wanted the CPU at tick start and no longer
+                // does, hence the `n_want` decrement.
                 let tid = self.threads[i].id;
                 self.cores[core].running = None;
                 let th = &mut self.threads[i];
+                flush_state_time(th, t1);
                 th.on_core = None;
                 th.state = ThreadState::Sleeping;
                 th.state_since = t1;
+                self.n_want -= 1;
                 if self.record_events {
                     self.events.push(SchedEvent {
                         at: t1,
@@ -279,6 +341,7 @@ impl Scheduler {
                 }
             }
         }
+        self.scratch_running = running;
 
         self.now = t1;
     }
@@ -286,6 +349,29 @@ impl Scheduler {
     /// Pick the best `n_cores` ready threads and place them, recording
     /// preemptions. Allocation-free: works off reusable scratch buffers.
     fn select(&mut self, now: SimTime) {
+        // Fast path: every thread that wants the CPU is already on a core.
+        // Threads on cores always want the CPU, so equal counts mean the
+        // ready set is exactly the running set — a full selection would
+        // re-pick the same threads, move nobody, and only refresh
+        // `min_vruntime`. The fold below computes the same minimum the full
+        // path would (f64 min over the same set is order-insensitive; our
+        // vruntimes are never NaN or -0.0).
+        let mut occupied = 0u32;
+        let mut min_vr = f64::INFINITY;
+        for c in &self.cores {
+            if let Some(tid) = c.running {
+                occupied += 1;
+                min_vr = min_vr.min(self.threads[tid.0 as usize].vruntime);
+            }
+        }
+        if self.n_want == occupied {
+            if occupied > 0 {
+                self.min_vruntime = self.min_vruntime.max(min_vr);
+            }
+            return;
+        }
+        let _prof = selfprof::span(selfprof::Phase::SchedSelectSlow);
+
         // Order: RT by priority (desc), then fair by vruntime (asc). Ties by
         // id for determinism.
         let mut ready = std::mem::take(&mut self.scratch_ready);
@@ -334,6 +420,7 @@ impl Scheduler {
                     self.cores[c].running = None;
                     let still_wants = self.threads[tid.0 as usize].wants_cpu();
                     let th = &mut self.threads[tid.0 as usize];
+                    flush_state_time(th, now);
                     th.on_core = None;
                     th.state = if still_wants {
                         ThreadState::RunnablePreempted
@@ -393,6 +480,7 @@ impl Scheduler {
         }
         let th = &mut self.threads[tid.0 as usize];
         let was_running = th.state == ThreadState::Running;
+        flush_state_time(th, now);
         th.state = ThreadState::Running;
         th.state_since = now;
         th.on_core = Some(core);
@@ -423,26 +511,20 @@ impl Scheduler {
         }
     }
 
-    /// True when a tick would be a pure no-op apart from state-time
-    /// accounting: no thread wants the CPU and every core is empty.
+    /// True when a tick would be a pure no-op: no thread wants the CPU
+    /// (which implies every core is empty, since on-core threads always
+    /// want the CPU). O(1) via the maintained `wants_cpu` count.
     pub fn is_idle(&self) -> bool {
-        self.cores.iter().all(|c| c.running.is_none())
-            && self.threads.iter().all(|t| !t.wants_cpu())
+        self.n_want == 0
     }
 
     /// Jump time forward across a provably-idle span. Exactly equivalent to
     /// `span / tick` consecutive [`Scheduler::tick`] calls while
-    /// [`Scheduler::is_idle`] holds: each such tick only charges the tick
-    /// to every live thread's current state (select with an empty ready set
-    /// touches nothing — not even `min_vruntime`), and state-time
-    /// accounting is additive in integer microseconds.
+    /// [`Scheduler::is_idle`] holds: such ticks change no thread state, and
+    /// lazy state-time accounting means each blocked thread's in-progress
+    /// span is implicit in `state_since` — only the clock needs to move.
     pub fn advance_idle(&mut self, span: SimDuration) {
         debug_assert!(self.is_idle(), "advance_idle on a non-idle scheduler");
-        for th in &mut self.threads {
-            if !th.dead {
-                th.times.add(th.state, span);
-            }
-        }
         self.now = self.now + span;
     }
 
@@ -463,6 +545,19 @@ impl Scheduler {
     /// A thread by id.
     pub fn thread(&self, tid: ThreadId) -> &Thread {
         &self.threads[tid.0 as usize]
+    }
+
+    /// A thread's cumulative per-state times through [`Scheduler::now`].
+    /// The stored `Thread::times` only cover up to the last state change
+    /// (lazy accounting); this adds the in-progress span for live threads.
+    /// Dead threads' times were flushed when they were killed.
+    pub fn times_of(&self, tid: ThreadId) -> StateTimes {
+        let th = &self.threads[tid.0 as usize];
+        let mut t = th.times;
+        if !th.dead {
+            t.add(th.state, self.now.saturating_since(th.state_since));
+        }
+        t
     }
 
     /// All threads.
@@ -526,9 +621,16 @@ impl Default for Scheduler {
 // restored-path extension of `tests/zero_alloc.rs` pins the re-warm cost.
 impl Serialize for Scheduler {
     fn to_value(&self) -> Value {
+        // Serialize threads with *flushed* state times: snapshots stay
+        // byte-identical to the historical eager-accounting scheme and are
+        // meaningful to external consumers. `from_value` inverts the flush.
+        let mut threads = self.threads.clone();
+        for th in &mut threads {
+            flush_state_time(th, self.now);
+        }
         Value::Map(vec![
             ("cores".into(), self.cores.to_value()),
-            ("threads".into(), self.threads.to_value()),
+            ("threads".into(), threads.to_value()),
             ("now".into(), self.now.to_value()),
             ("completions".into(), self.completions.to_value()),
             ("preemptions".into(), self.preemptions.to_value()),
@@ -547,10 +649,21 @@ impl Deserialize for Scheduler {
                 serde::de::Error::custom(format!("Scheduler missing field {name}"))
             })
         };
+        let mut threads: Vec<Thread> = Deserialize::from_value(field("threads")?)?;
+        let now: SimTime = Deserialize::from_value(field("now")?)?;
+        // Snapshots carry fully-flushed state times; convert back to the
+        // in-memory lazy form by deducting each live thread's in-progress
+        // span (charged again on its next state change or `times_of` read).
+        for th in &mut threads {
+            if !th.dead {
+                th.times.sub(th.state, now.saturating_since(th.state_since));
+            }
+        }
+        let n_want = threads.iter().filter(|t| t.wants_cpu()).count() as u32;
         Ok(Scheduler {
             cores: Deserialize::from_value(field("cores")?)?,
-            threads: Deserialize::from_value(field("threads")?)?,
-            now: Deserialize::from_value(field("now")?)?,
+            threads,
+            now,
             completions: Deserialize::from_value(field("completions")?)?,
             preemptions: Deserialize::from_value(field("preemptions")?)?,
             events: Deserialize::from_value(field("events")?)?,
@@ -561,6 +674,8 @@ impl Deserialize for Scheduler {
             sel_marks: Vec::new(),
             sel_gen: 0,
             displaced_on_core: Vec::new(),
+            scratch_running: Vec::new(),
+            n_want,
         })
     }
 }
@@ -601,7 +716,7 @@ mod tests {
         assert_eq!(done[0].tag, 7);
         assert_eq!(done[0].thread, t);
         assert_eq!(s.thread(t).state, ThreadState::Sleeping);
-        assert_eq!(s.thread(t).times.running, MS * 3);
+        assert_eq!(s.times_of(t).running, MS * 3);
     }
 
     #[test]
@@ -647,7 +762,7 @@ mod tests {
         s.tick(MS);
         s.tick(MS);
         // Three ticks preempted while mmcqd ran.
-        assert_eq!(s.thread(fair).times.preempted, MS * 3);
+        assert_eq!(s.times_of(fair).preempted, MS * 3);
         s.tick(MS); // mmcqd done: video runs again
         assert_eq!(s.thread(fair).state, ThreadState::Running);
     }
@@ -662,8 +777,8 @@ mod tests {
         for _ in 0..1000 {
             s.tick(MS);
         }
-        let ra = s.thread(a).times.running.as_micros() as f64;
-        let rb = s.thread(b).times.running.as_micros() as f64;
+        let ra = s.times_of(a).running.as_micros() as f64;
+        let rb = s.times_of(b).running.as_micros() as f64;
         let share = ra / (ra + rb);
         assert!((share - 0.5).abs() < 0.05, "share {share}");
     }
@@ -678,8 +793,8 @@ mod tests {
         for _ in 0..2000 {
             s.tick(MS);
         }
-        let rh = s.thread(heavy).times.running.as_micros() as f64;
-        let rl = s.thread(light).times.running.as_micros() as f64;
+        let rh = s.times_of(heavy).running.as_micros() as f64;
+        let rl = s.times_of(light).running.as_micros() as f64;
         let ratio = rh / rl;
         assert!((ratio - 3.0).abs() < 0.35, "ratio {ratio}");
     }
@@ -707,7 +822,7 @@ mod tests {
         assert_eq!(s.thread(t).state, ThreadState::IoWait);
         s.tick(MS);
         s.tick(MS);
-        assert_eq!(s.thread(t).times.io_wait, MS * 2);
+        assert_eq!(s.times_of(t).io_wait, MS * 2);
         s.unblock_io(t);
         s.tick(MS);
         assert_eq!(s.thread(t).state, ThreadState::Running);
@@ -724,7 +839,7 @@ mod tests {
         s.tick(MS);
         assert!(s.thread(t).dead);
         assert!(s.drain_completions().is_empty());
-        assert_eq!(s.thread(t).times.running, MS);
+        assert_eq!(s.times_of(t).running, MS);
     }
 
     #[test]
@@ -739,7 +854,7 @@ mod tests {
         }
         for tid in [a, b] {
             assert_eq!(
-                s.thread(tid).times.total(),
+                s.times_of(tid).total(),
                 MS * 10,
                 "thread {:?} accounting must cover the whole run",
                 tid

@@ -115,6 +115,19 @@ impl StateTimes {
         }
     }
 
+    /// Subtract `dt` from the bucket for `state` (the inverse of
+    /// [`StateTimes::add`], used when deserializing the scheduler's lazy
+    /// accounting). Panics on underflow, which would indicate corrupt data.
+    pub fn sub(&mut self, state: ThreadState, dt: SimDuration) {
+        match state {
+            ThreadState::Running => self.running -= dt,
+            ThreadState::Runnable => self.runnable -= dt,
+            ThreadState::RunnablePreempted => self.preempted -= dt,
+            ThreadState::Sleeping => self.sleeping -= dt,
+            ThreadState::IoWait => self.io_wait -= dt,
+        }
+    }
+
     /// Time for one state.
     pub fn get(&self, state: ThreadState) -> SimDuration {
         match state {
@@ -158,8 +171,11 @@ pub struct Thread {
     pub work: VecDeque<WorkItem>,
     /// CFS virtual runtime (weighted, µs-scaled).
     pub vruntime: f64,
-    /// Cumulative per-state times.
-    pub times: StateTimes,
+    /// Per-state times accumulated *up to `state_since`*: the span the
+    /// thread has spent in its current state since then is implicit (lazy
+    /// accounting — charged only when the state changes). Read through
+    /// [`crate::Scheduler::times_of`], which adds the in-progress span.
+    pub(crate) times: StateTimes,
     /// Core the thread is currently running on.
     pub on_core: Option<usize>,
     /// Core the thread last ran on (for affinity + migration counting).

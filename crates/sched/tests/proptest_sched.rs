@@ -83,9 +83,8 @@ proptest! {
             s.tick(SimDuration::from_millis(1));
         }
         for &tid in &tids {
-            let t = s.thread(tid);
             prop_assert_eq!(
-                t.times.total(),
+                s.times_of(tid).total(),
                 SimDuration::from_millis(ticks),
                 "thread {:?}", tid
             );

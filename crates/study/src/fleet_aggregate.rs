@@ -550,7 +550,7 @@ impl FleetAggregate {
                 );
                 let mut one = FleetAggregate::new();
                 one.fold(cfg, idx, obs, hours);
-                self.merge(&one);
+                self.absorb(one);
             }
             _ => self.fold(cfg, idx, obs, hours),
         }
@@ -598,6 +598,41 @@ impl FleetAggregate {
         self.sketches.merge(&other.sketches);
         for cand in &other.top {
             self.offer_top(cand.clone());
+        }
+        for (band, oband) in self.bands.iter_mut().zip(&other.bands) {
+            band.merge(oband);
+        }
+    }
+
+    /// Consuming counterpart of [`FleetAggregate::merge`]: byte-identical
+    /// result, but moves `other`'s per-device records instead of cloning
+    /// them. Shard fan-in merges dozens of owned aggregates; cloning every
+    /// digest (two `String`s each) on every merge made fan-in quadratic in
+    /// allocations, and this is what the sharded runners use instead.
+    pub fn absorb(&mut self, mut other: FleetAggregate) {
+        self.recruited += other.recruited;
+        self.kept += other.kept;
+        self.hours = merge_owned_by_idx(
+            std::mem::take(&mut self.hours),
+            std::mem::take(&mut other.hours),
+            |&(i, _)| i,
+            usize::MAX,
+        );
+        self.digests = merge_owned_by_idx(
+            std::mem::take(&mut self.digests),
+            std::mem::take(&mut other.digests),
+            |d| d.idx,
+            DEVICE_DIGEST_CAP,
+        );
+        for (hist, ohist) in self.fig1.iter_mut().zip(&other.fig1) {
+            for (c, oc) in hist.iter_mut().zip(ohist) {
+                *c += oc;
+            }
+        }
+        self.counters.add(&other.counters);
+        self.sketches.merge(&other.sketches);
+        for cand in std::mem::take(&mut other.top) {
+            self.offer_top(cand);
         }
         for (band, oband) in self.bands.iter_mut().zip(&other.bands) {
             band.merge(oband);
@@ -664,6 +699,35 @@ fn merge_by_idx<T: Clone>(
     let mut out = Vec::with_capacity((mine.len() + theirs.len()).min(cap));
     let mut a = mine.into_iter().peekable();
     let mut b = theirs.iter().cloned().peekable();
+    while out.len() < cap {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                debug_assert_ne!(key(x), key(y), "aggregates must cover disjoint users");
+                if key(x) < key(y) {
+                    out.push(a.next().unwrap());
+                } else {
+                    out.push(b.next().unwrap());
+                }
+            }
+            (Some(_), None) => out.push(a.next().unwrap()),
+            (None, Some(_)) => out.push(b.next().unwrap()),
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// [`merge_by_idx`] over two owned lists: the same walk, but elements move
+/// instead of cloning (no allocation per element).
+fn merge_owned_by_idx<T>(
+    mine: Vec<T>,
+    theirs: Vec<T>,
+    key: impl Fn(&T) -> u32,
+    cap: usize,
+) -> Vec<T> {
+    let mut out = Vec::with_capacity((mine.len() + theirs.len()).min(cap));
+    let mut a = mine.into_iter().peekable();
+    let mut b = theirs.into_iter().peekable();
     while out.len() < cap {
         match (a.peek(), b.peek()) {
             (Some(x), Some(y)) => {

@@ -130,6 +130,17 @@ proptest! {
         shuffled.merge(&p0);
         shuffled.merge(&p1);
         prop_assert_eq!(&json(&shuffled), &reference);
+
+        // The consuming merge the shard fan-in uses is byte-identical to
+        // the borrowing one, in order and out of order.
+        let mut absorbed = p0.clone();
+        absorbed.absorb(p1.clone());
+        absorbed.absorb(p2.clone());
+        prop_assert_eq!(&json(&absorbed), &reference);
+        let mut absorbed_rev = p2;
+        absorbed_rev.absorb(p0);
+        absorbed_rev.absorb(p1);
+        prop_assert_eq!(&json(&absorbed_rev), &reference);
     }
 
     /// Merging an empty aggregate is the identity, from either side.

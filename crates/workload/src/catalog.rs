@@ -44,6 +44,21 @@ impl AppCategory {
         AppCategory::Utility,
     ];
 
+    /// The category's name as a static string (matches the `Debug` form),
+    /// for building process names without allocating.
+    pub fn static_name(self) -> &'static str {
+        match self {
+            AppCategory::Social => "Social",
+            AppCategory::Game => "Game",
+            AppCategory::Video => "Video",
+            AppCategory::Music => "Music",
+            AppCategory::Chat => "Chat",
+            AppCategory::Browser => "Browser",
+            AppCategory::Camera => "Camera",
+            AppCategory::Utility => "Utility",
+        }
+    }
+
     /// Median anonymous footprint in MiB when foreground on a large device.
     pub fn median_anon_mib(self) -> f64 {
         match self {

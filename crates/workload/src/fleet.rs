@@ -17,7 +17,8 @@ use crate::catalog::{sample_app, AppCategory};
 use mvqoe_device::DeviceProfile;
 use mvqoe_kernel::coarse::{coarse_step_into, CoarseOutcome};
 use mvqoe_kernel::manager::KillSource;
-use mvqoe_kernel::{MemoryManager, Pages, ProcKind, ProcessId, TrimLevel};
+use mvqoe_kernel::{MemoryManager, Pages, ProcKind, ProcName, ProcessId, TrimLevel};
+use mvqoe_metrics::selfprof;
 use mvqoe_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -121,16 +122,48 @@ pub struct FleetUser {
     coarse_out: CoarseOutcome,
     /// Reused scratch for cached-process candidate lists.
     cached_scratch: Vec<ProcessId>,
+    /// Earliest standing-app respawn deadline ([`SimTime::MAX`] when none
+    /// is pending): the standing scan is skipped until it is due.
+    standing_due: SimTime,
+    /// A kill happened since the last standing scan, so a standing app may
+    /// be dead without a respawn deadline yet.
+    standing_dirty: bool,
+}
+
+/// Interned names for the standing cached population: `fleet_device` caps
+/// `n_cached` at 8 + 8192/512 = 24, so every spawn in `FleetUser::new`
+/// resolves to a `ProcName::Static` and per-user setup never formats a
+/// process name.
+const PRE_APP_NAMES: [&str; 24] = [
+    "pre.app0", "pre.app1", "pre.app2", "pre.app3", "pre.app4", "pre.app5", "pre.app6",
+    "pre.app7", "pre.app8", "pre.app9", "pre.app10", "pre.app11", "pre.app12", "pre.app13",
+    "pre.app14", "pre.app15", "pre.app16", "pre.app17", "pre.app18", "pre.app19", "pre.app20",
+    "pre.app21", "pre.app22", "pre.app23",
+];
+
+/// `"pre.app{i}"` without allocating for the indices the fleet generates.
+fn pre_app_name(i: u32) -> ProcName {
+    match PRE_APP_NAMES.get(i as usize) {
+        Some(name) => ProcName::Static(name),
+        None => ProcName::Owned(format!("pre.app{i}")),
+    }
 }
 
 impl FleetUser {
     /// Create a user with a generated device and sampled pattern.
     pub fn new(idx: u32, root: &SimRng) -> FleetUser {
-        let mut rng = root.split(&format!("fleet-user-{idx}"));
+        let mut rng = root.split_u32("fleet-user-", idx);
         let device = DeviceProfile::fleet_device(idx, &mut rng);
         let pattern = UsagePattern::sample(&mut rng);
         let mut mm = MemoryManager::new(device.mem.clone());
+        // Nothing ever drains a fleet user's event log; with recording off
+        // the kill path also skips materializing victim names, keeping the
+        // warm 1 Hz loop allocation-free.
+        mm.set_record_events(false);
         let now = SimTime::ZERO;
+        // Size the arena for the standing population up front so the spawn
+        // loop below never reallocates it.
+        mm.reserve_spawns(device.cached_apps.0 as usize + 2);
         // Standing population, as in Machine::new.
         let (sys, _) = mm.spawn_sized(
             now,
@@ -152,12 +185,12 @@ impl FleetUser {
             0.4,
         );
         let (n_cached, mib_each) = device.cached_apps;
-        let mut standing = Vec::new();
+        let mut standing = Vec::with_capacity(n_cached as usize);
         for i in 0..n_cached {
             let size = (mib_each as f64 * rng.uniform(0.6, 1.5)) as u64;
             let (pid, _) = mm.spawn_sized(
                 now,
-                format!("pre.app{i}"),
+                pre_app_name(i),
                 ProcKind::Cached,
                 Pages::from_mib(size),
                 Pages::from_mib(size / 2),
@@ -183,7 +216,9 @@ impl FleetUser {
             launch_at: SimTime::ZERO,
             kills_observed: 0,
             coarse_out: CoarseOutcome::default(),
-            cached_scratch: Vec::new(),
+            cached_scratch: Vec::with_capacity(n_cached as usize + 16),
+            standing_due: SimTime::MAX,
+            standing_dirty: false,
         }
     }
 
@@ -197,8 +232,17 @@ impl FleetUser {
         self.kills_observed
     }
 
+    /// Pre-size the process arena for `extra` future spawns (see
+    /// [`MemoryManager::reserve_spawns`]): with the headroom in place, a
+    /// warm stepping window that includes kill/respawn churn performs no
+    /// heap allocation at all.
+    pub fn reserve_spawns(&mut self, extra: usize) {
+        self.mm.reserve_spawns(extra);
+    }
+
     /// Advance one second of this user's life and return the 1 Hz sample.
     pub fn step_1s(&mut self, now: SimTime) -> FleetSample {
+        let _prof = selfprof::span(selfprof::Phase::FleetSlowStep);
         // Screen on/off cycle.
         if now >= self.toggle_at {
             self.interactive = !self.interactive;
@@ -242,27 +286,100 @@ impl FleetUser {
             }
         }
 
+        self.finish_step(now)
+    }
+
+    /// True when the next second's step can touch nothing beyond the RNG:
+    /// screen off with the toggle in the future, no standing-app
+    /// bookkeeping pending, and free memory at the high watermark (the
+    /// coarse kernel step is a provable no-op there). The batch stepper
+    /// uses this to serve such seconds from its lanes.
+    fn quiescent(&self, now: SimTime) -> bool {
+        !self.interactive
+            && now < self.toggle_at
+            && !self.standing_dirty
+            && now < self.standing_due
+            && self.mm.free() >= self.mm.config().watermark_high
+    }
+
+    /// The idle-second background-sync draw, split out so the batch fast
+    /// path can roll it without entering the full step.
+    fn idle_chance_fires(&mut self) -> bool {
+        self.rng.chance(0.002)
+    }
+
+    /// Finish an idle second whose background-sync chance already fired
+    /// (drawn by the batch fast path).
+    fn idle_fired_step(&mut self, now: SimTime) -> FleetSample {
+        if let Some(pid) = self.random_cached_pid() {
+            self.mm.touch_anon(now, pid, Pages::from_mib(4));
+        }
+        self.finish_step(now)
+    }
+
+    /// Standing-app scan + kernel dynamics + sample: the tail every step
+    /// variant shares.
+    fn finish_step(&mut self, now: SimTime) -> FleetSample {
         // Preinstalled services respawn after lmkd kills them — Android
         // aggressively re-caches processes (paper §2 fn. 6), which is what
         // refills the LRU and lets the trim level recover between episodes.
-        for i in 0..self.standing.len() {
-            let dead = self.mm.proc(self.standing[i].pid).dead;
-            match (dead, self.standing[i].respawn_at) {
-                (true, None) => {
-                    // Hoarders' devices also churn services faster.
-                    let delay = if self.pattern.multitask_2 >= 4.0 {
-                        self.rng.uniform(8.0, 45.0)
-                    } else {
-                        self.rng.uniform(20.0, 120.0)
-                    };
-                    self.standing[i].respawn_at =
-                        Some(now + SimDuration::from_secs_f64(delay));
+        // The scan only has work when a kill happened since the last scan
+        // (a standing app may need a respawn deadline) or a deadline is
+        // due, so calm seconds skip it.
+        if self.standing_dirty || now >= self.standing_due {
+            self.standing_scan(now);
+        }
+
+        // Kernel dynamics. With free memory at or above the high watermark
+        // the coarse step cannot reclaim or kill (and the fleet ignores its
+        // pressure estimate), so calm seconds skip it entirely.
+        if self.mm.free() < self.mm.config().watermark_high {
+            coarse_step_into(
+                &mut self.mm,
+                now,
+                SimDuration::from_secs(1),
+                &mut self.coarse_out,
+            );
+            let kills = self.coarse_out.kills.len() as u64;
+            self.kills_observed += kills;
+            if kills > 0 {
+                // A victim may be a standing app: scan next step.
+                self.standing_dirty = true;
+            }
+            // Remove dead foreground (killed under extreme pressure).
+            if let Some(fg) = &self.foreground {
+                if self.mm.proc(fg.pid).dead {
+                    self.foreground = None;
                 }
-                (true, Some(at)) if now >= at => {
+            }
+        }
+
+        FleetSample {
+            at: now,
+            available_mib: self.mm.available().mib(),
+            utilization_pct: self.mm.utilization_pct(),
+            trim: self.mm.trim_level(),
+            interactive: self.interactive,
+            n_services: self.mm.cached_proc_count(),
+        }
+    }
+
+    /// Walk the standing apps: assign respawn deadlines to the newly dead
+    /// and respawn those whose deadline passed. Recomputes the deferral
+    /// state (`standing_due`, `standing_dirty`).
+    fn standing_scan(&mut self, now: SimTime) {
+        self.standing_dirty = false;
+        let mut next_due = SimTime::MAX;
+        for i in 0..self.standing.len() {
+            match self.standing[i].respawn_at {
+                Some(at) if now >= at => {
                     let size = self.standing[i].size_mib;
                     let (pid, _) = self.mm.spawn_sized(
                         now,
-                        format!("pre.app.r@{now}"),
+                        ProcName::AtTime {
+                            prefix: "pre.app.r",
+                            at: now,
+                        },
                         ProcKind::Cached,
                         Pages::from_mib(size * 2 / 3),
                         Pages::from_mib(size / 2),
@@ -275,28 +392,23 @@ impl FleetUser {
                         respawn_at: None,
                     };
                 }
-                _ => {}
+                Some(at) => next_due = next_due.min(at),
+                None => {
+                    if self.mm.proc(self.standing[i].pid).dead {
+                        // Hoarders' devices also churn services faster.
+                        let delay = if self.pattern.multitask_2 >= 4.0 {
+                            self.rng.uniform(8.0, 45.0)
+                        } else {
+                            self.rng.uniform(20.0, 120.0)
+                        };
+                        let at = now + SimDuration::from_secs_f64(delay);
+                        self.standing[i].respawn_at = Some(at);
+                        next_due = next_due.min(at);
+                    }
+                }
             }
         }
-
-        // Kernel dynamics.
-        coarse_step_into(&mut self.mm, now, SimDuration::from_secs(1), &mut self.coarse_out);
-        self.kills_observed += self.coarse_out.kills.len() as u64;
-        // Remove dead foreground (killed under extreme pressure).
-        if let Some(fg) = &self.foreground {
-            if self.mm.proc(fg.pid).dead {
-                self.foreground = None;
-            }
-        }
-
-        FleetSample {
-            at: now,
-            available_mib: self.mm.available().mib(),
-            utilization_pct: self.mm.utilization_pct(),
-            trim: self.mm.trim_level(),
-            interactive: self.interactive,
-            n_services: self.mm.cached_proc_count(),
-        }
+        self.standing_due = next_due;
     }
 
     fn drive_interactive(&mut self, now: SimTime) {
@@ -327,7 +439,10 @@ impl FleetUser {
             let spec = sample_app(category, self.device.ram_mib, &mut self.rng);
             let (pid, _) = self.mm.spawn_sized(
                 now,
-                format!("{category:?}@{now}"),
+                ProcName::AtTime {
+                    prefix: category.static_name(),
+                    at: now,
+                },
                 ProcKind::Foreground,
                 spec.anon,
                 spec.file_ws,
@@ -388,12 +503,165 @@ impl FleetUser {
                 .filter(|p| !p.dead && p.kind.counts_as_cached())
                 .map(|p| p.id),
         );
+        // Arena slots recycle, so record order is not spawn order; sort by
+        // pid to keep the candidate list (and thus the RNG-indexed pick)
+        // identical to the historical append-only layout.
+        self.cached_scratch.sort_unstable();
         if self.cached_scratch.is_empty() {
             None
         } else {
             let i = self.rng.index(self.cached_scratch.len());
             Some(self.cached_scratch[i])
         }
+    }
+}
+
+/// A batch of fleet users stepped together, with the per-user scalar state
+/// the 1 Hz loop actually consults — toggle deadlines, interactive flags,
+/// standing-app bookkeeping, and the current sample fields — mirrored into
+/// parallel arrays (structure-of-arrays).
+///
+/// Most fleet seconds are *quiescent*: screen off, no deadline due, free
+/// memory at the high watermark. For those the only work with an observable
+/// effect is the per-second background-sync RNG draw; everything else the
+/// sample needs is unchanged since the last real step. The batch serves
+/// such seconds from its lanes — a handful of sequential array reads plus
+/// one RNG draw — instead of walking each user's `MemoryManager`. Any
+/// second that does real work falls back to [`FleetUser::step_1s`] and
+/// refreshes the user's lanes, so batched stepping is *exactly* the
+/// per-object stepping, observation for observation.
+pub struct FleetBatch {
+    users: Vec<FleetUser>,
+    // Quiescence lanes.
+    toggle_at: Vec<SimTime>,
+    interactive: Vec<bool>,
+    standing_due: Vec<SimTime>,
+    standing_dirty: Vec<bool>,
+    calm: Vec<bool>,
+    // Sample lanes (valid while the user stays quiescent).
+    available_mib: Vec<f64>,
+    utilization_pct: Vec<f64>,
+    trim: Vec<TrimLevel>,
+    n_services: Vec<u32>,
+}
+
+impl FleetBatch {
+    /// Wrap `users` for batched stepping.
+    pub fn new(users: Vec<FleetUser>) -> FleetBatch {
+        let n = users.len();
+        let mut batch = FleetBatch {
+            users,
+            toggle_at: Vec::with_capacity(n),
+            interactive: Vec::with_capacity(n),
+            standing_due: Vec::with_capacity(n),
+            standing_dirty: Vec::with_capacity(n),
+            calm: Vec::with_capacity(n),
+            available_mib: Vec::with_capacity(n),
+            utilization_pct: Vec::with_capacity(n),
+            trim: Vec::with_capacity(n),
+            n_services: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let u = &batch.users[i];
+            batch.toggle_at.push(u.toggle_at);
+            batch.interactive.push(u.interactive);
+            batch.standing_due.push(u.standing_due);
+            batch.standing_dirty.push(u.standing_dirty);
+            batch.calm.push(u.mm.free() >= u.mm.config().watermark_high);
+            batch.available_mib.push(u.mm.available().mib());
+            batch.utilization_pct.push(u.mm.utilization_pct());
+            batch.trim.push(u.mm.trim_level());
+            batch.n_services.push(u.mm.cached_proc_count());
+        }
+        batch
+    }
+
+    /// Number of users in the batch.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when the batch holds no users.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The users, for inspection.
+    pub fn users(&self) -> &[FleetUser] {
+        &self.users
+    }
+
+    /// One user, for inspection.
+    pub fn user(&self, i: usize) -> &FleetUser {
+        &self.users[i]
+    }
+
+    /// Unwrap the batch back into its users.
+    pub fn into_users(self) -> Vec<FleetUser> {
+        self.users
+    }
+
+    /// Pre-size every user's process arena for `extra` future spawns
+    /// (see [`FleetUser::reserve_spawns`]). Touches no lane-mirrored
+    /// state, so it is safe at any point between steps.
+    pub fn reserve_spawns(&mut self, extra: usize) {
+        for u in &mut self.users {
+            u.reserve_spawns(extra);
+        }
+    }
+
+    /// Re-mirror user `i`'s state into the lanes after a full step. The
+    /// sample the step just produced already carries the memory-state
+    /// fields, so the lanes copy them instead of recomputing from the
+    /// `MemoryManager`. Every lane except the interactive flag is only
+    /// ever read behind a `!interactive[i]` guard, so while the user is
+    /// mid-session the rest can stay stale — interactive stepping pays
+    /// one store, not ten.
+    fn refresh(&mut self, i: usize, sample: &FleetSample) {
+        let u = &self.users[i];
+        self.interactive[i] = u.interactive;
+        if u.interactive {
+            return;
+        }
+        self.toggle_at[i] = u.toggle_at;
+        self.standing_due[i] = u.standing_due;
+        self.standing_dirty[i] = u.standing_dirty;
+        self.calm[i] = u.mm.free() >= u.mm.config().watermark_high;
+        self.available_mib[i] = sample.available_mib;
+        self.utilization_pct[i] = sample.utilization_pct;
+        self.trim[i] = sample.trim;
+        self.n_services[i] = sample.n_services;
+    }
+
+    /// Advance user `i` by one second. Produces exactly the sample
+    /// [`FleetUser::step_1s`] would.
+    pub fn step_1s(&mut self, i: usize, now: SimTime) -> FleetSample {
+        if !self.interactive[i]
+            && now < self.toggle_at[i]
+            && !self.standing_dirty[i]
+            && now < self.standing_due[i]
+            && self.calm[i]
+        {
+            debug_assert!(self.users[i].quiescent(now));
+            if !self.users[i].idle_chance_fires() {
+                // Nothing observable happened: the sample is last step's
+                // memory state at the new timestamp, read from the lanes.
+                return FleetSample {
+                    at: now,
+                    available_mib: self.available_mib[i],
+                    utilization_pct: self.utilization_pct[i],
+                    trim: self.trim[i],
+                    interactive: false,
+                    n_services: self.n_services[i],
+                };
+            }
+            let sample = self.users[i].idle_fired_step(now);
+            self.refresh(i, &sample);
+            return sample;
+        }
+        let sample = self.users[i].step_1s(now);
+        self.refresh(i, &sample);
+        sample
     }
 }
 
@@ -456,6 +724,30 @@ mod tests {
                 .sum::<f64>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batched_step_matches_per_object_step() {
+        let root = SimRng::new(41);
+        let mut solo: Vec<FleetUser> = (0..6).map(|i| FleetUser::new(i, &root)).collect();
+        let batched: Vec<FleetUser> = (0..6).map(|i| FleetUser::new(i, &root)).collect();
+        let mut batch = FleetBatch::new(batched);
+        for s in 0..(3 * 3600u64) {
+            let now = SimTime::from_secs(s);
+            for (i, u) in solo.iter_mut().enumerate() {
+                let a = u.step_1s(now);
+                let b = batch.step_1s(i, now);
+                assert_eq!(
+                    (a.at, a.available_mib, a.utilization_pct, a.trim, a.interactive, a.n_services),
+                    (b.at, b.available_mib, b.utilization_pct, b.trim, b.interactive, b.n_services),
+                    "user {i} diverged at {now}"
+                );
+            }
+        }
+        for (i, u) in solo.iter().enumerate() {
+            assert_eq!(u.kills_observed(), batch.user(i).kills_observed());
+            assert_eq!(u.mm().accounted_pages(), batch.user(i).mm().accounted_pages());
+        }
     }
 
     #[test]

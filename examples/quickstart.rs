@@ -41,8 +41,8 @@ fn main() {
         let m = &outcome.machine;
         println!(
             "           kswapd ran {}, mmcqd ran {}, lmkd killed {} processes",
-            m.sched.thread(m.kswapd_thread()).times.running,
-            m.sched.thread(m.mmcqd_thread()).times.running,
+            m.sched.times_of(m.kswapd_thread()).running,
+            m.sched.times_of(m.mmcqd_thread()).running,
             m.mm.vmstat().lmkd_kills,
         );
     }

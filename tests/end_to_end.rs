@@ -188,8 +188,8 @@ fn daemons_work_harder_under_pressure() {
         let out = run_session(&c, &mut abr);
         let m = &out.machine;
         (
-            m.sched.thread(m.kswapd_thread()).times.running.as_secs_f64(),
-            m.sched.thread(m.mmcqd_thread()).times.running.as_secs_f64(),
+            m.sched.times_of(m.kswapd_thread()).running.as_secs_f64(),
+            m.sched.times_of(m.mmcqd_thread()).running.as_secs_f64(),
         )
     };
     let (kswapd_n, mmcqd_n) = run(PressureMode::None);

@@ -73,7 +73,7 @@ fn fingerprint(m: &Machine) -> String {
         .sched
         .threads()
         .iter()
-        .map(|t| format!("{}:{:?}:{:?}", t.id.0, t.state, t.times))
+        .map(|t| format!("{}:{:?}:{:?}", t.id.0, t.state, m.sched.times_of(t.id)))
         .collect();
     format!(
         "now={:?} vmstat={:?} free={:?} trim={:?} times={:?} events={:?} preempt={:?} instants={:?}",
