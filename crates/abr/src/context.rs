@@ -3,6 +3,13 @@
 use mvqoe_kernel::TrimLevel;
 use mvqoe_video::{Fps, Manifest, Representation, Resolution};
 
+/// Safety factor applied by [`AbrContext::predicted_throughput_mbps`]:
+/// dash.js-style 90% of the harmonic-mean estimate. Policies that want a
+/// conservative bandwidth prediction use the context's method rather than
+/// applying their own factor, so every policy prices bandwidth the same
+/// way.
+pub const THROUGHPUT_SAFETY: f64 = 0.9;
+
 /// Everything an ABR algorithm may look at when picking the next segment's
 /// representation.
 #[derive(Debug, Clone)]
@@ -14,7 +21,9 @@ pub struct AbrContext<'a> {
     /// Buffer capacity in seconds.
     pub buffer_capacity: f64,
     /// Recent harmonic-mean delivered throughput, Mbit/s (None before the
-    /// first segment).
+    /// first segment). This is *the* throughput estimator: the session
+    /// computes it once per decision from the server's request history, so
+    /// policies cannot disagree on its definition.
     pub throughput_mbps: Option<f64>,
     /// The current `onTrimMemory` level — the paper's proposed signal.
     pub trim_level: TrimLevel,
@@ -26,9 +35,39 @@ pub struct AbrContext<'a> {
     /// Device screen cap: streaming above the panel resolution is wasted
     /// (the "coarse-grained device measure" the paper contrasts with).
     pub screen_cap: Resolution,
+    /// Index of the segment being decided (0-based), for lookahead
+    /// policies that plan over the remaining segments.
+    pub next_segment: u32,
+    /// Wall-clock seconds the most recent segment download took (None
+    /// before the first segment) — MPC's prediction-error feedback.
+    pub last_download_secs: Option<f64>,
 }
 
 impl AbrContext<'_> {
+    /// Segment duration in seconds.
+    pub fn segment_seconds(&self) -> f64 {
+        self.manifest.segment_seconds
+    }
+
+    /// Segments left to stream, including the one being decided.
+    pub fn segments_remaining(&self) -> u32 {
+        self.manifest.n_segments().saturating_sub(self.next_segment)
+    }
+
+    /// Manifest-declared bytes for the next `n` segments at `rep`
+    /// (clamped to the segments actually remaining). DASH manifests
+    /// declare nominal per-segment sizes; lookahead policies plan on
+    /// those, while the wire transfer still carries VBR noise.
+    pub fn upcoming_segment_bytes(&self, rep: Representation, n: u32) -> u64 {
+        let n = n.min(self.segments_remaining());
+        rep.chunk_bytes(self.manifest.segment_seconds) * u64::from(n)
+    }
+
+    /// The conservative bandwidth prediction shared by every policy:
+    /// [`THROUGHPUT_SAFETY`] × the harmonic-mean estimate.
+    pub fn predicted_throughput_mbps(&self) -> Option<f64> {
+        self.throughput_mbps.map(|m| m * THROUGHPUT_SAFETY)
+    }
     /// The ladder at a given frame rate, capped at the screen resolution.
     pub fn ladder_at(&self, fps: Fps) -> Vec<Representation> {
         self.manifest
@@ -102,6 +141,8 @@ pub(crate) mod test_support {
             recent_drop_pct: 0.0,
             last: None,
             screen_cap: Resolution::R1440p,
+            next_segment: 0,
+            last_download_secs: throughput.map(|_| 1.0),
         }
     }
 }
@@ -137,5 +178,28 @@ mod tests {
         let m = manifest();
         let c = ctx(&m, 0.0, None, TrimLevel::Normal);
         assert_eq!(c.lowest(Fps::F60).unwrap().resolution, Resolution::R240p);
+    }
+
+    #[test]
+    fn lookahead_bytes_use_manifest_nominals_and_clamp() {
+        let m = manifest(); // 180 s at 4 s segments → 45 segments
+        let mut c = ctx(&m, 30.0, Some(10.0), TrimLevel::Normal);
+        let rep = m.representation(Resolution::R720p, Fps::F30).unwrap();
+        assert_eq!(c.segment_seconds(), 4.0);
+        assert_eq!(c.segments_remaining(), 45);
+        assert_eq!(c.upcoming_segment_bytes(rep, 5), 5 * rep.chunk_bytes(4.0));
+        // Near the end of the stream the lookahead clamps.
+        c.next_segment = 43;
+        assert_eq!(c.segments_remaining(), 2);
+        assert_eq!(c.upcoming_segment_bytes(rep, 5), 2 * rep.chunk_bytes(4.0));
+    }
+
+    #[test]
+    fn predicted_throughput_applies_shared_safety() {
+        let m = manifest();
+        let c = ctx(&m, 30.0, Some(10.0), TrimLevel::Normal);
+        assert_eq!(c.predicted_throughput_mbps(), Some(10.0 * THROUGHPUT_SAFETY));
+        let c = ctx(&m, 30.0, None, TrimLevel::Normal);
+        assert_eq!(c.predicted_throughput_mbps(), None);
     }
 }

@@ -9,11 +9,17 @@
 //! * [`BufferBased`] — BBA-style occupancy→bitrate mapping \[27\];
 //! * [`ThroughputBased`] — harmonic-throughput rate picking, dash.js style;
 //! * [`Bola`] — Lyapunov utility maximization \[35\];
+//! * [`Mpc`] — MPC-style lookahead: plan expected QoE over the next N
+//!   segments from the manifest's declared sizes and a robust throughput
+//!   prediction (Yin et al., SIGCOMM '15 flavor);
 //! * [`MemoryAware`] — the adaptation the paper demonstrates in Figs. 16–17:
 //!   react to `onTrimMemory` signals by *reducing the encoded frame rate
 //!   first* (60 → 48 → 24), then the resolution, and recover cautiously
 //!   once pressure clears. It wraps any network ABR, so network and memory
-//!   bottlenecks compose.
+//!   bottlenecks compose;
+//! * [`Hybrid`] — the joint-pressure controller: memory pressure degrades
+//!   the frame rate (the memory-aware cap dynamics), network pressure
+//!   degrades the bitrate (the MPC lookahead, run on the capped ladder).
 //!
 //! All algorithms implement [`Abr`] over an [`AbrContext`] snapshot and
 //! return a `Representation` from the manifest's ladder.
@@ -22,14 +28,18 @@ pub mod bola;
 pub mod buffer_based;
 pub mod context;
 pub mod fixed;
+pub mod hybrid;
 pub mod memory_aware;
+pub mod mpc;
 pub mod schedule;
 pub mod throughput;
 
 pub use bola::Bola;
 pub use buffer_based::BufferBased;
-pub use context::{Abr, AbrContext};
+pub use context::{Abr, AbrContext, THROUGHPUT_SAFETY};
 pub use fixed::FixedAbr;
+pub use hybrid::Hybrid;
 pub use memory_aware::{MemoryAware, MemoryAwareConfig};
+pub use mpc::{Mpc, MpcConfig};
 pub use schedule::ScheduledFps;
 pub use throughput::ThroughputBased;

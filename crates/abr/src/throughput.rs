@@ -1,7 +1,8 @@
 //! Throughput-based adaptation (dash.js default style).
 //!
-//! Picks the highest rung whose bitrate fits under a safety factor times
-//! the harmonic-mean delivered throughput. Blind to device state.
+//! Picks the highest rung whose bitrate fits under the context's shared
+//! conservative bandwidth prediction
+//! ([`AbrContext::predicted_throughput_mbps`]). Blind to device state.
 
 use crate::context::{Abr, AbrContext};
 use mvqoe_video::{Fps, Representation};
@@ -11,14 +12,12 @@ use mvqoe_video::{Fps, Representation};
 pub struct ThroughputBased {
     /// Frame rate whose ladder is used.
     pub fps: Fps,
-    /// Fraction of the estimate considered safe to commit to.
-    pub safety: f64,
 }
 
 impl ThroughputBased {
-    /// dash.js-like defaults (90% of the harmonic mean).
+    /// dash.js-like defaults.
     pub fn new(fps: Fps) -> ThroughputBased {
-        ThroughputBased { fps, safety: 0.9 }
+        ThroughputBased { fps }
     }
 }
 
@@ -27,11 +26,9 @@ impl Abr for ThroughputBased {
         let lowest = ctx
             .lowest(self.fps)
             .expect("manifest has no rungs at this fps");
-        match ctx.throughput_mbps {
+        match ctx.predicted_throughput_mbps() {
             None => lowest, // conservative first segment
-            Some(rate) => ctx
-                .best_under_rate(self.fps, rate * self.safety)
-                .unwrap_or(lowest),
+            Some(rate) => ctx.best_under_rate(self.fps, rate).unwrap_or(lowest),
         }
     }
 

@@ -133,6 +133,8 @@ fn bench_abr(c: &mut Criterion) {
         recent_drop_pct: 12.0,
         last: None,
         screen_cap: Resolution::R1080p,
+        next_segment: 8,
+        last_download_secs: Some(0.8),
     };
     c.bench_function("abr/bola_decision", |b| {
         let mut abr = Bola::new(Fps::F60);

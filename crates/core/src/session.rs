@@ -696,6 +696,11 @@ impl Runner<'_, '_> {
             recent_drop_pct,
             last: self.st.last_rep,
             screen_cap: self.cfg.device.screen_cap,
+            next_segment: self.st.next_seg,
+            last_download_secs: server
+                .history()
+                .last()
+                .map(|r| (r.completed_at - r.started_at).as_secs_f64()),
         };
         let rep = self.abr.choose(&ctx);
         let bytes = self.manifest.segment_bytes(rep, self.st.next_seg, &mut self.st.rng);

@@ -19,7 +19,10 @@ use std::path::Path;
 /// The current snapshot layout version. Bump whenever any serialized form
 /// inside a snapshot changes incompatibly; [`Snapshot::load`] and
 /// [`crate::Session::restore`] reject other versions.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+///
+/// v2: `LinkParams.schedule` became the typed `LinkTrace` (`trace` field),
+/// changing the serialized shape of the config inside every snapshot.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// A complete, versioned session snapshot.
 ///

@@ -4,6 +4,7 @@ use mvqoe_abr::{Abr, FixedAbr, ThroughputBased};
 use mvqoe_core::{run_session, PressureMode, SessionConfig};
 use mvqoe_device::DeviceProfile;
 use mvqoe_net::link::LinkParams;
+use mvqoe_net::trace::LinkTrace;
 use mvqoe_sim::SimDuration;
 use mvqoe_video::{Fps, Genre, Manifest, Resolution};
 
@@ -83,7 +84,7 @@ fn lossy_link_still_plays() {
         rate_mbps: 20.0,
         latency: SimDuration::from_millis(80),
         loss_prob: 0.15,
-        schedule: Vec::new(),
+        trace: LinkTrace::new(),
     };
     let mut abr = fixed(Resolution::R480p, Fps::F30, 30.0);
     let out = run_session(&cfg, &mut abr);
@@ -124,9 +125,9 @@ fn mid_session_bandwidth_drop() {
         rate_mbps: 40.0,
         latency: SimDuration::from_millis(20),
         loss_prob: 0.0,
-        // Collapse to 1.5 Mbit/s at t = 100 s (pressure phase is ~0 s at
+        // Collapse to 1.5 Mbit/s at t = 20 s (pressure phase is ~0 s at
         // Normal, so this lands mid-playback).
-        schedule: vec![(mvqoe_sim::SimTime::from_secs(20), 1.5)],
+        trace: LinkTrace::new().rate(mvqoe_sim::SimTime::from_secs(20), 1.5),
     };
     let mut abr = ThroughputBased::new(Fps::F30);
     let out = run_session(&cfg, &mut abr);

@@ -1,0 +1,5 @@
+//! Race six ABR policies across joint network + memory pressure regimes.
+
+fn main() {
+    mvqoe_experiments::registry::cli_main("arena");
+}

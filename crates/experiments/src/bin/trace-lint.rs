@@ -12,6 +12,12 @@
 //! - `counterfactual.json` — must be the paired-delta artifact: non-empty
 //!   `pairs`, ≥ 4 branches per pair led by a zero-delta `baseline`, and
 //!   every branch's deltas consistent with its absolute QoE values.
+//! - `arena.json` — must be the joint-pressure arena artifact: every
+//!   declared regime carries one row per declared policy, each regime's
+//!   winner and `hybrid_beats_parents` flag agree with its QoE column,
+//!   `hybrid_wins` lists exactly the flagged regimes, and every paired
+//!   fork leads with a zero-delta `throughput` baseline whose branch
+//!   deltas reproduce from the absolute values.
 //! - `service.json` — must be the telemetry-service artifact: a recruited
 //!   fleet with `kept <= recruited`, an ingest ack whose accepted count
 //!   covers every fold, the batch-equivalence flag set, and an embedded
@@ -201,6 +207,163 @@ fn lint_counterfactual(path: &str, v: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn lint_arena(path: &str, v: &Value) -> Result<(), String> {
+    let strings = |key: &str| -> Result<Vec<String>, String> {
+        let list: Vec<String> = v
+            .get(key)
+            .and_then(Value::as_seq)
+            .map(|s| {
+                s.iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .ok_or_else(|| fail(path, &format!("no {key} array")))?;
+        if list.is_empty() {
+            return Err(fail(path, &format!("{key} is empty")));
+        }
+        Ok(list)
+    };
+    let policies = strings("policies")?;
+    let devices = strings("devices")?;
+    let networks = strings("networks")?;
+    let memories = strings("memories")?;
+    let regimes = v
+        .get("regimes")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| fail(path, "no regimes array"))?;
+    if regimes.len() != devices.len() * networks.len() * memories.len() {
+        return Err(fail(
+            path,
+            &format!(
+                "{} regime(s) but the declared grid has {}",
+                regimes.len(),
+                devices.len() * networks.len() * memories.len()
+            ),
+        ));
+    }
+    let mut flagged_wins = Vec::new();
+    for (i, cell) in regimes.iter().enumerate() {
+        let rows = cell
+            .get("rows")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| fail(path, &format!("regime {i} has no rows array")))?;
+        let row_policies: Vec<&str> = rows
+            .iter()
+            .filter_map(|r| r.get("policy").and_then(Value::as_str))
+            .collect();
+        if row_policies != policies.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(fail(
+                path,
+                &format!("regime {i} rows {row_policies:?} != declared policies"),
+            ));
+        }
+        let qoe_of = |name: &str| -> Result<f64, String> {
+            rows.iter()
+                .find(|r| r.get("policy").and_then(Value::as_str) == Some(name))
+                .and_then(|r| r.get("qoe").and_then(Value::as_f64))
+                .ok_or_else(|| fail(path, &format!("regime {i}: no numeric qoe for {name}")))
+        };
+        let winner = cell
+            .get("winner")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail(path, &format!("regime {i} has no winner")))?;
+        let best = rows
+            .iter()
+            .filter_map(|r| r.get("qoe").and_then(Value::as_f64))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if qoe_of(winner)? < best {
+            return Err(fail(
+                path,
+                &format!("regime {i}: winner {winner} does not have the best qoe"),
+            ));
+        }
+        let claims = matches!(cell.get("hybrid_beats_parents"), Some(Value::Bool(true)));
+        let beats = qoe_of("hybrid")? > qoe_of("memory-aware")? && qoe_of("hybrid")? > qoe_of("mpc")?;
+        if claims != beats {
+            return Err(fail(
+                path,
+                &format!("regime {i}: hybrid_beats_parents flag disagrees with the qoe column"),
+            ));
+        }
+        if claims {
+            let label = |key: &str| cell.get(key).and_then(Value::as_str).unwrap_or("?");
+            flagged_wins.push(format!(
+                "{}/{}/{}",
+                label("device"),
+                label("network"),
+                label("memory")
+            ));
+        }
+    }
+    let wins = strings("hybrid_wins").unwrap_or_default();
+    if wins != flagged_wins {
+        return Err(fail(
+            path,
+            &format!("hybrid_wins {wins:?} != flagged regimes {flagged_wins:?}"),
+        ));
+    }
+    let pairs = v
+        .get("pairs")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| fail(path, "no pairs array"))?;
+    if pairs.is_empty() {
+        return Err(fail(path, "pairs is empty"));
+    }
+    for (i, pair) in pairs.iter().enumerate() {
+        let branches = pair
+            .get("branches")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| fail(path, &format!("pair {i} has no branches array")))?;
+        let branch_policies: Vec<&str> = branches
+            .iter()
+            .filter_map(|b| b.get("policy").and_then(Value::as_str))
+            .collect();
+        if branch_policies != policies.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(fail(
+                path,
+                &format!("pair {i} branches {branch_policies:?} != declared policies"),
+            ));
+        }
+        let run_qoe = |b: &Value| -> Result<f64, String> {
+            b.get("run")
+                .and_then(|r| r.get("qoe"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| fail(path, &format!("pair {i}: branch missing run.qoe")))
+        };
+        let delta_qoe = |b: &Value| -> Result<f64, String> {
+            b.get("delta")
+                .and_then(|d| d.get("qoe"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| fail(path, &format!("pair {i}: branch missing delta.qoe")))
+        };
+        let base = run_qoe(&branches[0])?;
+        if delta_qoe(&branches[0])? != 0.0 {
+            return Err(fail(path, &format!("pair {i}: baseline delta is not zero")));
+        }
+        for b in branches {
+            if (delta_qoe(b)? - (run_qoe(b)? - base)).abs() > 1e-9 {
+                return Err(fail(
+                    path,
+                    &format!("pair {i}: qoe delta disagrees with its absolute values"),
+                ));
+            }
+        }
+    }
+    println!(
+        "[ok] {path}: {} regime(s) x {} policies, {} paired fork(s), hybrid wins in {}",
+        regimes.len(),
+        policies.len(),
+        pairs.len(),
+        if wins.is_empty() {
+            "none".to_string()
+        } else {
+            wins.len().to_string()
+        }
+    );
+    Ok(())
+}
+
 fn lint_service(path: &str, v: &Value) -> Result<(), String> {
     let num = |key: &str| -> Result<f64, String> {
         v.get("headline")
@@ -326,6 +489,8 @@ fn lint(path: &str, require_profile: bool) -> Result<(), String> {
         lint_metrics(path, &v)
     } else if path.ends_with("counterfactual.json") {
         lint_counterfactual(path, &v)
+    } else if path.ends_with("arena.json") {
+        lint_arena(path, &v)
     } else if path.ends_with("service.json") {
         lint_service(path, &v)
     } else {

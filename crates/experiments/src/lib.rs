@@ -16,6 +16,7 @@
 //! | [`trace_exp`] | Tables 4/5, Fig. 13 (Perfetto analysis) |
 //! | [`session_figs`] | Figs. 14–17 (instantaneous sessions) |
 //! | [`counterfactual`] | paired policy counterfactuals (snapshot/fork) |
+//! | [`arena`] | joint network + memory pressure ABR arena |
 //! | [`serve`] | live telemetry service (ingest + Prometheus + queries) |
 //! | [`organic_check`] | §4.3 organic spot values |
 //! | [`abr_ablation`] | §6/§7 memory-aware ABR vs network-only baselines |
@@ -23,6 +24,7 @@
 //! | [`table1`] | Table 1 digest |
 
 pub mod abr_ablation;
+pub mod arena;
 pub mod counterfactual;
 pub mod fig10;
 pub mod fig8;

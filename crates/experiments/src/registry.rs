@@ -13,8 +13,8 @@
 
 use crate::scale::Scale;
 use crate::{
-    abr_ablation, counterfactual, fig10, fig8, fleet_figs, framedrops, organic_check, os_ablation,
-    report, serve, session_figs, table1, telemetry, trace_exp,
+    abr_ablation, arena, counterfactual, fig10, fig8, fleet_figs, framedrops, organic_check,
+    os_ablation, report, serve, session_figs, table1, telemetry, trace_exp,
 };
 use mvqoe_device::DeviceProfile;
 use mvqoe_video::PlayerKind;
@@ -309,6 +309,17 @@ experiments! {
             serde_json::to_value(&c)
         },
     }
+    Arena {
+        name: "arena",
+        description: "joint network + memory pressure: six ABR policies raced per regime",
+        artifact: "arena",
+        in_all: false,
+        run: |scale| {
+            let a = arena::run(scale);
+            a.print();
+            serde_json::to_value(&a)
+        },
+    }
     Serve {
         name: "serve",
         description: "live telemetry service: ingest the fleet over TCP, scrape, verify vs batch",
@@ -422,11 +433,11 @@ mod tests {
         let mut artifacts: Vec<&str> = all().iter().map(|e| e.artifact()).collect();
         names.sort_unstable();
         artifacts.sort_unstable();
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
         names.dedup();
         artifacts.dedup();
-        assert_eq!(names.len(), 20, "registry names must be unique");
-        assert_eq!(artifacts.len(), 20, "artifact stems must be unique");
+        assert_eq!(names.len(), 21, "registry names must be unique");
+        assert_eq!(artifacts.len(), 21, "artifact stems must be unique");
     }
 
     #[test]

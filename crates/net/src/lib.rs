@@ -8,14 +8,19 @@
 //! ABR-ablation experiments can exercise network-driven adaptation
 //! alongside the paper's memory-driven adaptation:
 //!
-//! * [`Link`] — a piecewise-constant-rate serial link with propagation
-//!   latency and optional loss-retry degradation;
+//! * [`Link`] — a serial link integrating transfers exactly across a
+//!   time-varying trace of rate/latency/loss change-points;
+//! * [`LinkTrace`] — the typed change-point trace behind the link, with
+//!   deterministic cellular presets (LTE walk, congested WiFi sawtooth,
+//!   train tunnels) for the joint-pressure arena;
 //! * [`SegmentServer`] — per-request server overhead in front of the link,
 //!   with a running estimate of delivered throughput (the signal classic
 //!   ABR algorithms consume).
 
 pub mod link;
 pub mod server;
+pub mod trace;
 
 pub use link::{Link, LinkParams};
 pub use server::SegmentServer;
+pub use trace::{LinkTrace, TracePoint};

@@ -1,22 +1,24 @@
-//! A serial link with a piecewise-constant rate schedule.
+//! A serial link driven by a time-varying [`LinkTrace`].
 
+use crate::trace::LinkTrace;
 use mvqoe_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// Static link parameters.
+/// Link parameters: static base values plus an optional trace of typed
+/// change-points overriding rate, latency, and loss over time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkParams {
     /// Base rate in Mbit/s. The paper's LAN is fast enough to never
     /// bottleneck (≥ ~80 Mbit/s WiFi to one client).
     pub rate_mbps: f64,
-    /// One-way propagation latency added to every transfer.
+    /// Base one-way propagation latency added to every transfer.
     pub latency: SimDuration,
-    /// Packet-loss probability per transfer; each loss event costs one
-    /// retry round-trip (coarse TCP model, for fault injection).
+    /// Base packet-loss probability per transfer; each loss event costs
+    /// one retry round-trip (coarse TCP model, for fault injection).
     pub loss_prob: f64,
-    /// Optional rate schedule: `(from_time, rate_mbps)` change-points,
-    /// sorted by time. Overrides `rate_mbps` from each change-point on.
-    pub schedule: Vec<(SimTime, f64)>,
+    /// Time-varying overrides. Empty (the default for the paper's LAN)
+    /// keeps the static base values throughout.
+    pub trace: LinkTrace,
 }
 
 impl LinkParams {
@@ -26,7 +28,7 @@ impl LinkParams {
             rate_mbps: 120.0,
             latency: SimDuration::from_millis(4),
             loss_prob: 0.0,
-            schedule: Vec::new(),
+            trace: LinkTrace::new(),
         }
     }
 
@@ -36,8 +38,14 @@ impl LinkParams {
             rate_mbps,
             latency: SimDuration::from_millis(25),
             loss_prob: 0.0,
-            schedule: Vec::new(),
+            trace: LinkTrace::new(),
         }
+    }
+
+    /// Attach a trace to these parameters.
+    pub fn with_trace(mut self, trace: LinkTrace) -> LinkParams {
+        self.trace = trace;
+        self
     }
 }
 
@@ -62,61 +70,75 @@ impl Link {
 
     /// Rate in effect at time `t`.
     pub fn rate_at(&self, t: SimTime) -> f64 {
-        let mut rate = self.params.rate_mbps;
-        for &(from, r) in &self.params.schedule {
-            if t >= from {
-                rate = r;
-            } else {
-                break;
-            }
-        }
-        rate
+        self.params.trace.rate_at(self.params.rate_mbps, t)
+    }
+
+    /// One-way latency in effect at time `t`.
+    pub fn latency_at(&self, t: SimTime) -> SimDuration {
+        self.params.trace.latency_at(self.params.latency, t)
+    }
+
+    /// Loss probability in effect at time `t`.
+    pub fn loss_at(&self, t: SimTime) -> f64 {
+        self.params.trace.loss_at(self.params.loss_prob, t)
     }
 
     /// Begin transferring `bytes` at `now`; returns the completion time.
     ///
-    /// The transfer is integrated across rate change-points, serialized
-    /// behind any transfer already in flight, and prefixed with latency.
+    /// The transfer is serialized behind any transfer already in flight,
+    /// prefixed with the latency in effect when the request leaves, and
+    /// integrated exactly across every trace change-point it spans —
+    /// however dense the trace. The loss-retry penalty uses the
+    /// time-weighted average loss and latency over the transfer, so a
+    /// lossy spell mid-transfer costs its fair share of retries.
     pub fn start_transfer(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = if self.busy_until > now {
+        let queued = if self.busy_until > now {
             self.busy_until
         } else {
             now
-        } + self.params.latency;
+        };
+        let start = queued + self.latency_at(queued);
         let mut remaining_bits = bytes as f64 * 8.0;
         let mut t = start;
-        // Integrate across the (finite) schedule; cap iterations defensively.
-        for _ in 0..self.params.schedule.len() + 1 {
+        // Weighted integrals of loss and latency over the transfer's spans,
+        // for the retry penalty below.
+        let mut loss_integral = 0.0;
+        let mut latency_integral = 0.0;
+        let mut total_us = 0.0;
+        // Exact integration: every iteration either finishes the transfer
+        // or advances `t` to the next change-point (strictly later), so
+        // the loop terminates after at most one pass over the trace.
+        while remaining_bits > 0.0 {
             let rate = self.rate_at(t).max(0.01); // Mbit/s == bit/µs
-            let next_change = self
-                .params
-                .schedule
-                .iter()
-                .map(|&(from, _)| from)
-                .find(|&from| from > t);
-            let finish_at_rate = t + SimDuration::from_micros((remaining_bits / rate).ceil() as u64);
-            match next_change {
-                Some(change) if change < finish_at_rate => {
-                    remaining_bits -= (change - t).as_micros() as f64 * rate;
-                    t = change;
-                }
-                _ => {
-                    t = finish_at_rate;
-                    remaining_bits = 0.0;
-                    break;
-                }
+            let finish_at_rate =
+                t + SimDuration::from_micros((remaining_bits / rate).ceil() as u64);
+            let span_end = match self.params.trace.next_change_after(t) {
+                Some(change) if change < finish_at_rate => change,
+                _ => finish_at_rate,
+            };
+            let span_us = (span_end - t).as_micros() as f64;
+            loss_integral += span_us * self.loss_at(t);
+            latency_integral += span_us * self.latency_at(t).as_micros() as f64;
+            total_us += span_us;
+            if span_end == finish_at_rate {
+                t = finish_at_rate;
+                remaining_bits = 0.0;
+            } else {
+                remaining_bits -= span_us * rate;
+                t = span_end;
             }
         }
-        if remaining_bits > 0.0 {
-            let rate = self.rate_at(t).max(0.01);
-            t += SimDuration::from_micros((remaining_bits / rate).ceil() as u64);
-        }
         // Loss retries: expected retry cost folded in deterministically.
-        if self.params.loss_prob > 0.0 {
-            let penalty = self
-                .params
-                .latency
-                .mul_f64(2.0 * self.params.loss_prob / (1.0 - self.params.loss_prob).max(0.01));
+        let (loss, latency) = if total_us > 0.0 {
+            (
+                loss_integral / total_us,
+                SimDuration::from_micros((latency_integral / total_us) as u64),
+            )
+        } else {
+            (self.loss_at(start), self.latency_at(start))
+        };
+        if loss > 0.0 {
+            let penalty = latency.mul_f64(2.0 * loss / (1.0 - loss).max(0.01));
             t += penalty;
         }
         self.busy_until = t;
@@ -143,50 +165,44 @@ mod tests {
         SimTime::from_millis(ms)
     }
 
+    fn static_link(rate_mbps: f64, latency: SimDuration, loss_prob: f64) -> Link {
+        Link::new(LinkParams {
+            rate_mbps,
+            latency,
+            loss_prob,
+            trace: LinkTrace::new(),
+        })
+    }
+
     #[test]
     fn transfer_time_matches_rate() {
-        let mut link = Link::new(LinkParams {
-            rate_mbps: 8.0, // 1 MB/s
-            latency: SimDuration::ZERO,
-            loss_prob: 0.0,
-            schedule: Vec::new(),
-        });
+        let mut link = static_link(8.0, SimDuration::ZERO, 0.0); // 1 MB/s
         let done = link.start_transfer(t(0), 1_000_000);
         assert_eq!(done, SimTime::from_secs(1));
     }
 
     #[test]
     fn latency_prefixes_every_transfer() {
-        let mut link = Link::new(LinkParams {
-            rate_mbps: 8.0,
-            latency: SimDuration::from_millis(10),
-            loss_prob: 0.0,
-            schedule: Vec::new(),
-        });
+        let mut link = static_link(8.0, SimDuration::from_millis(10), 0.0);
         let done = link.start_transfer(t(0), 8_000); // 8 ms of transfer
         assert_eq!(done, t(18));
     }
 
     #[test]
     fn transfers_serialize() {
-        let mut link = Link::new(LinkParams {
-            rate_mbps: 8.0,
-            latency: SimDuration::ZERO,
-            loss_prob: 0.0,
-            schedule: Vec::new(),
-        });
+        let mut link = static_link(8.0, SimDuration::ZERO, 0.0);
         let first = link.start_transfer(t(0), 1_000_000);
         let second = link.start_transfer(t(0), 1_000_000);
         assert_eq!(second, first + SimDuration::from_secs(1));
     }
 
     #[test]
-    fn rate_schedule_applies() {
+    fn rate_trace_applies() {
         let mut link = Link::new(LinkParams {
             rate_mbps: 8.0,
             latency: SimDuration::ZERO,
             loss_prob: 0.0,
-            schedule: vec![(SimTime::from_secs(1), 16.0)],
+            trace: LinkTrace::new().rate(SimTime::from_secs(1), 16.0),
         });
         assert_eq!(link.rate_at(t(0)), 8.0);
         assert_eq!(link.rate_at(SimTime::from_secs(2)), 16.0);
@@ -194,6 +210,60 @@ mod tests {
         // rest at 16 Mbit/s → total 1.5 s.
         let done = link.start_transfer(t(0), 2_000_000);
         assert_eq!(done, SimTime::from_micros(1_500_000));
+    }
+
+    #[test]
+    fn dense_trace_integrates_exactly() {
+        // 100 change-points alternating 8 ↔ 16 Mbit/s every 100 ms. A
+        // transfer spanning all of them must integrate every span — the
+        // old implementation capped iterations and silently finished the
+        // tail at a single rate.
+        let mut trace = LinkTrace::new();
+        for i in 0..100u64 {
+            let r = if i % 2 == 0 { 16.0 } else { 8.0 };
+            trace = trace.rate(SimTime::from_millis(100 * (i + 1)), r);
+        }
+        let mut link = Link::new(LinkParams {
+            rate_mbps: 8.0,
+            latency: SimDuration::ZERO,
+            loss_prob: 0.0,
+            trace,
+        });
+        // Mean rate over any 200 ms pair of spans is 12 Mbit/s. 60 Mbit of
+        // data takes exactly 5 s (25 pairs of spans).
+        let done = link.start_transfer(t(0), 60_000_000 / 8);
+        assert_eq!(done, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn latency_change_applies_at_queue_time() {
+        // Latency jumps to 50 ms at t=1 s. A transfer entering the queue
+        // after the jump pays the new latency.
+        let params = LinkParams {
+            rate_mbps: 8.0,
+            latency: SimDuration::from_millis(10),
+            loss_prob: 0.0,
+            trace: LinkTrace::new().latency(SimTime::from_secs(1), SimDuration::from_millis(50)),
+        };
+        let mut link = Link::new(params.clone());
+        assert_eq!(link.start_transfer(t(0), 8_000), t(18));
+        let mut link = Link::new(params);
+        assert_eq!(link.start_transfer(SimTime::from_secs(2), 8_000), SimTime::from_millis(2_058));
+    }
+
+    #[test]
+    fn loss_spell_mid_transfer_adds_retries() {
+        // Same bytes, same rate; the second link turns lossy halfway
+        // through the transfer and must finish strictly later.
+        let clean = static_link(8.0, SimDuration::from_millis(20), 0.0).start_transfer(t(0), 2_000_000);
+        let mut lossy = Link::new(LinkParams {
+            rate_mbps: 8.0,
+            latency: SimDuration::from_millis(20),
+            loss_prob: 0.0,
+            trace: LinkTrace::new().loss(SimTime::from_secs(1), 0.3),
+        });
+        let done = lossy.start_transfer(t(0), 2_000_000);
+        assert!(done > clean, "mid-transfer loss spell must cost retries: {done} vs {clean}");
     }
 
     #[test]
@@ -211,15 +281,7 @@ mod tests {
 
     #[test]
     fn loss_adds_penalty() {
-        let mk = |loss| {
-            let mut link = Link::new(LinkParams {
-                rate_mbps: 8.0,
-                latency: SimDuration::from_millis(20),
-                loss_prob: loss,
-                schedule: Vec::new(),
-            });
-            link.start_transfer(t(0), 100_000)
-        };
+        let mk = |loss| static_link(8.0, SimDuration::from_millis(20), loss).start_transfer(t(0), 100_000);
         assert!(mk(0.2) > mk(0.0));
     }
 }

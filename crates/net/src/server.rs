@@ -100,13 +100,14 @@ impl SegmentServer {
 mod tests {
     use super::*;
     use crate::link::LinkParams;
+    use crate::trace::LinkTrace;
 
     fn server(rate_mbps: f64) -> SegmentServer {
         SegmentServer::new(Link::new(LinkParams {
             rate_mbps,
             latency: SimDuration::ZERO,
             loss_prob: 0.0,
-            schedule: Vec::new(),
+            trace: LinkTrace::new(),
         }))
     }
 
