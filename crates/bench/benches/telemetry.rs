@@ -1,12 +1,18 @@
 //! Telemetry overhead: how much does the metrics registry cost a session?
 //!
-//! Runs the same 12 s Nexus 5 Moderate-pressure session three ways — no
+//! Runs the same 12 s Nexus 5 Moderate-pressure session four ways — no
 //! telemetry handle at all (`run_session`), a disabled registry (every
-//! `inc`/`observe` hits the `enabled` guard and returns), and a fully
-//! enabled registry — then writes the measured overheads to
-//! `BENCH_telemetry.json` at the workspace root. The disabled path is the
-//! one every golden-output run takes, so its overhead must stay in the
-//! noise (< 2%).
+//! `inc`/`observe` hits the `enabled` guard and returns), a fully
+//! enabled registry, and the causal attribution engine switched on — then
+//! writes the measured overheads to `BENCH_telemetry.json` at the
+//! workspace root. The disabled path is the one every golden-output run
+//! takes, so its overhead must stay in the noise (< 2%); the same bound
+//! guards attribution, whose fact harvesting and blame matching run on
+//! every step of a pressured session. Attribution *disabled* is the
+//! baseline itself (`SessionConfig::attribution` defaults to `false` and
+//! every engine entry point is behind one branch), so its zero overhead
+//! is enforced stronger than a timing bound: the committed golden
+//! `results/*.json` must stay byte-identical.
 
 use criterion::{black_box, Criterion};
 use mvqoe_abr::FixedAbr;
@@ -37,10 +43,11 @@ enum Mode {
     Off,
     Disabled,
     Enabled,
+    Attribution,
 }
 
 fn run_once(mode: Mode) {
-    let cfg = cfg();
+    let mut cfg = cfg();
     let mut abr = abr();
     match mode {
         Mode::Off => {
@@ -53,6 +60,10 @@ fn run_once(mode: Mode) {
         Mode::Enabled => {
             let mut t = Telemetry::enabled();
             black_box(run_session_with(&cfg, &mut abr, Some(&mut t)));
+        }
+        Mode::Attribution => {
+            cfg.attribution = true;
+            black_box(run_session(&cfg, &mut abr));
         }
     }
 }
@@ -71,12 +82,15 @@ fn time_batch(mode: Mode) -> f64 {
 
 /// Best-of-`samples` batch wall-clock for each mode, with the modes
 /// interleaved round-robin so slow drift (frequency scaling, co-tenants)
-/// hits all three equally. The minimum is the noise-robust statistic here:
+/// hits all four equally. The minimum is the noise-robust statistic here:
 /// interference only ever adds time.
-fn time_modes(samples: usize) -> [f64; 3] {
-    let mut best = [f64::INFINITY; 3];
+fn time_modes(samples: usize) -> [f64; 4] {
+    let mut best = [f64::INFINITY; 4];
     for _ in 0..samples {
-        for (i, mode) in [Mode::Off, Mode::Disabled, Mode::Enabled].into_iter().enumerate() {
+        for (i, mode) in [Mode::Off, Mode::Disabled, Mode::Enabled, Mode::Attribution]
+            .into_iter()
+            .enumerate()
+        {
             best[i] = best[i].min(time_batch(mode));
         }
     }
@@ -97,16 +111,20 @@ fn main() {
     g.bench_function("session_telemetry_enabled", |b| {
         b.iter(|| run_once(Mode::Enabled))
     });
+    g.bench_function("session_attribution_enabled", |b| {
+        b.iter(|| run_once(Mode::Attribution))
+    });
     g.finish();
 
     run_once(Mode::Off); // warm-up
-    let [off_secs, disabled_secs, enabled_secs] = time_modes(samples);
+    let [off_secs, disabled_secs, enabled_secs, attribution_secs] = time_modes(samples);
     let pct = |s: f64| (s / off_secs.max(1e-9) - 1.0) * 100.0;
     let disabled_overhead_pct = pct(disabled_secs);
     let enabled_overhead_pct = pct(enabled_secs);
+    let attribution_overhead_pct = pct(attribution_secs);
     println!(
         "telemetry overhead vs off ({off_secs:.4} s): disabled {disabled_overhead_pct:+.2}%, \
-         enabled {enabled_overhead_pct:+.2}%"
+         enabled {enabled_overhead_pct:+.2}%, attribution {attribution_overhead_pct:+.2}%"
     );
 
     if !test_mode {
@@ -114,12 +132,26 @@ fn main() {
         let json = format!(
             "{{\n  \"bench\": \"session_telemetry_overhead\",\n  \"off_secs\": {off_secs:.4},\n  \
              \"disabled_secs\": {disabled_secs:.4},\n  \"enabled_secs\": {enabled_secs:.4},\n  \
+             \"attribution_secs\": {attribution_secs:.4},\n  \
              \"disabled_overhead_pct\": {disabled_overhead_pct:.2},\n  \
-             \"enabled_overhead_pct\": {enabled_overhead_pct:.2}\n}}\n"
+             \"enabled_overhead_pct\": {enabled_overhead_pct:.2},\n  \
+             \"attribution_overhead_pct\": {attribution_overhead_pct:.2}\n}}\n"
         );
         match std::fs::write(path, json) {
             Ok(()) => println!("[json] {path}"),
             Err(e) => eprintln!("[json] failed to write {path}: {e}"),
         }
+    }
+
+    // Regression guard: the attribution engine rides the hot per-step path
+    // (fact harvesting, stall open/close, drop counting), so it must stay
+    // inside the same < 2% budget the disabled registry holds. Skipped in
+    // --test mode, where debug codegen makes wall-clock meaningless.
+    if !test_mode && attribution_overhead_pct > 2.0 {
+        eprintln!(
+            "REGRESSION: attribution engine adds {attribution_overhead_pct:.2}% to a pressured \
+             session (limit 2%)"
+        );
+        std::process::exit(1);
     }
 }

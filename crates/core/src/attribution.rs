@@ -1,0 +1,671 @@
+//! Cross-layer causal attribution: blame every QoE falter on its kernel
+//! or network cause.
+//!
+//! The paper's core claim is *attributive* — QoE falters because of memory
+//! pressure, not bandwidth. While a session runs, the engine maintains a
+//! table of recent **pressure facts** harvested from every layer
+//! (direct-reclaim stalls, lmkd/OOM kills with victim and reclaimed bytes,
+//! major-fault and zram-thrash bursts, link rate/latency/loss dips from the
+//! [`mvqoe_net::LinkTrace`] change-points, decoder overload) — one slot per
+//! cause holding its most recent sighting, which is the only fact blame can
+//! ever land on. At each QoE-harming event — rebuffer start, dropped-frame
+//! streak, ABR downswitch, crash — it emits a structured [`CauseRecord`]
+//! naming the proximate cause, its evidence, and the time lag.
+//!
+//! **Conservation by construction:** the session charges every rebuffer
+//! microsecond and every dropped frame to exactly one cause (including
+//! [`Cause::Unattributed`]) at the same code sites that accumulate the
+//! [`mvqoe_video::SessionStats`] totals, so per-cause sums equal the
+//! session totals *exactly* and shares always sum to 1. The proptest in
+//! `tests/attribution_conservation.rs` pins this on both the dense and the
+//! skipping engine.
+//!
+//! Disabled (the default), the engine is a single-branch no-op: it draws no
+//! randomness, allocates nothing, and leaves every committed artifact
+//! byte-identical.
+
+use mvqoe_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Number of distinct causes (the length of [`Cause::ALL`]).
+pub const NCAUSES: usize = 8;
+
+/// How far back a fact may lie and still be blamed for an effect (µs).
+/// Reclaim stalls propagate to the display within a frame or two; kills
+/// free memory whose loss is felt over the next couple of seconds.
+pub const RECENCY_WINDOW_US: u64 = 2_500_000;
+
+/// Most full [`CauseRecord`]s retained per session (counters are exact
+/// regardless; only the evidence log is bounded).
+pub const RECORD_CAP: usize = 256;
+
+/// A proximate cause a QoE falter can be blamed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cause {
+    /// The allocator entered direct reclaim (a foreground stall).
+    DirectReclaim,
+    /// lmkd killed a process.
+    LmkdKill,
+    /// The kernel OOM path killed a process.
+    OomKill,
+    /// A burst of major faults (evicted code/data re-read under mmcqd).
+    MajorFaultBurst,
+    /// A burst of zram swap-ins on the client's hot pages.
+    ZramThrash,
+    /// Sampled decode time exceeded the frame period (CPU, not memory).
+    DecoderOverload,
+    /// The link rate dropped, latency rose, or loss rose at a trace
+    /// change-point.
+    NetworkDip,
+    /// No fact inside the recency window: charged to keep shares summing
+    /// to 1.
+    Unattributed,
+}
+
+impl Cause {
+    /// Every cause, in index order.
+    pub const ALL: [Cause; NCAUSES] = [
+        Cause::DirectReclaim,
+        Cause::LmkdKill,
+        Cause::OomKill,
+        Cause::MajorFaultBurst,
+        Cause::ZramThrash,
+        Cause::DecoderOverload,
+        Cause::NetworkDip,
+        Cause::Unattributed,
+    ];
+
+    /// Stable index into per-cause accumulators.
+    pub fn index(self) -> usize {
+        match self {
+            Cause::DirectReclaim => 0,
+            Cause::LmkdKill => 1,
+            Cause::OomKill => 2,
+            Cause::MajorFaultBurst => 3,
+            Cause::ZramThrash => 4,
+            Cause::DecoderOverload => 5,
+            Cause::NetworkDip => 6,
+            Cause::Unattributed => 7,
+        }
+    }
+
+    /// Artifact/metric label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cause::DirectReclaim => "direct_reclaim",
+            Cause::LmkdKill => "lmkd_kill",
+            Cause::OomKill => "oom_kill",
+            Cause::MajorFaultBurst => "major_fault_burst",
+            Cause::ZramThrash => "zram_thrash",
+            Cause::DecoderOverload => "decoder_overload",
+            Cause::NetworkDip => "network_dip",
+            Cause::Unattributed => "unattributed",
+        }
+    }
+
+    /// Whether this cause is a memory-pressure mechanism (the paper's
+    /// "coal" side of the ledger).
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Cause::DirectReclaim
+                | Cause::LmkdKill
+                | Cause::OomKill
+                | Cause::MajorFaultBurst
+                | Cause::ZramThrash
+        )
+    }
+
+    /// Whether this cause is a network mechanism.
+    pub fn is_network(self) -> bool {
+        matches!(self, Cause::NetworkDip)
+    }
+}
+
+/// A QoE-harming event the engine attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effect {
+    /// A visible stall opened (≥ the session's rebuffer streak).
+    RebufferStart,
+    /// A run of consecutive dropped frames (before it grows into a stall).
+    DropStreak,
+    /// The ABR switched to a lower bitrate.
+    Downswitch,
+    /// The client process died.
+    Crash,
+}
+
+impl Effect {
+    /// Artifact/flow label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Effect::RebufferStart => "rebuffer_start",
+            Effect::DropStreak => "drop_streak",
+            Effect::Downswitch => "downswitch",
+            Effect::Crash => "crash",
+        }
+    }
+}
+
+/// A queued (not yet current) pressure fact — used for link-dip facts
+/// precomputed at session start and released as the clock reaches them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fact {
+    /// When the fact takes effect.
+    pub at: SimTime,
+    /// Which mechanism it evidences.
+    pub cause: Cause,
+    /// Human-readable evidence ("rate 120 -> 3 Mbit/s").
+    pub evidence: String,
+}
+
+/// The most recent sighting of one cause. Facts overwrite in place — a
+/// cause's older sightings can never out-recency its newest one, so one
+/// slot per cause loses nothing — which makes noting a fact O(1) with no
+/// allocation on the per-step path (counter-derived causes store a
+/// magnitude and render evidence lazily, only when a record is written).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct FactSlot {
+    /// When the cause was last sighted (meaningless while `seq == 0`).
+    at: SimTime,
+    /// Global sighting order; breaks ties between causes sighted at the
+    /// same instant (the later-sighted fact wins). 0 ⇒ never sighted.
+    seq: u64,
+    /// Magnitude for counter-derived causes (reclaim stalls, major
+    /// faults, zram swap-ins in the step).
+    mag: u64,
+    /// Pre-rendered evidence for event-derived causes (kills, link dips,
+    /// decoder overload); empty for counter-derived ones.
+    evidence: String,
+}
+
+/// A structured attribution: one QoE-harming event blamed on one cause.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CauseRecord {
+    /// When the effect happened.
+    pub at: SimTime,
+    /// What happened.
+    pub effect: Effect,
+    /// The proximate cause.
+    pub cause: Cause,
+    /// When the blamed fact was observed ( == `at` for unattributed).
+    pub cause_at: SimTime,
+    /// `at - cause_at` in microseconds.
+    pub lag_us: u64,
+    /// The blamed fact's evidence (empty for unattributed).
+    pub evidence: String,
+}
+
+/// Per-session attribution summary: exact per-cause integer totals plus
+/// the bounded evidence log. Indexed by [`Cause::index`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AttributionReport {
+    /// Rebuffer microseconds charged per cause; sums to the session's
+    /// `rebuffer_time` exactly.
+    pub rebuffer_us: Vec<u64>,
+    /// Dropped frames charged per cause; sums to `frames_dropped` exactly.
+    pub drops: Vec<u64>,
+    /// The structured cause records, in emission order (capped at
+    /// [`RECORD_CAP`]).
+    pub records: Vec<CauseRecord>,
+    /// Records not retained because the cap was hit.
+    pub records_dropped: u64,
+}
+
+impl AttributionReport {
+    /// An all-zero report.
+    pub fn empty() -> AttributionReport {
+        AttributionReport {
+            rebuffer_us: vec![0; NCAUSES],
+            drops: vec![0; NCAUSES],
+            records: Vec::new(),
+            records_dropped: 0,
+        }
+    }
+
+    /// Total rebuffer microseconds across causes.
+    pub fn total_rebuffer_us(&self) -> u64 {
+        self.rebuffer_us.iter().sum()
+    }
+
+    /// Total dropped frames across causes.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+
+    /// Rebuffer microseconds charged to memory-pressure causes.
+    pub fn memory_rebuffer_us(&self) -> u64 {
+        Cause::ALL
+            .iter()
+            .filter(|c| c.is_memory())
+            .map(|c| self.rebuffer_us[c.index()])
+            .sum()
+    }
+
+    /// Rebuffer microseconds charged to network causes.
+    pub fn network_rebuffer_us(&self) -> u64 {
+        Cause::ALL
+            .iter()
+            .filter(|c| c.is_network())
+            .map(|c| self.rebuffer_us[c.index()])
+            .sum()
+    }
+
+    /// Elementwise-add another report in (records concatenate under the
+    /// cap). The integer sums make this merge associative and exact.
+    pub fn merge(&mut self, other: &AttributionReport) {
+        for (a, b) in self.rebuffer_us.iter_mut().zip(&other.rebuffer_us) {
+            *a += b;
+        }
+        for (a, b) in self.drops.iter_mut().zip(&other.drops) {
+            *a += b;
+        }
+        self.records_dropped += other.records_dropped;
+        for r in &other.records {
+            if self.records.len() < RECORD_CAP {
+                self.records.push(r.clone());
+            } else {
+                self.records_dropped += 1;
+            }
+        }
+    }
+}
+
+/// The live engine: fact table, per-cause accumulators, evidence log.
+///
+/// Lives inside the session state and serializes with it, so snapshots and
+/// forks carry attribution state exactly. All entry points are gated on
+/// `enabled` — a disabled engine costs one predictable branch per call
+/// site and holds no heap memory beyond the struct itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributionEngine {
+    enabled: bool,
+    /// Most recent sighting per cause, indexed by [`Cause::index`]
+    /// (empty when disabled).
+    slots: Vec<FactSlot>,
+    /// Global sighting counter feeding [`FactSlot::seq`].
+    seq: u64,
+    records: Vec<CauseRecord>,
+    records_dropped: u64,
+    rebuffer_us: Vec<u64>,
+    drops: Vec<u64>,
+    /// Cause captured when the open stall was declared, charged on close.
+    open_stall: Option<Cause>,
+    /// Precomputed link-dip facts not yet reached, ascending by time.
+    pending_net: VecDeque<Fact>,
+    /// vmstat baselines for per-step delta detection.
+    last_direct_reclaims: u64,
+    last_pgfault_major: u64,
+    last_pgfault_zram: u64,
+}
+
+impl AttributionEngine {
+    /// A new engine; disabled engines hold no per-cause buffers.
+    pub fn new(enabled: bool) -> AttributionEngine {
+        AttributionEngine {
+            enabled,
+            slots: if enabled {
+                (0..NCAUSES).map(|_| FactSlot::default()).collect()
+            } else {
+                Vec::new()
+            },
+            seq: 0,
+            records: Vec::new(),
+            records_dropped: 0,
+            rebuffer_us: if enabled { vec![0; NCAUSES] } else { Vec::new() },
+            drops: if enabled { vec![0; NCAUSES] } else { Vec::new() },
+            open_stall: None,
+            pending_net: VecDeque::new(),
+            last_direct_reclaims: 0,
+            last_pgfault_major: 0,
+            last_pgfault_zram: 0,
+        }
+    }
+
+    /// Whether attribution is recording. Call sites branch on this once
+    /// and skip all evidence formatting when off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Set the vmstat baselines so pressure-setup churn before the session
+    /// loop does not register as a session fact burst.
+    pub fn prime_vmstat(&mut self, direct_reclaims: u64, pgfault_major: u64, pgfault_zram: u64) {
+        self.last_direct_reclaims = direct_reclaims;
+        self.last_pgfault_major = pgfault_major;
+        self.last_pgfault_zram = pgfault_zram;
+    }
+
+    /// Record an event-derived pressure fact (kill, link dip, decoder
+    /// overload). The cause's slot keeps its newest sighting; `evidence`
+    /// is rendered eagerly because these facts are rare.
+    pub fn note_fact(&mut self, at: SimTime, cause: Cause, evidence: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        let i = cause.index();
+        if self.slots[i].seq != 0 && at < self.slots[i].at {
+            return; // an older sighting can never be the proximate cause
+        }
+        self.seq += 1;
+        let s = &mut self.slots[i];
+        s.at = at;
+        s.seq = self.seq;
+        s.mag = 0;
+        s.evidence = evidence();
+    }
+
+    /// Record a counter-derived pressure fact (reclaim stalls, fault and
+    /// zram bursts). The per-step hot path: two compares, four stores, no
+    /// allocation — evidence renders lazily from `mag` if the fact is ever
+    /// blamed.
+    #[inline]
+    fn note_counter_fact(&mut self, at: SimTime, cause: Cause, mag: u64) {
+        let i = cause.index();
+        if self.slots[i].seq != 0 && at < self.slots[i].at {
+            return;
+        }
+        self.seq += 1;
+        let s = &mut self.slots[i];
+        s.at = at;
+        s.seq = self.seq;
+        s.mag = mag;
+    }
+
+    /// Queue a link-dip fact at a future change-point (precomputed from
+    /// the [`mvqoe_net::LinkTrace`] at session start).
+    pub fn queue_network_fact(&mut self, at: SimTime, evidence: String) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(
+            self.pending_net.back().map_or(true, |f| f.at <= at),
+            "network facts must queue in time order"
+        );
+        self.pending_net.push_back(Fact {
+            at,
+            cause: Cause::NetworkDip,
+            evidence,
+        });
+    }
+
+    /// Move queued network facts whose time has come into the live table.
+    #[inline]
+    pub fn release_network_facts(&mut self, now: SimTime) {
+        while self.pending_net.front().is_some_and(|f| f.at <= now) {
+            let f = self.pending_net.pop_front().expect("checked front");
+            self.note_fact(f.at, Cause::NetworkDip, || f.evidence);
+        }
+    }
+
+    /// Observe cumulative vmstat counters; any advance since the last call
+    /// becomes a reclaim/fault/thrash fact. This runs once per engine step,
+    /// so the no-advance path must stay a handful of compares.
+    #[inline]
+    pub fn observe_vmstat(
+        &mut self,
+        now: SimTime,
+        direct_reclaims: u64,
+        pgfault_major: u64,
+        pgfault_zram: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let dr = direct_reclaims.wrapping_sub(self.last_direct_reclaims);
+        if dr > 0 {
+            self.note_counter_fact(now, Cause::DirectReclaim, dr);
+            self.last_direct_reclaims = direct_reclaims;
+        }
+        let mf = pgfault_major.wrapping_sub(self.last_pgfault_major);
+        if mf >= MAJOR_FAULT_BURST {
+            self.note_counter_fact(now, Cause::MajorFaultBurst, mf);
+        }
+        self.last_pgfault_major = pgfault_major;
+        let zf = pgfault_zram.wrapping_sub(self.last_pgfault_zram);
+        if zf >= ZRAM_THRASH_BURST {
+            self.note_counter_fact(now, Cause::ZramThrash, zf);
+        }
+        self.last_pgfault_zram = pgfault_zram;
+    }
+
+    /// The slot index of the proximate cause for an effect at `at`: the
+    /// most recently sighted fact inside the recency window (ties to the
+    /// later sighting), or `None`. One pass over [`NCAUSES`] fixed slots —
+    /// deterministic and allocation-free.
+    fn best_fact(&self, at: SimTime) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.seq == 0 || s.at > at || at.as_micros() - s.at.as_micros() > RECENCY_WINDOW_US {
+                continue;
+            }
+            if best.map_or(true, |b| {
+                (s.at, s.seq) >= (self.slots[b].at, self.slots[b].seq)
+            }) {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Render the human-readable evidence for a slot: counter-derived
+    /// causes format from the stored magnitude; event-derived ones were
+    /// rendered at sighting time.
+    fn render_evidence(&self, i: usize) -> String {
+        let s = &self.slots[i];
+        match Cause::ALL[i] {
+            Cause::DirectReclaim => format!("{} direct-reclaim stall(s)", s.mag),
+            Cause::MajorFaultBurst => format!("{} major faults in one step", s.mag),
+            Cause::ZramThrash => format!("{} zram swap-ins in one step", s.mag),
+            _ => s.evidence.clone(),
+        }
+    }
+
+    /// Attribute one QoE-harming event: look up the proximate cause, log a
+    /// [`CauseRecord`] (bounded), and return `(cause, cause_at)` so the
+    /// caller can draw a trace flow arrow.
+    pub fn attribute(&mut self, at: SimTime, effect: Effect) -> (Cause, SimTime) {
+        debug_assert!(self.enabled, "attribute() on a disabled engine");
+        let (cause, cause_at, evidence) = match self.best_fact(at) {
+            Some(i) => (
+                Cause::ALL[i],
+                self.slots[i].at,
+                // Evidence only materializes if the record is retained.
+                (self.records.len() < RECORD_CAP)
+                    .then(|| self.render_evidence(i))
+                    .unwrap_or_default(),
+            ),
+            None => (Cause::Unattributed, at, String::new()),
+        };
+        if self.records.len() < RECORD_CAP {
+            self.records.push(CauseRecord {
+                at,
+                effect,
+                cause,
+                cause_at,
+                lag_us: at.as_micros() - cause_at.as_micros(),
+                evidence,
+            });
+        } else {
+            self.records_dropped += 1;
+        }
+        (cause, cause_at)
+    }
+
+    /// Charge one dropped frame to the proximate cause at `at`.
+    pub fn count_drop(&mut self, at: SimTime) {
+        debug_assert!(self.enabled, "count_drop() on a disabled engine");
+        let cause = self.best_fact(at).map_or(Cause::Unattributed, |i| Cause::ALL[i]);
+        self.drops[cause.index()] += 1;
+    }
+
+    /// A stall was declared: attribute it, remember the cause for the
+    /// close, and return `(cause, cause_at)` for the flow arrow.
+    pub fn open_stall(&mut self, at: SimTime) -> (Cause, SimTime) {
+        let (cause, cause_at) = self.attribute(at, Effect::RebufferStart);
+        self.open_stall = Some(cause);
+        (cause, cause_at)
+    }
+
+    /// Charge `us` rebuffer microseconds to the cause captured when the
+    /// stall opened. Called at exactly the code sites that accumulate
+    /// `SessionStats::rebuffer_time`, which is what makes per-cause sums
+    /// exact.
+    pub fn close_stall(&mut self, us: u64) {
+        debug_assert!(self.enabled, "close_stall() on a disabled engine");
+        let cause = self.open_stall.take().unwrap_or(Cause::Unattributed);
+        self.rebuffer_us[cause.index()] += us;
+    }
+
+    /// The session's attribution summary.
+    pub fn report(&self) -> AttributionReport {
+        AttributionReport {
+            rebuffer_us: if self.rebuffer_us.is_empty() {
+                vec![0; NCAUSES]
+            } else {
+                self.rebuffer_us.clone()
+            },
+            drops: if self.drops.is_empty() {
+                vec![0; NCAUSES]
+            } else {
+                self.drops.clone()
+            },
+            records: self.records.clone(),
+            records_dropped: self.records_dropped,
+        }
+    }
+}
+
+/// Major faults in one step that count as a burst (isolated faults are
+/// routine; a storm is the §5 stall signature).
+const MAJOR_FAULT_BURST: u64 = 8;
+
+/// zram swap-ins in one step that count as thrash.
+const ZRAM_THRASH_BURST: u64 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn cause_indexing_is_consistent() {
+        for (i, c) in Cause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let labels: std::collections::BTreeSet<&str> =
+            Cause::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), NCAUSES, "labels must be unique");
+        assert!(Cause::LmkdKill.is_memory() && !Cause::LmkdKill.is_network());
+        assert!(Cause::NetworkDip.is_network() && !Cause::NetworkDip.is_memory());
+        assert!(!Cause::Unattributed.is_memory() && !Cause::Unattributed.is_network());
+    }
+
+    #[test]
+    fn most_recent_fact_inside_window_wins() {
+        let mut e = AttributionEngine::new(true);
+        e.note_fact(t(1000), Cause::LmkdKill, || "kill".into());
+        e.note_fact(t(2000), Cause::DirectReclaim, || "reclaim".into());
+        let (cause, cause_at) = e.attribute(t(2500), Effect::RebufferStart);
+        assert_eq!(cause, Cause::DirectReclaim);
+        assert_eq!(cause_at, t(2000));
+        // Past the window: unattributed, lag 0.
+        let (cause, cause_at) = e.attribute(t(9000), Effect::DropStreak);
+        assert_eq!(cause, Cause::Unattributed);
+        assert_eq!(cause_at, t(9000));
+        assert_eq!(e.records.len(), 2);
+        assert_eq!(e.records[0].lag_us, 500_000);
+        assert_eq!(e.records[1].lag_us, 0);
+    }
+
+    #[test]
+    fn sustained_churn_keeps_one_fresh_fact_per_cause() {
+        let mut e = AttributionEngine::new(true);
+        for ms in 0..200 {
+            e.note_fact(t(1000 + ms * 10), Cause::DirectReclaim, || "r".into());
+        }
+        // The slot holds exactly the newest sighting, in bounded memory.
+        let s = &e.slots[Cause::DirectReclaim.index()];
+        assert_eq!(s.at, t(1000 + 199 * 10));
+        let (cause, cause_at) = e.attribute(t(3000), Effect::DropStreak);
+        assert_eq!(cause, Cause::DirectReclaim);
+        assert_eq!(cause_at, t(2990));
+    }
+
+    #[test]
+    fn stall_charge_goes_to_the_opening_cause() {
+        let mut e = AttributionEngine::new(true);
+        e.note_fact(t(100), Cause::ZramThrash, || "z".into());
+        e.open_stall(t(200));
+        // A later network fact must not steal the open stall's charge.
+        e.note_fact(t(300), Cause::NetworkDip, || "dip".into());
+        e.close_stall(5_000_000);
+        let r = e.report();
+        assert_eq!(r.rebuffer_us[Cause::ZramThrash.index()], 5_000_000);
+        assert_eq!(r.total_rebuffer_us(), 5_000_000);
+        assert_eq!(r.memory_rebuffer_us(), 5_000_000);
+        assert_eq!(r.network_rebuffer_us(), 0);
+    }
+
+    #[test]
+    fn network_facts_release_in_time_order() {
+        let mut e = AttributionEngine::new(true);
+        e.queue_network_fact(t(1000), "rate 120 -> 3 Mbit/s".into());
+        e.queue_network_fact(t(4000), "loss 0 -> 0.2".into());
+        e.release_network_facts(t(500));
+        assert_eq!(e.slots[Cause::NetworkDip.index()].seq, 0, "not yet due");
+        e.release_network_facts(t(1500));
+        assert_eq!(e.slots[Cause::NetworkDip.index()].at, t(1000));
+        assert_eq!(e.pending_net.len(), 1, "the later dip is still queued");
+        let (cause, _) = e.attribute(t(1500), Effect::Downswitch);
+        assert_eq!(cause, Cause::NetworkDip);
+        assert_eq!(e.records[0].evidence, "rate 120 -> 3 Mbit/s");
+    }
+
+    #[test]
+    fn vmstat_deltas_become_facts_once() {
+        let mut e = AttributionEngine::new(true);
+        e.prime_vmstat(10, 100, 1000);
+        e.observe_vmstat(t(50), 10, 100, 1000);
+        assert!(
+            e.slots.iter().all(|s| s.seq == 0),
+            "no advance, no facts"
+        );
+        e.observe_vmstat(t(60), 12, 100 + MAJOR_FAULT_BURST, 1000 + ZRAM_THRASH_BURST);
+        for cause in [Cause::DirectReclaim, Cause::MajorFaultBurst, Cause::ZramThrash] {
+            assert_eq!(e.slots[cause.index()].at, t(60), "{cause:?}");
+        }
+        // The latest-sighted of the simultaneous facts wins the tie, and
+        // counter evidence renders lazily from the stored magnitude.
+        let (cause, _) = e.attribute(t(70), Effect::DropStreak);
+        assert_eq!(cause, Cause::ZramThrash);
+        assert_eq!(
+            e.records[0].evidence,
+            format!("{ZRAM_THRASH_BURST} zram swap-ins in one step")
+        );
+    }
+
+    #[test]
+    fn disabled_engine_is_inert_and_report_merges() {
+        let mut e = AttributionEngine::new(false);
+        assert!(!e.enabled());
+        e.note_fact(t(1), Cause::LmkdKill, || panic!("must not render evidence"));
+        e.release_network_facts(t(10));
+        assert!(e.slots.is_empty() && e.pending_net.is_empty());
+
+        let mut a = AttributionReport::empty();
+        let mut b = AttributionReport::empty();
+        a.rebuffer_us[0] = 5;
+        b.rebuffer_us[0] = 7;
+        b.drops[3] = 2;
+        a.merge(&b);
+        assert_eq!(a.rebuffer_us[0], 12);
+        assert_eq!(a.drops[3], 2);
+        assert_eq!(a.total_drops(), 2);
+    }
+}

@@ -20,12 +20,16 @@
 //! fault stalls behind `mmcqd`, or preemption — the causal chain §5 of the
 //! paper establishes.
 
+pub mod attribution;
 pub mod parallel;
 pub mod pressure;
 pub mod qoe;
 pub mod session;
 pub mod snapshot;
 
+pub use attribution::{
+    AttributionEngine, AttributionReport, Cause, CauseRecord, Effect, NCAUSES,
+};
 pub use parallel::{
     parallel_map, parallel_map_stats, run_cell_at, run_cells_parallel,
     run_cells_parallel_metrics, run_rep_with, AbrFactory, CellSpec, WorkerStat,

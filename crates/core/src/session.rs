@@ -10,11 +10,12 @@
 //! hold 1× playback, exactly as the paper describes. The client crashes
 //! when lmkd (or the OOM path) kills its process.
 
+use crate::attribution::{AttributionEngine, AttributionReport, Cause, Effect};
 use crate::pressure::{PressureDriver, PressureMode};
 use crate::snapshot::{Snapshot, SNAPSHOT_FORMAT_VERSION};
 use mvqoe_abr::{Abr, AbrContext};
 use mvqoe_device::{DeviceProfile, Machine, StepOutputs};
-use mvqoe_kernel::manager::KillSource;
+use mvqoe_kernel::manager::{KillSource, MemEvent};
 use mvqoe_metrics::{CounterId, HistogramId, Telemetry};
 use mvqoe_kernel::{Pages, ProcKind, ProcessId, TrimLevel};
 use mvqoe_net::{Link, LinkParams, SegmentServer};
@@ -63,6 +64,12 @@ pub struct SessionConfig {
     /// provably-idle spans. Outputs are byte-identical either way; dense
     /// mode only exists for bisecting and benchmarking the skip.
     pub dense_ticks: bool,
+    /// Run the causal attribution engine: blame every rebuffer second and
+    /// dropped frame on a kernel or network cause ([`crate::attribution`]).
+    /// Observation only — it draws no randomness and feeds nothing back,
+    /// so enabling it never changes the session's QoE outcome. Off (the
+    /// default), it costs a single predictable branch per hook site.
+    pub attribution: bool,
 }
 
 impl SessionConfig {
@@ -81,6 +88,7 @@ impl SessionConfig {
             record_trace: false,
             mmcqd_fair: false,
             dense_ticks: crate::dense_ticks_default(),
+            attribution: false,
         }
     }
 }
@@ -105,6 +113,9 @@ pub struct SessionOutcome {
     pub client_threads: [ThreadId; 4],
     /// The client pid.
     pub client_pid: ProcessId,
+    /// Per-cause QoE-loss attribution (`Some` iff
+    /// [`SessionConfig::attribution`] was on).
+    pub attribution: Option<AttributionReport>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -142,6 +153,49 @@ impl Instruments {
 /// Consecutive missed vsyncs before the session counts as rebuffering (a
 /// visible stall, not an isolated dropped frame).
 const REBUFFER_STREAK: u32 = 30;
+
+/// Consecutive missed vsyncs that count as a visible dropped-frame streak
+/// for attribution — short of a stall, but no longer an isolated drop.
+const DROP_STREAK: u32 = 5;
+
+/// Pre-compute the link trace's QoE-relevant change-points as queued
+/// network facts: any point where the rate falls, the latency rises, or
+/// the loss rises relative to what was previously in effect. The paper's
+/// LAN has an empty trace, so it queues nothing — which is exactly the
+/// point: on paper-lan regimes nothing can be blamed on the network.
+fn queue_link_dips(attr: &mut AttributionEngine, link: &LinkParams) {
+    let mut rate = link.rate_mbps;
+    let mut latency = link.latency;
+    let mut loss = link.loss_prob;
+    for p in link.trace.points() {
+        let mut dips: Vec<String> = Vec::new();
+        if let Some(r) = p.rate_mbps {
+            if r < rate {
+                dips.push(format!("rate {rate:.1} -> {r:.1} Mbit/s"));
+            }
+            rate = r;
+        }
+        if let Some(l) = p.latency {
+            if l > latency {
+                dips.push(format!(
+                    "latency {} -> {} ms",
+                    latency.as_micros() / 1000,
+                    l.as_micros() / 1000
+                ));
+            }
+            latency = l;
+        }
+        if let Some(q) = p.loss_prob {
+            if q > loss {
+                dips.push(format!("loss {loss:.2} -> {q:.2}"));
+            }
+            loss = q;
+        }
+        if !dips.is_empty() {
+            attr.queue_network_fact(p.at, dips.join(", "));
+        }
+    }
+}
 
 /// One 1 Hz QoE report from a live session — the record a device uploads
 /// to the telemetry service: pressure level, buffer occupancy, frame
@@ -229,6 +283,25 @@ fn absorb_machine_metrics(t: &mut Telemetry, m: &Machine, stats: &SessionStats) 
     reg.set_gauge("session.crashed", if stats.crashed() { 1.0 } else { 0.0 });
 }
 
+/// Fold a session's attribution totals into the metrics registry: exact
+/// per-cause rebuffer/drop counters, the record count, and a lag
+/// histogram. Only called when the session ran with attribution on.
+fn absorb_attribution_metrics(t: &mut Telemetry, rep: &AttributionReport) {
+    let reg = &mut t.metrics;
+    for c in Cause::ALL {
+        reg.add_counter(
+            &format!("attr.rebuffer_us.{}", c.label()),
+            rep.rebuffer_us[c.index()],
+        );
+        reg.add_counter(&format!("attr.drops.{}", c.label()), rep.drops[c.index()]);
+    }
+    reg.add_counter("attr.records", rep.records.len() as u64 + rep.records_dropped);
+    let lag = reg.histogram("attr.lag_us");
+    for r in &rep.records {
+        reg.observe(lag, r.lag_us as f64);
+    }
+}
+
 /// The complete mutable client-side state of a session in flight.
 ///
 /// Everything the run loop reads *and* writes lives either here or inside
@@ -292,6 +365,8 @@ struct SessionState {
     stall_started: Option<SimTime>,
     /// Hard end cap, well beyond nominal playback (pathological stalls).
     deadline: SimTime,
+    /// The causal attribution engine (inert unless `cfg.attribution`).
+    attr: AttributionEngine,
 }
 
 /// A streaming session that can be paused mid-flight, snapshotted,
@@ -352,7 +427,7 @@ impl Session {
         let server = SegmentServer::new(Link::new(cfg.link.clone()));
 
         let now = m.now();
-        let st = SessionState {
+        let mut st = SessionState {
             rng: rng.split("session"),
             pid,
             ui,
@@ -393,7 +468,17 @@ impl Session {
             streak_started: None,
             stall_started: None,
             deadline: now + SimDuration::from_secs_f64(cfg.video_secs * 2.5 + 40.0),
+            attr: AttributionEngine::new(cfg.attribution),
         };
+        if st.attr.enabled() {
+            // Baseline the vmstat counters at pressure that has already been
+            // applied, so session-time deltas start at zero; pre-compute the
+            // link trace's change-points as queued network facts.
+            let vm = m.mm.vmstat();
+            st.attr
+                .prime_vmstat(vm.direct_reclaims, vm.pgfault_major, vm.pgfault_zram);
+            queue_link_dips(&mut st.attr, &cfg.link);
+        }
         Session {
             cfg,
             machine: m,
@@ -495,15 +580,23 @@ impl Session {
     pub fn finish(mut self, telemetry: Option<&mut Telemetry>) -> SessionOutcome {
         let m = &mut self.machine;
         if let Some(start) = self.st.stall_started.take() {
-            self.st.stats.rebuffer_time += m.now().saturating_since(start);
-            m.trace.instant("rebuffer_end", m.now(), None);
+            let stalled = m.now().saturating_since(start);
+            self.st.stats.rebuffer_time += stalled;
+            if self.st.attr.enabled() {
+                self.st.attr.close_stall(stalled.as_micros());
+            }
+            m.trace.instant("rebuffer_end", m.now(), Some(self.st.rend));
         }
         self.st.stats.ended_at = m.now();
+        let attribution = self.st.attr.enabled().then(|| self.st.attr.report());
         // Fold the kernel and scheduler totals into the metrics registry;
         // these counters accumulate inside the substrates regardless, so
         // absorbing them here costs nothing on the hot path.
         if let Some(t) = telemetry {
             absorb_machine_metrics(t, m, &self.st.stats);
+            if let Some(rep) = &attribution {
+                absorb_attribution_metrics(t, rep);
+            }
         }
         let final_trim = m.mm.trim_level();
         let end = m.now();
@@ -517,6 +610,7 @@ impl Session {
             rep_history: self.st.rep_history,
             client_threads: [self.st.ui, self.st.net, self.st.dec, self.st.rend],
             client_pid: self.st.pid,
+            attribution,
             machine: self.machine,
         }
     }
@@ -649,6 +743,9 @@ impl Runner<'_, '_> {
                 m.advance_until(horizon);
             }
             m.step_into(&mut out);
+            if self.st.attr.enabled() {
+                self.harvest_facts(m, &out);
+            }
 
             for &c in &out.completions {
                 self.on_completion(m, c.thread, c.tag);
@@ -660,12 +757,23 @@ impl Runner<'_, '_> {
             // *sustained* failure — nothing granted for several seconds —
             // takes the kernel OOM path.
             if self.st.oom_streak > 60 && !m.mm.proc(self.st.pid).dead {
+                if self.st.attr.enabled() {
+                    let streak = self.st.oom_streak;
+                    self.st.attr.note_fact(m.now(), Cause::OomKill, || {
+                        format!("kernel OOM after {streak} failed allocations")
+                    });
+                }
                 m.kill_process(self.st.pid, KillSource::OomKiller);
                 crashed = true;
             }
             if crashed {
                 self.st.stats.crashed_at = Some(m.now());
                 self.st.ended = true;
+                if self.st.attr.enabled() {
+                    let at = m.now();
+                    let (cause, cause_at) = self.st.attr.attribute(at, Effect::Crash);
+                    self.emit_blame_flow(m, cause, cause_at, Effect::Crash, at);
+                }
             }
 
             if m.now() >= self.st.next_sample {
@@ -674,6 +782,78 @@ impl Runner<'_, '_> {
 
             self.check_end(m);
         }
+    }
+
+    // ---- attribution ----------------------------------------------------
+
+    /// Harvest this step's pressure facts into the attribution ring: due
+    /// link-trace dips, kernel kills from the step's memory events, and
+    /// vmstat counter advances (direct reclaim, major-fault and zram
+    /// bursts). Only called when attribution is enabled.
+    fn harvest_facts(&mut self, m: &Machine, out: &StepOutputs) {
+        self.st.attr.release_network_facts(m.now());
+        for (at, ev) in &out.mem_events {
+            if let MemEvent::Killed {
+                name,
+                source,
+                freed,
+                ..
+            } = ev
+            {
+                let cause = match source {
+                    KillSource::Lmkd => Cause::LmkdKill,
+                    KillSource::OomKiller => Cause::OomKill,
+                    // Voluntary exits free memory but are not pressure.
+                    KillSource::Exit => continue,
+                };
+                self.st.attr.note_fact(*at, cause, || {
+                    format!("killed {} freeing {:.0} MiB", name, freed.mib())
+                });
+            }
+        }
+        let vm = m.mm.vmstat();
+        self.st
+            .attr
+            .observe_vmstat(m.now(), vm.direct_reclaims, vm.pgfault_major, vm.pgfault_zram);
+    }
+
+    /// Draw a Perfetto flow arrow from the blamed fact to the effect. The
+    /// start lands on the thread that *mechanically produced* the cause
+    /// (lmkd for kills, kswapd for reclaim/fault/thrash pressure, the
+    /// decoder or network thread for client-side causes), the finish on
+    /// the thread that surfaced the effect.
+    fn emit_blame_flow(
+        &mut self,
+        m: &mut Machine,
+        cause: Cause,
+        cause_at: SimTime,
+        effect: Effect,
+        at: SimTime,
+    ) {
+        if !self.cfg.record_trace {
+            return;
+        }
+        let to_thread = match effect {
+            Effect::RebufferStart | Effect::DropStreak => self.st.rend,
+            Effect::Downswitch => self.st.net,
+            Effect::Crash => self.st.ui,
+        };
+        let from_thread = match cause {
+            Cause::LmkdKill | Cause::OomKill => m.lmkd_thread(),
+            Cause::DirectReclaim | Cause::MajorFaultBurst | Cause::ZramThrash => {
+                m.kswapd_thread()
+            }
+            Cause::DecoderOverload => self.st.dec,
+            Cause::NetworkDip => self.st.net,
+            Cause::Unattributed => to_thread,
+        };
+        m.trace.flow(
+            format!("blame:{}->{}", cause.label(), effect.label()),
+            cause_at,
+            from_thread,
+            at,
+            to_thread,
+        );
     }
 
     // ---- download path -------------------------------------------------
@@ -743,12 +923,17 @@ impl Runner<'_, '_> {
         {
             // A representation change after the first segment is an ABR
             // quality switch — mark it on the trace timeline.
-            if !self.st.rep_history.is_empty() {
+            if let Some(&(_, prev)) = self.st.rep_history.last() {
                 m.trace.instant(
                     format!("quality_switch:{}@{}", rep.resolution, rep.fps.value()),
                     m.now(),
                     None,
                 );
+                if self.st.attr.enabled() && rep.bitrate_kbps < prev.bitrate_kbps {
+                    let at = m.now();
+                    let (cause, cause_at) = self.st.attr.attribute(at, Effect::Downswitch);
+                    self.emit_blame_flow(m, cause, cause_at, Effect::Downswitch, at);
+                }
                 if let Some((t, ins)) = self.tele.as_mut() {
                     t.metrics.inc(ins.abr_switches, 1);
                 }
@@ -831,6 +1016,17 @@ impl Runner<'_, '_> {
             self.cfg.device.video_accel,
             &mut self.st.rng,
         );
+        if self.st.attr.enabled() && decode_us > consumed.rep.fps.frame_period_us() as f64 {
+            // The decoder cannot keep up with the frame rate on raw CPU
+            // cost alone — a client-side cause, distinct from pressure.
+            self.st.attr.note_fact(m.now(), Cause::DecoderOverload, || {
+                format!(
+                    "decode {:.0} µs > {} µs frame period",
+                    decode_us,
+                    consumed.rep.fps.frame_period_us()
+                )
+            });
+        }
         if let Some((t, ins)) = self.tele.as_mut() {
             t.metrics.observe(ins.decode_us, decode_us);
         }
@@ -858,6 +1054,9 @@ impl Runner<'_, '_> {
             self.st.stats.frames_dropped += 1;
             self.st.frames_owed += 1;
             self.st.drop_window.push_back((now, true));
+            if self.st.attr.enabled() {
+                self.st.attr.count_drop(now);
+            }
             if let Some((t, ins)) = self.tele.as_mut() {
                 t.metrics.inc(ins.frames_dropped, 1);
             }
@@ -867,10 +1066,19 @@ impl Runner<'_, '_> {
                 self.st.streak_started = Some(now);
             }
             self.st.missed_streak += 1;
+            if self.st.missed_streak == DROP_STREAK && self.st.attr.enabled() {
+                let at = self.st.streak_started.unwrap_or(now);
+                let (cause, cause_at) = self.st.attr.attribute(at, Effect::DropStreak);
+                self.emit_blame_flow(m, cause, cause_at, Effect::DropStreak, at);
+            }
             if self.st.missed_streak == REBUFFER_STREAK {
                 let at = self.st.streak_started.unwrap_or(now);
                 self.st.stall_started = Some(at);
-                m.trace.instant("rebuffer_start", at, None);
+                m.trace.instant("rebuffer_start", at, Some(self.st.rend));
+                if self.st.attr.enabled() {
+                    let (cause, cause_at) = self.st.attr.open_stall(at);
+                    self.emit_blame_flow(m, cause, cause_at, Effect::RebufferStart, at);
+                }
                 if let Some((t, ins)) = self.tele.as_mut() {
                     t.metrics.inc(ins.rebuffer_events, 1);
                 }
@@ -884,8 +1092,14 @@ impl Runner<'_, '_> {
         self.st.missed_streak = 0;
         self.st.streak_started = None;
         if let Some(start) = self.st.stall_started.take() {
-            self.st.stats.rebuffer_time += now.saturating_since(start);
-            m.trace.instant("rebuffer_end", now, None);
+            let stalled = now.saturating_since(start);
+            self.st.stats.rebuffer_time += stalled;
+            if self.st.attr.enabled() {
+                // Charged at the same site that accumulates the stat, so
+                // per-cause rebuffer sums match the session total exactly.
+                self.st.attr.close_stall(stalled.as_micros());
+            }
+            m.trace.instant("rebuffer_end", now, Some(self.st.rend));
         }
     }
 
@@ -911,6 +1125,9 @@ impl Runner<'_, '_> {
                     // Composited too late: the vsync slot was missed.
                     self.st.stats.frames_dropped += 1;
                     self.st.drop_window.push_back((m.now(), true));
+                    if self.st.attr.enabled() {
+                        self.st.attr.count_drop(m.now());
+                    }
                     if let Some((t, ins)) = self.tele.as_mut() {
                         t.metrics.inc(ins.frames_dropped, 1);
                         t.metrics.inc(ins.frames_late, 1);

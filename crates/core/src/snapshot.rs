@@ -22,7 +22,11 @@ use std::path::Path;
 ///
 /// v2: `LinkParams.schedule` became the typed `LinkTrace` (`trace` field),
 /// changing the serialized shape of the config inside every snapshot.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+///
+/// v3: the causal attribution engine — `SessionConfig` gained the
+/// `attribution` flag, the client state carries the engine's fact ring and
+/// per-cause accumulators, and traces carry flow records.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
 
 /// A complete, versioned session snapshot.
 ///

@@ -57,18 +57,18 @@ pub const POLICIES: [&str; 6] = [
 /// The network regimes (presets from `mvqoe-net`).
 pub const NETWORKS: [&str; 4] = ["paper-lan", "lte-walk", "congested-wifi", "train-tunnel"];
 
-fn devices() -> [DeviceProfile; 2] {
+pub(crate) fn devices() -> [DeviceProfile; 2] {
     [DeviceProfile::nokia1(), DeviceProfile::nexus5()]
 }
 
-fn memories() -> [PressureMode; 2] {
+pub(crate) fn memories() -> [PressureMode; 2] {
     [
         PressureMode::None,
         PressureMode::Synthetic(TrimLevel::Moderate),
     ]
 }
 
-fn make_abr(name: &str) -> Box<dyn Abr> {
+pub(crate) fn make_abr(name: &str) -> Box<dyn Abr> {
     match name {
         "throughput" => Box::new(ThroughputBased::new(Fps::F60)),
         "buffer-based" => Box::new(BufferBased::new(Fps::F60)),
@@ -266,7 +266,7 @@ struct CellJob {
     rep: u64,
 }
 
-fn session_cfg(scale: &Scale, job_cell: u64, rep: u64, coord: &str, device: DeviceProfile, memory: PressureMode, network: &str) -> SessionConfig {
+pub(crate) fn session_cfg(scale: &Scale, job_cell: u64, rep: u64, coord: &str, device: DeviceProfile, memory: PressureMode, network: &str) -> SessionConfig {
     let seed = runner::seed_at(scale, coord, job_cell, rep);
     let trace_seed = derive_seed(scale.seed, &format!("{coord}.trace"), job_cell, rep);
     let mut cfg = SessionConfig::paper_default(device, memory, seed);

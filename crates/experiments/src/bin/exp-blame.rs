@@ -1,0 +1,5 @@
+//! Blame every QoE falter on its kernel or network cause, per regime.
+
+fn main() {
+    mvqoe_experiments::registry::cli_main("blame");
+}

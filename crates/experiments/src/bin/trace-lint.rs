@@ -18,6 +18,12 @@
 //!   `hybrid_wins` lists exactly the flagged regimes, and every paired
 //!   fork leads with a zero-delta `throughput` baseline whose branch
 //!   deltas reproduce from the absolute values.
+//! - `attribution.json` — must be the causal-attribution artifact: every
+//!   regime's per-cause rebuffer/drop vectors sum exactly to the sessions'
+//!   own totals, shares sum to 1, sample records reference declared
+//!   causes, and in every Moderate-pressure paper-lan regime that
+//!   rebuffered the memory-caused share strictly dominates the
+//!   network-caused share (and at least one such regime exercised it).
 //! - `service.json` — must be the telemetry-service artifact: a recruited
 //!   fleet with `kept <= recruited`, an ingest ack whose accepted count
 //!   covers every fold, the batch-equivalence flag set, and an embedded
@@ -364,6 +370,132 @@ fn lint_arena(path: &str, v: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn lint_attribution(path: &str, v: &Value) -> Result<(), String> {
+    let causes: Vec<String> = v
+        .get("causes")
+        .and_then(Value::as_seq)
+        .map(|s| {
+            s.iter()
+                .filter_map(Value::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .ok_or_else(|| fail(path, "no causes array"))?;
+    for required in ["lmkd_kill", "direct_reclaim", "network_dip", "unattributed"] {
+        if !causes.iter().any(|c| c == required) {
+            return Err(fail(path, &format!("cause {required} missing from causes")));
+        }
+    }
+    let regimes = v
+        .get("regimes")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| fail(path, "no regimes array"))?;
+    if regimes.is_empty() {
+        return Err(fail(path, "regimes is empty"));
+    }
+    let mut dominance_checked = 0u64;
+    for (i, r) in regimes.iter().enumerate() {
+        let vec_of = |key: &str| -> Result<Vec<u64>, String> {
+            let list: Vec<u64> = r
+                .get(key)
+                .and_then(Value::as_seq)
+                .map(|s| s.iter().filter_map(Value::as_u64).collect())
+                .ok_or_else(|| fail(path, &format!("regime {i} has no {key} array")))?;
+            if list.len() != causes.len() {
+                return Err(fail(
+                    path,
+                    &format!("regime {i}: {key} has {} entries for {} causes", list.len(), causes.len()),
+                ));
+            }
+            Ok(list)
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            r.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| fail(path, &format!("regime {i} missing numeric {key}")))
+        };
+        // Conservation: every rebuffer microsecond and dropped frame is
+        // charged to exactly one cause, so the per-cause vectors sum to
+        // the sessions' own totals — exactly, these are integers.
+        let rebuffer_us = vec_of("rebuffer_us")?;
+        let drops = vec_of("drops")?;
+        let stats_rebuffer = num("stats_rebuffer_us")? as u64;
+        let stats_drops = num("stats_drops")? as u64;
+        if rebuffer_us.iter().sum::<u64>() != stats_rebuffer {
+            return Err(fail(
+                path,
+                &format!("regime {i}: per-cause rebuffer sum != session total {stats_rebuffer}"),
+            ));
+        }
+        if drops.iter().sum::<u64>() != stats_drops {
+            return Err(fail(
+                path,
+                &format!("regime {i}: per-cause drop sum != session total {stats_drops}"),
+            ));
+        }
+        let shares: Vec<f64> = r
+            .get("rebuffer_share")
+            .and_then(Value::as_seq)
+            .map(|s| s.iter().filter_map(Value::as_f64).collect())
+            .ok_or_else(|| fail(path, &format!("regime {i} has no rebuffer_share array")))?;
+        if stats_rebuffer > 0 {
+            let sum: f64 = shares.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(fail(
+                    path,
+                    &format!("regime {i}: rebuffer shares sum to {sum}, not 1"),
+                ));
+            }
+        }
+        // Sample records must reference declared causes.
+        if let Some(samples) = r.get("samples").and_then(Value::as_seq) {
+            for (j, s) in samples.iter().enumerate() {
+                let cause = s
+                    .get("cause")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| fail(path, &format!("regime {i} sample {j}: no cause")))?;
+                if !causes.iter().any(|c| c == cause) {
+                    return Err(fail(
+                        path,
+                        &format!("regime {i} sample {j}: cause {cause:?} not in causes"),
+                    ));
+                }
+            }
+        }
+        // The headline claim: on the dedicated LAN under Moderate
+        // pressure, memory causes strictly dominate network causes.
+        let label = |key: &str| r.get(key).and_then(Value::as_str).unwrap_or("?");
+        if label("network") == "paper-lan" && label("memory") == "Moderate" && stats_rebuffer > 0 {
+            let mem = num("memory_rebuffer_share")?;
+            let net = num("network_rebuffer_share")?;
+            if mem <= net {
+                return Err(fail(
+                    path,
+                    &format!(
+                        "regime {i} ({}/paper-lan/Moderate): memory share {mem} \
+                         does not dominate network share {net}",
+                        label("device")
+                    ),
+                ));
+            }
+            dominance_checked += 1;
+        }
+    }
+    if dominance_checked == 0 {
+        return Err(fail(
+            path,
+            "no Moderate paper-lan regime rebuffered; the dominance claim was never exercised",
+        ));
+    }
+    println!(
+        "[ok] {path}: {} regime(s) x {} causes, shares sum to 1, \
+         memory dominance held in {dominance_checked} Moderate paper-lan regime(s)",
+        regimes.len(),
+        causes.len()
+    );
+    Ok(())
+}
+
 fn lint_service(path: &str, v: &Value) -> Result<(), String> {
     let num = |key: &str| -> Result<f64, String> {
         v.get("headline")
@@ -491,6 +623,8 @@ fn lint(path: &str, require_profile: bool) -> Result<(), String> {
         lint_counterfactual(path, &v)
     } else if path.ends_with("arena.json") {
         lint_arena(path, &v)
+    } else if path.ends_with("attribution.json") {
+        lint_attribution(path, &v)
     } else if path.ends_with("service.json") {
         lint_service(path, &v)
     } else {

@@ -17,6 +17,7 @@
 //! | [`session_figs`] | Figs. 14–17 (instantaneous sessions) |
 //! | [`counterfactual`] | paired policy counterfactuals (snapshot/fork) |
 //! | [`arena`] | joint network + memory pressure ABR arena |
+//! | [`blame`] | causal attribution across the arena's regimes |
 //! | [`serve`] | live telemetry service (ingest + Prometheus + queries) |
 //! | [`organic_check`] | §4.3 organic spot values |
 //! | [`abr_ablation`] | §6/§7 memory-aware ABR vs network-only baselines |
@@ -25,6 +26,7 @@
 
 pub mod abr_ablation;
 pub mod arena;
+pub mod blame;
 pub mod counterfactual;
 pub mod fig10;
 pub mod fig8;

@@ -13,8 +13,8 @@
 
 use crate::scale::Scale;
 use crate::{
-    abr_ablation, arena, counterfactual, fig10, fig8, fleet_figs, framedrops, organic_check,
-    os_ablation, report, serve, session_figs, table1, telemetry, trace_exp,
+    abr_ablation, arena, blame, counterfactual, fig10, fig8, fleet_figs, framedrops,
+    organic_check, os_ablation, report, serve, session_figs, table1, telemetry, trace_exp,
 };
 use mvqoe_device::DeviceProfile;
 use mvqoe_video::PlayerKind;
@@ -320,6 +320,17 @@ experiments! {
             serde_json::to_value(&a)
         },
     }
+    Blame {
+        name: "blame",
+        description: "causal attribution: every rebuffer second and dropped frame blamed on its cause",
+        artifact: "attribution",
+        in_all: false,
+        run: |scale| {
+            let b = blame::run(scale);
+            b.print();
+            serde_json::to_value(&b)
+        },
+    }
     Serve {
         name: "serve",
         description: "live telemetry service: ingest the fleet over TCP, scrape, verify vs batch",
@@ -433,11 +444,11 @@ mod tests {
         let mut artifacts: Vec<&str> = all().iter().map(|e| e.artifact()).collect();
         names.sort_unstable();
         artifacts.sort_unstable();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 22);
         names.dedup();
         artifacts.dedup();
-        assert_eq!(names.len(), 21, "registry names must be unique");
-        assert_eq!(artifacts.len(), 21, "artifact stems must be unique");
+        assert_eq!(names.len(), 22, "registry names must be unique");
+        assert_eq!(artifacts.len(), 22, "artifact stems must be unique");
     }
 
     #[test]

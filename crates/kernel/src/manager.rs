@@ -685,6 +685,7 @@ impl MemoryManager {
     }
 
     /// Cumulative vmstat counters.
+    #[inline]
     pub fn vmstat(&self) -> &VmStat {
         &self.vm
     }

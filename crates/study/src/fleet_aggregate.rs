@@ -24,6 +24,7 @@ use crate::fleet_study::FleetConfig;
 use crate::observation::{DeviceObservation, Hist};
 use mvqoe_kernel::TrimLevel;
 use mvqoe_workload::UsagePattern;
+use serde::ser::{get_field, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -402,7 +403,12 @@ impl Sketches {
 
 /// Streaming fleet state: everything §3 needs, in memory bounded by the
 /// digest cap rather than by fleet size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) so the
+/// attribution totals only appear in the serialized form once something
+/// has actually been attributed — keeping every artifact produced without
+/// attribution byte-identical to what it was before the fields existed.
+#[derive(Debug, Clone)]
 pub struct FleetAggregate {
     /// Users folded in so far (recruited, before cleaning).
     pub recruited: u32,
@@ -428,6 +434,12 @@ pub struct FleetAggregate {
     pub top: Vec<TopDevice>,
     /// The Fig. 6 pooling ladder, one band per threshold rung.
     pub bands: Vec<PooledBand>,
+    /// Per-cause rebuffer microseconds from sessions that ran with causal
+    /// attribution, summed across folded reports (indexed by the core
+    /// crate's `Cause::index`). Empty until the first report arrives.
+    pub attr_rebuffer_us: Vec<u64>,
+    /// Per-cause dropped-frame counts, same indexing and lifecycle.
+    pub attr_drops: Vec<u64>,
 }
 
 impl FleetAggregate {
@@ -443,7 +455,22 @@ impl FleetAggregate {
             sketches: Sketches::new(),
             top: Vec::new(),
             bands: (0..FIG6_LADDER).map(|_| PooledBand::new()).collect(),
+            attr_rebuffer_us: Vec::new(),
+            attr_drops: Vec::new(),
         }
+    }
+
+    /// Fold one session's per-cause attribution totals in (exact integer
+    /// sums, so folding is associative and order-insensitive).
+    pub fn absorb_attribution(&mut self, rebuffer_us: &[u64], drops: &[u64]) {
+        add_elementwise(&mut self.attr_rebuffer_us, rebuffer_us);
+        add_elementwise(&mut self.attr_drops, drops);
+    }
+
+    /// Whether any attribution totals have been folded in.
+    pub fn has_attribution(&self) -> bool {
+        self.attr_rebuffer_us.iter().any(|&v| v != 0)
+            || self.attr_drops.iter().any(|&v| v != 0)
     }
 
     /// Whether every kept device still has its digest (the exact regime).
@@ -602,6 +629,8 @@ impl FleetAggregate {
         for (band, oband) in self.bands.iter_mut().zip(&other.bands) {
             band.merge(oband);
         }
+        add_elementwise(&mut self.attr_rebuffer_us, &other.attr_rebuffer_us);
+        add_elementwise(&mut self.attr_drops, &other.attr_drops);
     }
 
     /// Consuming counterpart of [`FleetAggregate::merge`]: byte-identical
@@ -637,6 +666,8 @@ impl FleetAggregate {
         for (band, oband) in self.bands.iter_mut().zip(&other.bands) {
             band.merge(oband);
         }
+        add_elementwise(&mut self.attr_rebuffer_us, &other.attr_rebuffer_us);
+        add_elementwise(&mut self.attr_drops, &other.attr_drops);
     }
 
     /// Resolve Fig. 6's adaptive pooling over the ladder: start at the 30%
@@ -682,6 +713,82 @@ impl FleetAggregate {
 impl Default for FleetAggregate {
     fn default() -> Self {
         FleetAggregate::new()
+    }
+}
+
+/// `a[i] += b[i]`, growing `a` with zeros to `b`'s length first.
+fn add_elementwise(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+// Hand-written so the attribution fields stay *absent* from the
+// serialized map until something has been attributed: committed
+// artifacts embedding an aggregate (the telemetry service results, fleet
+// checkpoints) are byte-identical to their pre-attribution form whenever
+// attribution is off. Field order mirrors declaration order, exactly as
+// the derive would emit.
+impl Serialize for FleetAggregate {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("recruited".to_string(), self.recruited.to_value()),
+            ("kept".to_string(), self.kept.to_value()),
+            ("hours".to_string(), self.hours.to_value()),
+            ("digests".to_string(), self.digests.to_value()),
+            ("fig1".to_string(), self.fig1.to_value()),
+            ("counters".to_string(), self.counters.to_value()),
+            ("sketches".to_string(), self.sketches.to_value()),
+            ("top".to_string(), self.top.to_value()),
+            ("bands".to_string(), self.bands.to_value()),
+        ];
+        if self.has_attribution() {
+            m.push((
+                "attr_rebuffer_us".to_string(),
+                self.attr_rebuffer_us.to_value(),
+            ));
+            m.push(("attr_drops".to_string(), self.attr_drops.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+impl Deserialize for FleetAggregate {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::custom("expected map for FleetAggregate"))?;
+        fn req<'a>(
+            entries: &'a [(String, Value)],
+            name: &str,
+        ) -> Result<&'a Value, serde::de::Error> {
+            get_field(entries, name)
+                .ok_or_else(|| serde::de::Error::custom(format!("missing field {name}")))
+        }
+        // The attribution fields default to empty when absent, so
+        // pre-attribution serialized aggregates keep loading.
+        let opt_vec = |name: &str| -> Result<Vec<u64>, serde::de::Error> {
+            match get_field(entries, name) {
+                Some(v) => Vec::<u64>::from_value(v),
+                None => Ok(Vec::new()),
+            }
+        };
+        Ok(FleetAggregate {
+            recruited: u32::from_value(req(entries, "recruited")?)?,
+            kept: u64::from_value(req(entries, "kept")?)?,
+            hours: Vec::from_value(req(entries, "hours")?)?,
+            digests: Vec::from_value(req(entries, "digests")?)?,
+            fig1: <[[u32; 5]; 5]>::from_value(req(entries, "fig1")?)?,
+            counters: FractionCounters::from_value(req(entries, "counters")?)?,
+            sketches: Sketches::from_value(req(entries, "sketches")?)?,
+            top: Vec::from_value(req(entries, "top")?)?,
+            bands: Vec::from_value(req(entries, "bands")?)?,
+            attr_rebuffer_us: opt_vec("attr_rebuffer_us")?,
+            attr_drops: opt_vec("attr_drops")?,
+        })
     }
 }
 
@@ -791,6 +898,35 @@ mod tests {
         let mut bulk = DwellCounts::default();
         bulk.absorb(&[a, b].concat());
         assert_eq!(split.pairs, bulk.pairs);
+    }
+
+    #[test]
+    fn attribution_fields_stay_absent_until_attributed() {
+        let agg = FleetAggregate::new();
+        let v = agg.to_value();
+        assert!(
+            v.get("attr_rebuffer_us").is_none() && v.get("attr_drops").is_none(),
+            "zero-attribution aggregates must serialize without attr keys"
+        );
+        // Absent fields load as empty — pre-attribution artifacts keep
+        // deserializing.
+        let back = FleetAggregate::from_value(&v).unwrap();
+        assert!(!back.has_attribution());
+
+        let mut agg = FleetAggregate::new();
+        agg.absorb_attribution(&[5, 0, 0], &[0, 2]);
+        let v = agg.to_value();
+        let back = FleetAggregate::from_value(&v).unwrap();
+        assert_eq!(back.attr_rebuffer_us, vec![5, 0, 0]);
+        assert_eq!(back.attr_drops, vec![0, 2]);
+        assert!(back.has_attribution());
+
+        // Merge grows and adds elementwise.
+        let mut other = FleetAggregate::new();
+        other.absorb_attribution(&[1, 1, 1, 1], &[1]);
+        agg.merge(&other);
+        assert_eq!(agg.attr_rebuffer_us, vec![6, 1, 1, 1]);
+        assert_eq!(agg.attr_drops, vec![1, 2]);
     }
 
     #[test]

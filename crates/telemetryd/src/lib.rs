@@ -12,7 +12,9 @@
 //!   ingest/query instrumentation),
 //! * `GET /query/headline` — live recruited/kept/hours/in-flight counts,
 //! * `GET /query/topk?k=N` — the highest-pressure devices so far,
-//! * `GET /query/device/<id>` — one device's live status or folded digest.
+//! * `GET /query/device/<id>` — one device's live status or folded digest,
+//! * `GET /query/attribution` — the fleet-wide blame ledger: rebuffer
+//!   time and dropped frames per kernel/network cause.
 //!
 //! The aggregate's merge algebra is associative and order-insensitive over
 //! disjoint device sets, so the service's final aggregate is byte-identical
@@ -32,4 +34,4 @@ pub mod state;
 pub use loadgen::{run_fleet_loadgen, run_session_loadgen};
 pub use report::{DeviceReport, IngestAck};
 pub use server::TelemetryServer;
-pub use state::{DeviceStatus, Headline, ServiceState, TopEntry};
+pub use state::{AttributionEntry, AttributionView, DeviceStatus, Headline, ServiceState, TopEntry};

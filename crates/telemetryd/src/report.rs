@@ -8,7 +8,7 @@
 //! `f64` bit-exactly, so an uploaded observation folds byte-identically
 //! to one computed on-device.
 
-use mvqoe_core::QoeReport;
+use mvqoe_core::{AttributionReport, QoeReport};
 use mvqoe_workload::{FleetSample, UsagePattern};
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +51,15 @@ pub enum DeviceReport {
         /// The report.
         report: QoeReport,
     },
+    /// A finished session's causal attribution report: every rebuffer
+    /// microsecond and dropped frame blamed on its kernel or network
+    /// cause.
+    Attribution {
+        /// Device id of the session's phone (same id space as `Qoe`).
+        device: u32,
+        /// The report.
+        report: AttributionReport,
+    },
 }
 
 impl DeviceReport {
@@ -60,7 +69,8 @@ impl DeviceReport {
             DeviceReport::Begin { device, .. }
             | DeviceReport::Sample { device, .. }
             | DeviceReport::End { device }
-            | DeviceReport::Qoe { device, .. } => device,
+            | DeviceReport::Qoe { device, .. }
+            | DeviceReport::Attribution { device, .. } => device,
         }
     }
 }

@@ -10,6 +10,7 @@
 //! matter how connections interleaved or how many shards the ring has.
 
 use crate::report::DeviceReport;
+use mvqoe_core::Cause;
 use mvqoe_metrics::{prometheus, CounterId, GaugeId, HistogramId, SharedRegistry};
 use mvqoe_study::{DeviceDigest, DeviceObservation, FleetAggregate, FleetConfig};
 use serde::{Deserialize, Serialize};
@@ -113,6 +114,34 @@ pub struct DeviceStatus {
     pub digest: Option<DeviceDigest>,
 }
 
+/// One cause's row in the `/query/attribution` view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributionEntry {
+    /// The cause's snake_case label (e.g. `"lmkd_kill"`).
+    pub cause: String,
+    /// Rebuffer microseconds blamed on this cause across the fleet.
+    pub rebuffer_us: u64,
+    /// Dropped frames blamed on this cause across the fleet.
+    pub drops: u64,
+}
+
+/// The `/query/attribution` view: the fleet-wide blame ledger, exact
+/// integer totals summed across shards, plus the headline memory-vs-
+/// network split of rebuffer time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributionView {
+    /// One entry per cause, in [`Cause::ALL`] order.
+    pub causes: Vec<AttributionEntry>,
+    /// Total attributed rebuffer microseconds (sum of per-cause rows).
+    pub total_rebuffer_us: u64,
+    /// Total attributed dropped frames.
+    pub total_drops: u64,
+    /// Share of rebuffer time blamed on memory-pressure causes.
+    pub memory_rebuffer_share: f64,
+    /// Share of rebuffer time blamed on network causes.
+    pub network_rebuffer_share: f64,
+}
+
 impl ServiceState {
     /// Build service state with `n_shards` aggregate shards.
     pub fn new(cfg: FleetConfig, n_shards: u32, registry: SharedRegistry) -> ServiceState {
@@ -213,6 +242,38 @@ impl ServiceState {
                 });
                 Ok(false)
             }
+            DeviceReport::Attribution { device, report } => {
+                {
+                    let mut shard = self.shard(*device).lock().unwrap();
+                    shard
+                        .agg
+                        .absorb_attribution(&report.rebuffer_us, &report.drops);
+                }
+                // Per-cause counters are registered lazily, on the first
+                // attribution report — never in `ServiceState::new` — so a
+                // service that ingests no attribution exposes a scrape
+                // byte-identical to one built before attribution existed.
+                self.registry.with(|r| {
+                    for cause in Cause::ALL {
+                        let i = cause.index();
+                        let rb = report.rebuffer_us.get(i).copied().unwrap_or(0);
+                        if rb > 0 {
+                            r.add_counter(
+                                &format!("fleet.attr.rebuffer_us_total.{}", cause.label()),
+                                rb,
+                            );
+                        }
+                        let dr = report.drops.get(i).copied().unwrap_or(0);
+                        if dr > 0 {
+                            r.add_counter(
+                                &format!("fleet.attr.drops_total.{}", cause.label()),
+                                dr,
+                            );
+                        }
+                    }
+                });
+                Ok(false)
+            }
         }
     }
 
@@ -294,6 +355,50 @@ impl ServiceState {
         });
         all.truncate(k);
         all
+    }
+
+    /// The live blame ledger: per-cause rebuffer/drop totals summed across
+    /// shards (exact integer adds, so order-insensitive), with the
+    /// memory-vs-network rebuffer split computed over attributed time.
+    pub fn attribution(&self) -> AttributionView {
+        let mut rebuffer_us = vec![0u64; Cause::ALL.len()];
+        let mut drops = vec![0u64; Cause::ALL.len()];
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            for (i, &v) in shard.agg.attr_rebuffer_us.iter().enumerate() {
+                rebuffer_us[i] += v;
+            }
+            for (i, &v) in shard.agg.attr_drops.iter().enumerate() {
+                drops[i] += v;
+            }
+        }
+        let total_rebuffer_us: u64 = rebuffer_us.iter().sum();
+        let total_drops: u64 = drops.iter().sum();
+        let share = |pred: fn(Cause) -> bool| {
+            if total_rebuffer_us == 0 {
+                return 0.0;
+            }
+            let us: u64 = Cause::ALL
+                .iter()
+                .filter(|c| pred(**c))
+                .map(|c| rebuffer_us[c.index()])
+                .sum();
+            us as f64 / total_rebuffer_us as f64
+        };
+        AttributionView {
+            causes: Cause::ALL
+                .iter()
+                .map(|c| AttributionEntry {
+                    cause: c.label().to_string(),
+                    rebuffer_us: rebuffer_us[c.index()],
+                    drops: drops[c.index()],
+                })
+                .collect(),
+            total_rebuffer_us,
+            total_drops,
+            memory_rebuffer_share: share(Cause::is_memory),
+            network_rebuffer_share: share(Cause::is_network),
+        }
     }
 
     /// Live status of one device.

@@ -166,6 +166,78 @@ fn malformed_and_protocol_violating_lines_count_as_parse_failures() {
 }
 
 #[test]
+fn attribution_reports_fold_into_the_blame_ledger() {
+    use mvqoe_core::{AttributionReport, Cause};
+    use mvqoe_telemetryd::AttributionView;
+
+    let cfg = short_cfg(2);
+    let server = start_server(&cfg, 2);
+    let addr = server.addr();
+
+    // Before any attribution arrives: the view is all zeros and the scrape
+    // carries no attribution families at all (lazy registration keeps an
+    // attribution-free service byte-compatible with older scrapes).
+    let (status, body) = http_get(addr, "/query/attribution");
+    assert!(status.contains("200"), "{status}");
+    let view: AttributionView = serde_json::from_str(&body).expect("attribution JSON");
+    assert_eq!(view.total_rebuffer_us, 0);
+    assert_eq!(view.memory_rebuffer_share, 0.0);
+    let (_, scrape) = http_get(addr, "/metrics");
+    assert!(!scrape.contains("fleet_attr"), "no attribution families yet");
+
+    // Two sessions upload blame ledgers: 3 s of rebuffer on lmkd, 1 s on
+    // the network, a handful of decoder-overload drops.
+    let mut a = AttributionReport::empty();
+    a.rebuffer_us[Cause::LmkdKill.index()] = 2_000_000;
+    a.drops[Cause::DecoderOverload.index()] = 5;
+    let mut b = AttributionReport::empty();
+    b.rebuffer_us[Cause::LmkdKill.index()] = 1_000_000;
+    b.rebuffer_us[Cause::NetworkDip.index()] = 1_000_000;
+    b.drops[Cause::Unattributed.index()] = 2;
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut w = &stream;
+    for (device, rep) in [(0u32, &a), (1u32, &b)] {
+        let line = json(&mvqoe_telemetryd::DeviceReport::Attribution {
+            device,
+            report: rep.clone(),
+        });
+        writeln!(w, "{line}").expect("write");
+    }
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut ack = String::new();
+    (&stream).read_to_string(&mut ack).expect("ack");
+    let ack: mvqoe_telemetryd::IngestAck =
+        serde_json::from_str(ack.trim_end()).expect("ack JSON");
+    assert_eq!(ack.accepted, 2);
+
+    let (_, body) = http_get(addr, "/query/attribution");
+    let view: AttributionView = serde_json::from_str(&body).expect("attribution JSON");
+    assert_eq!(view.total_rebuffer_us, 4_000_000);
+    assert_eq!(view.total_drops, 7);
+    assert_eq!(view.memory_rebuffer_share, 0.75);
+    assert_eq!(view.network_rebuffer_share, 0.25);
+    let lmkd = view
+        .causes
+        .iter()
+        .find(|e| e.cause == "lmkd_kill")
+        .expect("lmkd row");
+    assert_eq!(lmkd.rebuffer_us, 3_000_000);
+
+    let (_, scrape) = http_get(addr, "/metrics");
+    assert!(
+        scrape.contains("fleet_attr_rebuffer_us_total_lmkd_kill 3000000"),
+        "{scrape}"
+    );
+    assert!(
+        scrape.contains("fleet_attr_drops_total_decoder_overload 5"),
+        "{scrape}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn live_session_qoe_reports_land_in_the_registry() {
     use mvqoe_core::{PressureMode, SessionConfig};
     use mvqoe_device::DeviceProfile;

@@ -11,7 +11,9 @@
 //! - one counter track per recorded counter — lmkd CPU %, rendered FPS,
 //!   free memory, zRAM usage (`ph:"C"`);
 //! - instant events for lmkd kills, major faults, rebuffer boundaries, and
-//!   ABR quality switches (`ph:"i"`).
+//!   ABR quality switches (`ph:"i"`);
+//! - flow arrows linking a blamed pressure fact to the QoE falter it
+//!   caused (`ph:"s"` / `ph:"f"` pairs from the attribution engine).
 //!
 //! Timestamps are microseconds, which is [`SimTime`]'s native unit, so no
 //! scaling happens on export. Events are emitted in non-decreasing `ts`
@@ -86,6 +88,10 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         if let Some(tid) = i.thread {
             tids.insert(tid);
         }
+    }
+    for f in trace.flows() {
+        tids.insert(f.from_thread);
+        tids.insert(f.to_thread);
     }
     events.push((
         0,
@@ -197,6 +203,32 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         ));
     }
 
+    // Flow arrows: a `ph:"s"` start at the cause and a `ph:"f"` finish at
+    // the effect, paired by id. `"bp":"e"` binds the finish to the
+    // enclosing slice so Perfetto draws the arrow into the effect's track.
+    for f in trace.flows() {
+        events.push((
+            f.from_at.as_micros(),
+            format!(
+                r#"{{"ph":"s","pid":{PID},"tid":{},"ts":{},"id":{},"name":"{}","cat":"attribution"}}"#,
+                f.from_thread.0,
+                f.from_at.as_micros(),
+                f.id,
+                escape(&f.name)
+            ),
+        ));
+        events.push((
+            f.to_at.as_micros(),
+            format!(
+                r#"{{"ph":"f","bp":"e","pid":{PID},"tid":{},"ts":{},"id":{},"name":"{}","cat":"attribution"}}"#,
+                f.to_thread.0,
+                f.to_at.as_micros(),
+                f.id,
+                escape(&f.name)
+            ),
+        ));
+    }
+
     events.sort_by_key(|&(ts, _)| ts);
 
     let mut out = String::with_capacity(events.len() * 96 + 64);
@@ -280,6 +312,28 @@ mod tests {
             last = ts;
         }
         assert!(last > 0);
+    }
+
+    #[test]
+    fn flow_arrows_pair_start_and_finish_by_id() {
+        let mut tr = build();
+        tr.register_thread(ThreadId(1), "SurfaceFlinger", None);
+        tr.flow(
+            "blame:lmkd_kill->rebuffer_start",
+            t(2),
+            ThreadId(0),
+            t(4),
+            ThreadId(1),
+        );
+        let json = chrome_trace_json(&tr);
+        assert!(json.contains(
+            r#""ph":"s","pid":1,"tid":0,"ts":2000,"id":1,"name":"blame:lmkd_kill->rebuffer_start""#
+        ));
+        assert!(json.contains(
+            r#""ph":"f","bp":"e","pid":1,"tid":1,"ts":4000,"id":1,"name":"blame:lmkd_kill->rebuffer_start""#
+        ));
+        // Flow threads get name metadata even if only flows reference them.
+        assert!(json.contains(r#""tid":1,"ts":0,"name":"thread_name","args":{"name":"SurfaceFlinger"}"#));
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub mod trace;
 
 pub use analysis::{PreemptionSummary, ThreadRunTime};
 pub use chrome_trace::{chrome_trace_json, write_chrome_trace};
-pub use trace::{InstantEvent, Trace};
+pub use trace::{FlowRecord, InstantEvent, Trace};

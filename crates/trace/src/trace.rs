@@ -27,6 +27,25 @@ pub struct InstantEvent {
     pub thread: Option<ThreadId>,
 }
 
+/// A causal link between two points on the timeline — a pressure fact and
+/// the QoE falter it is blamed for. Rendered as a Perfetto flow arrow
+/// (`ph:"s"` / `ph:"f"`) in the Chrome export.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow id; unique within the trace, shared by both arrow ends.
+    pub id: u64,
+    /// Arrow label ("blame:lmkd_kill->rebuffer_start", …).
+    pub name: String,
+    /// Where the arrow starts (the cause).
+    pub from_at: SimTime,
+    /// Thread the cause is drawn on.
+    pub from_thread: ThreadId,
+    /// Where the arrow ends (the effect).
+    pub to_at: SimTime,
+    /// Thread the effect is drawn on.
+    pub to_thread: ThreadId,
+}
+
 /// A recorded trace of one run.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
@@ -35,6 +54,7 @@ pub struct Trace {
     preemptions: Vec<PreemptionRecord>,
     counters: BTreeMap<String, TimeSeries>,
     instants: Vec<InstantEvent>,
+    flows: Vec<FlowRecord>,
     detail: bool,
     end: SimTime,
 }
@@ -129,6 +149,35 @@ impl Trace {
     /// All recorded point events, in arrival order.
     pub fn instants(&self) -> &[InstantEvent] {
         &self.instants
+    }
+
+    /// Record a causal flow from one timeline point to another (always
+    /// kept — attribution emits at most one per QoE-harming event).
+    /// Returns the flow id shared by both arrow ends.
+    pub fn flow(
+        &mut self,
+        name: impl Into<String>,
+        from_at: SimTime,
+        from_thread: ThreadId,
+        to_at: SimTime,
+        to_thread: ThreadId,
+    ) -> u64 {
+        let id = self.flows.len() as u64 + 1;
+        self.end = self.end.max(from_at).max(to_at);
+        self.flows.push(FlowRecord {
+            id,
+            name: name.into(),
+            from_at,
+            from_thread,
+            to_at,
+            to_thread,
+        });
+        id
+    }
+
+    /// All recorded flows, in arrival order.
+    pub fn flows(&self) -> &[FlowRecord] {
+        &self.flows
     }
 
     /// Mark the end of the traced run.
@@ -242,6 +291,29 @@ mod tests {
         assert_eq!(tr.instants()[1].thread, Some(ThreadId(4)));
         // Instants advance the horizon too.
         assert_eq!(tr.end(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn flows_get_unique_ids_and_advance_the_horizon() {
+        let mut tr = Trace::new();
+        let a = tr.flow(
+            "blame:lmkd_kill->rebuffer_start",
+            SimTime::from_secs(1),
+            ThreadId(0),
+            SimTime::from_secs(2),
+            ThreadId(1),
+        );
+        let b = tr.flow(
+            "blame:network_dip->downswitch",
+            SimTime::from_secs(3),
+            ThreadId(2),
+            SimTime::from_secs(4),
+            ThreadId(1),
+        );
+        assert_ne!(a, b, "flow ids must be unique");
+        assert_eq!(tr.flows().len(), 2);
+        assert_eq!(tr.flows()[0].to_thread, ThreadId(1));
+        assert_eq!(tr.end(), SimTime::from_secs(4));
     }
 
     #[test]

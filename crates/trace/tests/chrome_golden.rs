@@ -21,7 +21,8 @@ fn t(ms: u64) -> SimTime {
 
 /// A miniature pressured-playback scenario: MediaCodec runs, is preempted
 /// by mmcqd, waits, runs again; kswapd wakes and runs; one counter track,
-/// one kill instant, one thread-scoped fault instant.
+/// one kill instant, one thread-scoped fault instant, and one attribution
+/// flow arrow blaming the kill for a rebuffer.
 fn build_trace() -> Trace {
     let mut tr = Trace::new();
     let codec = ThreadId(0);
@@ -68,6 +69,7 @@ fn build_trace() -> Trace {
     tr.instant("lmkd_kill:bg.app3", t(5), None);
     tr.set_detail(true);
     tr.instant_detail("major_fault", t(3), Some(codec));
+    tr.flow("blame:lmkd_kill->rebuffer_start", t(5), kswapd, t(9), codec);
     tr.finish(t(10));
     tr
 }
@@ -111,4 +113,12 @@ fn golden_trace_is_structurally_valid() {
     assert!(json.contains(r#""s":"t","name":"major_fault""#));
     // Wakeup→SwitchIn renders kswapd's runnable wait (2 ms → 8 ms).
     assert!(json.contains(r#""tid":2,"ts":2000,"dur":6000,"name":"Runnable""#));
+    // The blame flow: start on the blamed thread, finish on the player,
+    // paired by id, in the attribution category.
+    assert!(json.contains(
+        r#""ph":"s","pid":1,"tid":2,"ts":5000,"id":1,"name":"blame:lmkd_kill->rebuffer_start","cat":"attribution""#
+    ));
+    assert!(json.contains(
+        r#""ph":"f","bp":"e","pid":1,"tid":0,"ts":9000,"id":1,"name":"blame:lmkd_kill->rebuffer_start","cat":"attribution""#
+    ));
 }

@@ -71,7 +71,8 @@ pub mod prelude {
     };
     pub use mvqoe_core::{
         parallel_map, run_cell, run_cell_at, run_cells_parallel, run_session, run_session_with,
-        AbrFactory, CellResult, CellSpec, PressureMode, SessionConfig, SessionOutcome,
+        AbrFactory, AttributionReport, Cause, CauseRecord, CellResult, CellSpec, Effect,
+        PressureMode, SessionConfig, SessionOutcome,
     };
     pub use mvqoe_device::{DeviceProfile, Machine};
     pub use mvqoe_kernel::{MemoryManager, Pages, ProcKind, TrimLevel};

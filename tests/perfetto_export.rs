@@ -109,6 +109,88 @@ fn real_session_trace_is_structurally_valid() {
 }
 
 #[test]
+fn attributed_session_exports_paired_flow_arrows() {
+    // Same §5 scenario, with the causal attribution engine on: the Nokia 1
+    // under Moderate pressure falters for memory reasons, and each falter
+    // must show up as a ph:"s"/ph:"f" flow pair blaming a memory cause.
+    // Cell 3 is a seed where this scenario visibly rebuffers (not just
+    // drops frames) — the engine must blame the stall on a memory cause.
+    let mut cfg = SessionConfig::paper_default(
+        DeviceProfile::nokia1(),
+        PressureMode::Synthetic(TrimLevel::Moderate),
+        derive_seed(42, "perfetto-export-test", 3, 0),
+    );
+    cfg.video_secs = 48.0;
+    cfg.record_trace = true;
+    cfg.attribution = true;
+    // Buffer-based ABR (network-only, device-blind): under Moderate
+    // pressure on the Nokia 1 it runs the buffer dry and rebuffers.
+    let mut abr = BufferBased::new(Fps::F60);
+    let out = run_session(&cfg, &mut abr);
+
+    let report = out.attribution.as_ref().expect("attribution was enabled");
+    assert!(
+        report.memory_rebuffer_us() > 0,
+        "this scenario rebuffers for memory reasons; report: {report:?}"
+    );
+    assert!(!report.records.is_empty());
+
+    let json = chrome_trace_json(&out.machine.trace);
+    let v: Value = serde_json::from_str(&json).expect("export is valid JSON");
+    let events = v.get("traceEvents").and_then(Value::as_seq).unwrap();
+
+    let mut starts: BTreeMap<u64, String> = BTreeMap::new();
+    let mut finishes: BTreeMap<u64, String> = BTreeMap::new();
+    let mut rebuffer_instant_threaded = false;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        if ph == "s" || ph == "f" {
+            assert_eq!(
+                ev.get("cat").and_then(Value::as_str),
+                Some("attribution"),
+                "flow events carry the attribution category"
+            );
+            assert!(name.starts_with("blame:"), "flow name {name:?}");
+            let id = ev.get("id").and_then(Value::as_u64).expect("flow id");
+            if ph == "s" {
+                starts.insert(id, name.to_string());
+            } else {
+                assert_eq!(
+                    ev.get("bp").and_then(Value::as_str),
+                    Some("e"),
+                    "finish binds to the enclosing slice"
+                );
+                finishes.insert(id, name.to_string());
+            }
+        }
+        // Satellite check: rebuffer boundary instants are thread-scoped
+        // (they used to be emitted with no thread).
+        if ph == "i" && (name == "rebuffer_start" || name == "rebuffer_end") {
+            assert_eq!(
+                ev.get("s").and_then(Value::as_str),
+                Some("t"),
+                "{name} must be scoped to the player thread"
+            );
+            rebuffer_instant_threaded = true;
+        }
+    }
+    assert!(!starts.is_empty(), "no flow arrows exported");
+    assert_eq!(starts, finishes, "every s must pair with an f by id + name");
+    assert!(rebuffer_instant_threaded, "no rebuffer instants in the trace");
+    // At least one arrow blames a memory cause for a rebuffer.
+    assert!(
+        starts
+            .values()
+            .any(|n| n.ends_with("->rebuffer_start")
+                && ["direct_reclaim", "lmkd_kill", "oom_kill", "major_fault_burst", "zram_thrash"]
+                    .iter()
+                    .any(|c| n.contains(c))),
+        "no memory-blamed rebuffer arrow: {starts:?}"
+    );
+}
+
+#[test]
 fn detail_gate_keeps_untraced_sessions_lean() {
     // The default config records no scheduler events, so the export should
     // contain metadata and counter samples but no slices.
